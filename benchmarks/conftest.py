@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+- ``REPRO_BENCH_RUNS``   Monte Carlo runs per sweep point (default 5;
+  the paper averages 100 — set it for a full reproduction).
+- ``REPRO_BENCH_SEED``   root seed (default 2011).
+"""
+
+import os
+
+import pytest
+
+
+def bench_runs() -> int:
+    return int(os.environ.get("REPRO_BENCH_RUNS", "5"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "2011"))
+
+
+@pytest.fixture
+def runs() -> int:
+    return bench_runs()
+
+
+@pytest.fixture
+def seed() -> int:
+    return bench_seed()

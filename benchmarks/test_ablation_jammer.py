@@ -1,0 +1,57 @@
+"""Ablation: random vs reactive jamming across the q sweep.
+
+Theorem 1 says the true D-NDP probability lies between the reactive
+(P^-) and random (P^+) outcomes; the paper reports reactive as the
+worst case and notes reactive always beat random in its simulations.
+This bench measures both and checks the ordering plus the bound gap.
+"""
+
+from repro.adversary.jammer import JammerStrategy
+from repro.analysis.dndp_theory import (
+    dndp_lower_bound,
+    dndp_upper_bound,
+)
+from repro.core.config import default_config
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import NetworkExperiment
+
+Q_VALUES = (20, 40, 60, 80)
+
+
+def test_jammer_strategy_gap(benchmark, runs, seed):
+    config0 = default_config()
+
+    def run_sweep():
+        rows = []
+        for q in Q_VALUES:
+            config = config0.replace(n_compromised=q)
+            reactive = NetworkExperiment(
+                config, seed=seed, strategy=JammerStrategy.REACTIVE
+            ).run(runs)
+            random_ = NetworkExperiment(
+                config, seed=seed, strategy=JammerStrategy.RANDOM
+            ).run(runs)
+            rows.append(
+                {
+                    "q": float(q),
+                    "p_reactive": reactive.discovery_probability("dndp"),
+                    "theory_P_minus": dndp_lower_bound(config, q),
+                    "p_random": random_.discovery_probability("dndp"),
+                    "theory_P_plus": dndp_upper_bound(config, q),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_series_table(
+            rows, title="Jammer ablation: reactive vs random (D-NDP)"
+        )
+    )
+    for row in rows:
+        # Reactive is always at least as damaging as random.
+        assert row["p_reactive"] <= row["p_random"] + 0.02
+        # Each strategy tracks its closed form.
+        assert abs(row["p_reactive"] - row["theory_P_minus"]) < 0.05
+        assert abs(row["p_random"] - row["theory_P_plus"]) < 0.05

@@ -1,0 +1,68 @@
+"""Ablation: the revocation threshold gamma vs DoS damage (Section V-D).
+
+The paper bounds the wasted verifications per compromised code at
+``(l - 1) * gamma`` for the other holders (our accounting includes the
++1 tipping request per victim, giving ``holders * (gamma + 1)``).
+This bench sweeps gamma and confirms the linear bound and the flood
+saturation.
+"""
+
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.dos import DoSAttacker
+from repro.experiments.reporting import format_series_table
+from repro.predistribution.authority import PreDistributor
+from repro.predistribution.revocation import RevocationList
+from repro.utils.rng import derive_rng
+
+GAMMAS = (1, 2, 5, 10, 20)
+
+
+def test_revocation_gamma_sweep(benchmark, seed):
+    n, m, l, q = 600, 12, 10, 6
+    flood = 200
+
+    def run_sweep():
+        rng = derive_rng(seed, "ablation-revocation")
+        distributor = PreDistributor(n, m, l)
+        assignment = distributor.assign(rng)
+        compromise = CompromiseModel(assignment).compromise_random(q, rng)
+        attacker = DoSAttacker(sorted(compromise.codes))
+        holders = {
+            code: sorted(assignment.holders_of(code))
+            for code in attacker.codes
+        }
+        rows = []
+        for gamma in GAMMAS:
+            victims = {
+                node: RevocationList(codes, gamma)
+                for node, codes in enumerate(assignment.node_codes)
+            }
+            impact = attacker.flood(
+                victims, holders, flood, derive_rng(seed, f"f{gamma}")
+            )
+            rows.append(
+                {
+                    "gamma": float(gamma),
+                    "verifications": float(impact.verifications),
+                    "worst_code": float(impact.worst_code_verifications()),
+                    "bound_l_gamma1": float(l * (gamma + 1)),
+                    "revocations": float(impact.revocations),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print(
+        format_series_table(
+            rows,
+            title=f"Revocation ablation: {flood} fakes per code, "
+                  f"l = {l}",
+        )
+    )
+    for row in rows:
+        # The Section V-D bound holds per code.
+        assert row["worst_code"] <= row["bound_l_gamma1"]
+    # Damage grows linearly with gamma while the flood saturates it.
+    totals = [row["verifications"] for row in rows]
+    assert all(a < b for a, b in zip(totals, totals[1:]))

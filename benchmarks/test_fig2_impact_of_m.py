@@ -1,0 +1,49 @@
+"""Figure 2: impact of the number of preloaded codes ``m``.
+
+(a) Discovery probability of D-NDP / M-NDP / JR-SND vs ``m``
+    (reactive jamming, Table I otherwise).
+(b) Latency vs ``m``: Theorem 2's T_D grows quadratically, crosses
+    Theorem 4's T_M near m ~ 60, and JR-SND stays under 2 s at m = 100.
+"""
+
+from repro.experiments.figures import figure2_sweep
+from repro.experiments.reporting import format_series_table
+
+M_VALUES = (20, 40, 60, 80, 100, 140, 200)
+
+
+def test_figure2_impact_of_m(benchmark, runs, seed):
+    rows = benchmark.pedantic(
+        figure2_sweep,
+        kwargs={"m_values": M_VALUES, "runs": runs, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_series_table(
+            rows,
+            columns=["m", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 2(a): discovery probability vs m "
+                  "(reactive jamming)",
+        )
+    )
+    print()
+    print(
+        format_series_table(
+            rows,
+            columns=["m", "t_dndp", "t_mndp", "t_jrsnd"],
+            title="Figure 2(b): latency vs m (seconds, Theorems 2/4)",
+        )
+    )
+
+    by_m = {row["m"]: row for row in rows}
+    # (a) probability grows with m for every curve.
+    assert by_m[200]["p_dndp"] > by_m[20]["p_dndp"]
+    assert by_m[200]["p_jrsnd"] >= by_m[20]["p_jrsnd"]
+    # (b) T_D quadratic; crossover with T_M between m = 40 and m = 80.
+    assert by_m[200]["t_dndp"] / by_m[100]["t_dndp"] > 3.5
+    assert by_m[40]["t_dndp"] < by_m[40]["t_mndp"]
+    assert by_m[80]["t_dndp"] > by_m[80]["t_mndp"]
+    # Headline: under 2 s at the default m = 100.
+    assert by_m[100]["t_jrsnd"] < 2.0

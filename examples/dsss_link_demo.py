@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Chip-level DSSS link demo (the physical layer of Section III).
+
+Walks one HELLO message through the full physical pipeline with real
+chips: ECC framing, spreading with a 512-chip code, a superposition
+channel carrying noise + concurrent foreign traffic + a jammer, the
+sliding-window synchronizer, threshold de-spreading, and Reed-Solomon
+recovery of the jam-erased bits — then shows what happens when the
+jammer knows the correct code.
+
+Usage:
+    python examples/dsss_link_demo.py [--seed S]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.dsss.channel import ChipChannel
+from repro.dsss.frame import Frame, FrameCodec, MessageType
+from repro.dsss.spread_code import CodePool
+from repro.dsss.synchronizer import SlidingWindowSynchronizer
+from repro.errors import DecodeError
+from repro.utils.bitstring import bits_from_int, bits_to_int
+from repro.utils.rng import derive_rng
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+    rng = derive_rng(args.seed, "link-demo")
+
+    pool = CodePool.generate(size=8, code_length=512, seed=args.seed)
+    codec = FrameCodec(mu=1.0)
+    sender_id = 0x2A7
+    frame = Frame(MessageType.HELLO, bits_from_int(sender_id, 16))
+    coded = codec.encode(frame)
+    print(f"HELLO from node {sender_id:#x}: "
+          f"{frame.plain_bits} plain bits -> {coded.size} coded bits "
+          f"-> {coded.size * 512} chips at N = 512")
+
+    # ------------------------------------------------------------------
+    print("\n[1] Clean-ish channel: noise + foreign traffic + "
+          "wrong-code jammer")
+    channel = ChipChannel(noise_std=0.3)
+    channel.add_message(coded, pool.code(0), offset=1500, label="hello")
+    channel.add_message(
+        rng.integers(0, 2, coded.size).astype(np.int8), pool.code(5),
+        offset=0, label="foreign",
+    )
+    channel.add_jamming(pool.code(6), offset=1500, n_bits=coded.size,
+                        rng=rng, amplitude=1.5, label="wrong-code jam")
+    buffer = channel.render(rng=rng)
+    print(f"    rendered {buffer.size} superposed chips")
+
+    sync = SlidingWindowSynchronizer(
+        pool.subset([0, 1, 2]), tau=0.15, message_bits=int(coded.size)
+    )
+    decoded = sync.scan_validated(
+        buffer, lambda res: codec.decode(res.bits, payload_bits=16)
+    )
+    value = bits_to_int(decoded.payload)
+    print(f"    receiver locked and decoded: type={decoded.message_type.name} "
+          f"id={value:#x}  ({'OK' if value == sender_id else 'WRONG'})")
+
+    # ------------------------------------------------------------------
+    print("\n[2] Reactive jammer with the CORRECT code "
+          "(covers the last 70% of the message)")
+    channel = ChipChannel(noise_std=0.3)
+    channel.add_message(coded, pool.code(0), offset=0)
+    n_jam = int(coded.size * 0.7)
+    channel.add_jamming(pool.code(0), offset=(coded.size - n_jam) * 512,
+                        n_bits=n_jam, rng=rng, amplitude=2.0)
+    buffer = channel.render(rng=rng)
+    result = sync.scan(buffer)
+    if result is None:
+        print("    synchronizer could not even lock: message destroyed")
+    else:
+        erased = sum(1 for b in result.bits if b is None)
+        print(f"    locked at chip {result.position}; {erased}/"
+              f"{len(result.bits)} bits erased by the jam")
+        try:
+            codec.decode(result.bits, payload_bits=16)
+            print("    decode unexpectedly succeeded")
+        except DecodeError as exc:
+            print(f"    Reed-Solomon gave up, as Theorem 1 assumes: {exc}")
+
+    # ------------------------------------------------------------------
+    print("\n[3] Same jam but only 30% of the message "
+          "(below the mu/(1+mu) = 50% ECC tolerance)")
+    channel = ChipChannel(noise_std=0.3)
+    channel.add_message(coded, pool.code(0), offset=0)
+    n_jam = int(coded.size * 0.3)
+    channel.add_jamming(pool.code(0), offset=(coded.size - n_jam) * 512,
+                        n_bits=n_jam, rng=rng)
+    buffer = channel.render(rng=rng)
+    decoded = sync.scan_validated(
+        buffer, lambda res: codec.decode(res.bits, payload_bits=16)
+    )
+    if decoded is not None:
+        print(f"    decoded id={bits_to_int(decoded.payload):#x}: the ECC "
+              "absorbed the partial jam, as the protocol design relies on")
+    else:
+        print("    decode failed (unexpected at this jam fraction)")
+
+
+if __name__ == "__main__":
+    main()

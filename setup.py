@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-use-pep517 --no-build-isolation` uses this legacy
+path; normal environments can use plain `pip install -e .`.
+"""
+from setuptools import setup
+
+setup()

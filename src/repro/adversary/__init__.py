@@ -1,0 +1,32 @@
+"""Adversary models (Section IV-B).
+
+- :mod:`repro.adversary.compromise` — node compromise: the adversary
+  captures up to a small fraction of nodes and learns their spread codes
+  and private keys.
+- :mod:`repro.adversary.jammer` — the two jamming strategies the paper
+  analyzes: *random* (pick compromised codes blindly, at most
+  ``z (1 + mu) / mu`` distinct codes per message) and *reactive*
+  (identify the code in use before ``1 / (1 + mu)`` of the message has
+  passed, then jam the rest), both limited to ``z`` parallel signals.
+- :mod:`repro.adversary.dos` — the fake-request injection attack whose
+  damage the revocation defense bounds at ``(l - 1) gamma`` per code.
+"""
+
+from repro.adversary.compromise import CompromiseModel, CompromiseState
+from repro.adversary.dos import DoSAttacker, DoSImpact, EventDoSInjector
+from repro.adversary.jammer import (
+    JammerStrategy,
+    JammingModel,
+    MediumJammer,
+)
+
+__all__ = [
+    "CompromiseModel",
+    "CompromiseState",
+    "JammerStrategy",
+    "JammingModel",
+    "MediumJammer",
+    "DoSAttacker",
+    "EventDoSInjector",
+    "DoSImpact",
+]

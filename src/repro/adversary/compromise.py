@@ -1,0 +1,87 @@
+"""Node compromise (Section IV-B).
+
+The adversary physically captures ``q`` nodes, learning every spread code
+they hold and their ID-based private keys.  Codes held only by
+non-compromised nodes stay secret — the property that makes the
+pre-distribution scheme degrade gracefully (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predistribution.authority import CodeAssignment
+from repro.utils.validation import check_non_negative
+
+__all__ = ["CompromiseState", "CompromiseModel"]
+
+
+@dataclass(frozen=True)
+class CompromiseState:
+    """What the adversary knows after compromising nodes.
+
+    Attributes
+    ----------
+    nodes:
+        Indices of compromised nodes.
+    codes:
+        Pool indices of every compromised spread code (union over the
+        captured nodes' code sets).
+    """
+
+    nodes: FrozenSet[int]
+    codes: FrozenSet[int]
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of compromised nodes (the paper's ``q``)."""
+        return len(self.nodes)
+
+    @property
+    def n_codes(self) -> int:
+        """Number of compromised codes (the paper's ``c``)."""
+        return len(self.codes)
+
+    def knows_code(self, code_index: int) -> bool:
+        """Whether a pool code is compromised."""
+        return code_index in self.codes
+
+    def knows_node(self, node: int) -> bool:
+        """Whether a node is compromised."""
+        return node in self.nodes
+
+
+class CompromiseModel:
+    """Samples compromise states against a code assignment."""
+
+    def __init__(self, assignment: CodeAssignment) -> None:
+        self._assignment = assignment
+
+    def compromise_random(
+        self, q: int, rng: np.random.Generator
+    ) -> CompromiseState:
+        """Capture ``q`` nodes chosen uniformly without replacement."""
+        check_non_negative("q", q)
+        n = self._assignment.n_nodes
+        if q > n:
+            raise ConfigurationError(f"cannot compromise {q} of {n} nodes")
+        nodes = (
+            rng.choice(n, size=q, replace=False).tolist() if q else []
+        )
+        return self.compromise_nodes(nodes)
+
+    def compromise_nodes(self, nodes: Sequence[int]) -> CompromiseState:
+        """Capture a specific node set."""
+        node_set = {int(node) for node in nodes}
+        codes = self._assignment.compromised_codes(sorted(node_set))
+        return CompromiseState(
+            nodes=frozenset(node_set), codes=frozenset(codes)
+        )
+
+    def empty(self) -> CompromiseState:
+        """A no-compromise state."""
+        return CompromiseState(nodes=frozenset(), codes=frozenset())

@@ -1,0 +1,182 @@
+"""The fake-request DoS attack and its cost accounting (Section V-D).
+
+With a public-strategy scheme the adversary could force *every* node into
+endless signature verifications.  Under JR-SND it can only inject fake
+neighbor-discovery requests spread with *compromised* codes, and each
+such code is held by at most ``l - 1`` other nodes who each revoke it
+after ``gamma`` invalid requests — bounding the total wasted
+verifications per compromised code at ``(l - 1) * gamma``.
+
+:class:`DoSAttacker` drives that attack against a set of victim
+:class:`~repro.predistribution.revocation.RevocationList` instances and
+reports the measured damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.predistribution.revocation import RevocationList
+from repro.utils.validation import check_positive
+
+__all__ = ["DoSImpact", "DoSAttacker", "EventDoSInjector"]
+
+
+@dataclass(frozen=True)
+class DoSImpact:
+    """Damage report of a DoS campaign.
+
+    Attributes
+    ----------
+    injected:
+        Fake requests the adversary transmitted.
+    verifications:
+        Signature verifications victims performed (the wasted work).
+    revocations:
+        Codes revoked (summed over victims).
+    per_code_verifications:
+        Wasted verifications keyed by attacked code.
+    """
+
+    injected: int
+    verifications: int
+    revocations: int
+    per_code_verifications: Dict[int, int]
+
+    def worst_code_verifications(self) -> int:
+        """Largest per-code verification count."""
+        return max(self.per_code_verifications.values(), default=0)
+
+
+class DoSAttacker:
+    """Floods fake requests under compromised codes.
+
+    Parameters
+    ----------
+    compromised_codes:
+        Pool indices the adversary can spread with.
+    """
+
+    def __init__(self, compromised_codes: Iterable[int]) -> None:
+        self._codes = sorted({int(c) for c in compromised_codes})
+        if not self._codes:
+            raise ConfigurationError(
+                "a DoS attacker needs at least one compromised code"
+            )
+
+    @property
+    def codes(self) -> List[int]:
+        """Codes available to the attacker."""
+        return list(self._codes)
+
+    def flood(
+        self,
+        victims: Mapping[int, RevocationList],
+        holders: Mapping[int, Sequence[int]],
+        requests_per_code: int,
+        rng: np.random.Generator,
+    ) -> DoSImpact:
+        """Send ``requests_per_code`` fakes under every compromised code.
+
+        ``victims`` maps node index to its revocation list; ``holders``
+        maps code index to the nodes holding it.  A fake request reaches
+        every holder that has not yet revoked the code; each reception
+        costs one signature verification, increments the victim's
+        counter, and possibly triggers revocation.  Request order is
+        shuffled to avoid artifacts.
+        """
+        check_positive("requests_per_code", requests_per_code)
+        schedule = [
+            code for code in self._codes for _ in range(requests_per_code)
+        ]
+        rng.shuffle(schedule)
+        injected = 0
+        verifications = 0
+        revocations = 0
+        per_code: Dict[int, int] = {code: 0 for code in self._codes}
+        for code in schedule:
+            injected += 1
+            for node in holders.get(code, ()):
+                victim = victims.get(node)
+                if victim is None or not victim.is_active(code):
+                    continue
+                verifications += 1
+                per_code[code] += 1
+                if victim.record_invalid_request(code):
+                    revocations += 1
+        return DoSImpact(
+            injected=injected,
+            verifications=verifications,
+            revocations=revocations,
+            per_code_verifications=per_code,
+        )
+
+
+class EventDoSInjector:
+    """Drives the fake-request flood on the event-driven simulator.
+
+    Transmits :class:`repro.core.jrsnd.FakeSignedRequest` frames under
+    random compromised pool codes at a fixed rate from a fixed position.
+    Victims process a fake only when it lands inside one of their
+    buffered windows (or on a code they monitor in real time), exactly
+    like legitimate traffic — so the measured verification load reflects
+    the receiver schedule, not just the injection rate.
+    """
+
+    def __init__(
+        self,
+        medium,
+        simulator,
+        compromised_codes: Sequence[int],
+        position,
+        rng: np.random.Generator,
+        claimed_sender,
+        frame_duration: float = 1e-3,
+    ) -> None:
+        codes = sorted({int(c) for c in compromised_codes})
+        if not codes:
+            raise ConfigurationError(
+                "the injector needs at least one compromised code"
+            )
+        check_positive("frame_duration", frame_duration)
+        self._medium = medium
+        self._sim = simulator
+        self._codes = codes
+        self._position = position
+        self._rng = rng
+        self._claimed_sender = claimed_sender
+        self._duration = float(frame_duration)
+        self._index = 10_000_000  # distinct medium address space
+        self.injected = 0
+        self._registered = False
+
+    def start(self, interval: float, count: int):
+        """Inject ``count`` fakes, one every ``interval`` seconds."""
+        from repro.core.jrsnd import FakeSignedRequest
+        from repro.sim.engine import Timeout
+
+        check_positive("interval", interval)
+        check_positive("count", count)
+        if not self._registered:
+            self._medium.register_node(
+                self._index, lambda: self._position
+            )
+            self._registered = True
+        fake = FakeSignedRequest(claimed_sender=self._claimed_sender)
+
+        def inject():
+            for _ in range(int(count)):
+                code = self._codes[
+                    int(self._rng.integers(0, len(self._codes)))
+                ]
+                self._medium.transmit(
+                    self._index, code, fake, self._duration
+                )
+                self.injected += 1
+                yield Timeout(interval)
+
+        return self._sim.process(inject(), name="dos-injector")

@@ -1,0 +1,38 @@
+"""Closed-form performance analysis (Section VI-A, Theorems 1-4)."""
+
+from repro.analysis.geometry import (
+    expected_common_neighbors,
+    expected_overlap_area,
+    lens_area,
+)
+from repro.analysis.combined import combined_latency, combined_probability
+from repro.analysis.dndp_theory import (
+    dndp_expected_latency,
+    dndp_expected_latency_antennas,
+    dndp_lower_bound,
+    dndp_probability_bounds,
+    dndp_upper_bound,
+    jamming_beta,
+    jamming_beta_prime,
+)
+from repro.analysis.mndp_theory import (
+    mndp_expected_latency,
+    mndp_two_hop_bound,
+)
+
+__all__ = [
+    "jamming_beta",
+    "jamming_beta_prime",
+    "dndp_lower_bound",
+    "dndp_upper_bound",
+    "dndp_probability_bounds",
+    "dndp_expected_latency",
+    "dndp_expected_latency_antennas",
+    "mndp_two_hop_bound",
+    "mndp_expected_latency",
+    "combined_probability",
+    "combined_latency",
+    "lens_area",
+    "expected_overlap_area",
+    "expected_common_neighbors",
+]

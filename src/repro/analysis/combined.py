@@ -1,0 +1,54 @@
+"""The combined JR-SND metrics (end of Section VI-A).
+
+``P = P_D + (1 - P_D) P_M`` — a pair succeeds directly or, failing that,
+indirectly; and ``T = max(T_D, T_M)`` — both protocols run periodically
+in parallel, so the combined latency is bounded by the slower one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dndp_theory import (
+    dndp_expected_latency,
+    dndp_lower_bound,
+)
+from repro.analysis.mndp_theory import (
+    mndp_expected_latency,
+    mndp_two_hop_bound,
+)
+from repro.core.config import JRSNDConfig
+from repro.utils.validation import check_fraction
+
+__all__ = ["combined_probability", "combined_latency"]
+
+
+def combined_probability(p_dndp: float, p_mndp: float) -> float:
+    """``P = P_D + (1 - P_D) P_M``."""
+    check_fraction("p_dndp", p_dndp)
+    check_fraction("p_mndp", p_mndp)
+    return p_dndp + (1.0 - p_dndp) * p_mndp
+
+
+def combined_latency(
+    config: JRSNDConfig,
+    nu: Optional[int] = None,
+    degree: Optional[float] = None,
+) -> float:
+    """``T = max(T_D, T_M)`` at the given parameters."""
+    return max(
+        dndp_expected_latency(config),
+        mndp_expected_latency(config, nu=nu, degree=degree),
+    )
+
+
+def theoretical_jrsnd_probability(
+    config: JRSNDConfig, q: int, degree: Optional[float] = None
+) -> float:
+    """A fully closed-form JR-SND estimate: reactive-jamming ``P_D``
+    (Theorem 1 lower bound) combined with the 2-hop M-NDP bound
+    (Theorem 3)."""
+    p_d = dndp_lower_bound(config, q)
+    g = config.expected_degree if degree is None else float(degree)
+    p_m = mndp_two_hop_bound(p_d, g)
+    return combined_probability(p_d, p_m)

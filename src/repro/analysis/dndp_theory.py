@@ -1,0 +1,152 @@
+"""Theorems 1 and 2: D-NDP success probability bounds and latency.
+
+Theorem 1: with ``q`` compromised nodes,
+
+- ``alpha``      — per-code compromise probability (Eq. 2),
+- ``c = s alpha`` — expected compromised codes,
+- ``beta  = min(z (1+mu) / (c mu), 1)``   — random jamming hits the HELLO,
+- ``beta' = min(3 z (1+mu) / (c mu), 1)`` — random jamming hits one of
+  the three later messages,
+- ``P^- = 1 - sum_x Pr[x] alpha^x``                      (reactive),
+- ``P^+ = 1 - sum_x Pr[x] (alpha (beta + beta' - beta beta'))^x`` (random),
+
+and the true D-NDP probability lies in ``[P^-, P^+]``.
+
+Theorem 2: ``T_D = rho m (3m + 4) N^2 l_h / 2 + 2 N l_f / R + 2 t_key``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.config import JRSNDConfig
+from repro.errors import ConfigurationError
+from repro.predistribution.analysis import (
+    code_compromise_probability,
+    shared_code_pmf,
+)
+
+__all__ = [
+    "jamming_beta",
+    "jamming_beta_prime",
+    "dndp_lower_bound",
+    "dndp_upper_bound",
+    "dndp_probability_bounds",
+    "dndp_expected_latency",
+]
+
+
+def _alpha(config: JRSNDConfig, q: int) -> float:
+    return code_compromise_probability(
+        config.n_nodes, config.share_count, q
+    )
+
+
+def _compromised_codes(config: JRSNDConfig, q: int) -> float:
+    return config.pool_size * _alpha(config, q)
+
+
+def jamming_beta(config: JRSNDConfig, q: int) -> float:
+    """``beta``: probability random jamming kills one targeted message."""
+    c = _compromised_codes(config, q)
+    if c <= 0:
+        return 0.0
+    return min(
+        config.z_jamming_signals * (1.0 + config.mu) / (c * config.mu), 1.0
+    )
+
+
+def jamming_beta_prime(config: JRSNDConfig, q: int) -> float:
+    """``beta'``: probability random jamming kills at least one of the
+    three post-HELLO messages."""
+    c = _compromised_codes(config, q)
+    if c <= 0:
+        return 0.0
+    return min(
+        3.0 * config.z_jamming_signals * (1.0 + config.mu)
+        / (c * config.mu),
+        1.0,
+    )
+
+
+def dndp_lower_bound(config: JRSNDConfig, q: int) -> float:
+    """``P^-``: D-NDP success under reactive jamming (worst case).
+
+    The pair succeeds iff at least one shared code escaped compromise:
+    ``1 - sum_x Pr[x] alpha^x``.
+    """
+    alpha = _alpha(config, q)
+    pmf = shared_code_pmf(
+        config.n_nodes, config.codes_per_node, config.share_count
+    )
+    return 1.0 - float(
+        sum(pmf[x] * alpha**x for x in range(len(pmf)))
+    )
+
+
+def dndp_upper_bound(config: JRSNDConfig, q: int) -> float:
+    """``P^+``: D-NDP success under random jamming (best case)."""
+    alpha = _alpha(config, q)
+    beta = jamming_beta(config, q)
+    beta_prime = jamming_beta_prime(config, q)
+    kill = beta + beta_prime - beta * beta_prime
+    pmf = shared_code_pmf(
+        config.n_nodes, config.codes_per_node, config.share_count
+    )
+    return 1.0 - float(
+        sum(pmf[x] * (alpha * kill) ** x for x in range(len(pmf)))
+    )
+
+
+def dndp_probability_bounds(
+    config: JRSNDConfig, q: int
+) -> Tuple[float, float]:
+    """``(P^-, P^+)`` bracketing the true D-NDP probability."""
+    low = dndp_lower_bound(config, q)
+    high = dndp_upper_bound(config, q)
+    if low > high + 1e-12:
+        raise ConfigurationError(
+            f"bounds inverted: P^-={low} > P^+={high}"
+        )
+    return low, high
+
+
+def dndp_expected_latency(config: JRSNDConfig) -> float:
+    """Theorem 2's mean latency ``T_D``.
+
+    ``rho m (3m + 4) N^2 l_h / 2`` covers the schedule terms
+    (``3 t_p / 2 + lambda t_h / 2``); ``2 N l_f / R`` the two auth
+    transmissions; ``2 t_key`` the two key computations.  This is the
+    paper's single-transmit-antenna formula; see
+    :func:`dndp_expected_latency_antennas` for the extension.
+    """
+    c = config
+    schedule = (
+        c.rho
+        * c.codes_per_node
+        * (3 * c.codes_per_node + 4)
+        * c.code_length**2
+        * c.hello_coded_bits
+        / 2.0
+    )
+    auth = 2.0 * c.code_length * c.auth_frame_bits / c.chip_rate
+    return schedule + auth + 2.0 * c.t_key
+
+
+def dndp_expected_latency_antennas(config: JRSNDConfig) -> float:
+    """Theorem 2 generalized to ``k`` transmit antennas.
+
+    With ``k`` codes broadcast in parallel the code cycle shrinks to
+    ``ceil(m / k)`` slots, so the buffer ``t_b = (cycle + 1) t_h`` and
+    every schedule term built on it shrink accordingly (the correlation
+    workload ``lambda`` is unchanged: the receiver still searches all
+    ``m`` codes).  Reduces to Theorem 2 at ``k = 1``.
+    """
+    from repro.core.timing import ProtocolTiming
+
+    timing = ProtocolTiming(config)
+    schedule = (
+        1.5 * timing.t_process + 0.5 * timing.gap_ratio * timing.t_hello
+    )
+    auth = 2.0 * timing.t_auth_message
+    return schedule + auth + 2.0 * config.t_key

@@ -1,0 +1,66 @@
+"""Theorems 3 and 4: M-NDP success bound and latency.
+
+Theorem 3 (``nu = 2``): a pair that failed D-NDP succeeds via a common
+logical neighbor; with ``g`` average physical neighbors the expected
+number of common neighbors is ``g (1 - 3 sqrt(3) / (4 pi)) - 1`` and
+
+``P_M >= 1 - (1 - P_D^2)^(g (1 - 3 sqrt(3)/(4 pi)) - 1)``.
+
+Theorem 4: ``T_M = T_nu + 2 nu (nu + 1) t_ver + 2 nu t_sig`` with
+``T_nu = N/R (3 nu (nu+1)/2 ((g+1) l_id + 2 l_sig) + 2 nu (l_n + l_nu))``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import JRSNDConfig
+from repro.core.timing import ProtocolTiming
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["mndp_two_hop_bound", "mndp_expected_latency"]
+
+
+def mndp_two_hop_bound(p_dndp: float, degree: float) -> float:
+    """Theorem 3's lower bound on 2-hop M-NDP success.
+
+    Parameters
+    ----------
+    p_dndp:
+        The D-NDP success probability ``P_D``.
+    degree:
+        Average physical neighbors ``g``.
+    """
+    from repro.analysis.geometry import expected_common_neighbors
+
+    check_fraction("p_dndp", p_dndp)
+    if degree <= 0:
+        raise ConfigurationError(f"degree must be positive, got {degree}")
+    common = expected_common_neighbors(degree)
+    if common <= 0:
+        return 0.0
+    return 1.0 - (1.0 - p_dndp**2) ** common
+
+
+def mndp_expected_latency(
+    config: JRSNDConfig,
+    nu: Optional[int] = None,
+    degree: Optional[float] = None,
+) -> float:
+    """Theorem 4's mean M-NDP latency ``T_M`` for a ``nu``-hop path.
+
+    ``nu`` defaults to the configuration's hop budget and ``degree`` to
+    the uniform-placement expectation.
+    """
+    hop_budget = config.nu if nu is None else int(nu)
+    check_positive("nu", hop_budget)
+    g = config.expected_degree if degree is None else float(degree)
+    check_positive("degree", g)
+    timing = ProtocolTiming(config)
+    t_nu = timing.theorem4_t_nu(hop_budget, g)
+    crypto = (
+        2.0 * hop_budget * (hop_budget + 1) * config.t_ver
+        + 2.0 * hop_budget * config.t_sig
+    )
+    return t_nu + crypto

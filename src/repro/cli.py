@@ -1,0 +1,220 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates each of the paper's evaluation artifacts from the terminal:
+
+- ``table1``   — analysis-vs-simulation check at the Table I defaults;
+- ``figure2`` … ``figure5`` — the corresponding sweep tables;
+- ``theory``   — the Theorem 1-4 closed forms at given parameters.
+
+Every command accepts ``--runs`` (Monte Carlo runs per point; the paper
+uses 100) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adversary.jammer import JammerStrategy
+from repro.analysis.combined import combined_latency
+from repro.analysis.dndp_theory import (
+    dndp_expected_latency,
+    dndp_probability_bounds,
+)
+from repro.analysis.mndp_theory import (
+    mndp_expected_latency,
+    mndp_two_hop_bound,
+)
+from repro.core.config import JRSNDConfig
+from repro.experiments.figures import (
+    figure2_sweep,
+    figure3a_sweep,
+    figure3b_sweep,
+    figure4_sweep,
+    figure5_sweep,
+)
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import NetworkExperiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JR-SND (ICDCS 2011) reproduction toolkit",
+    )
+    parser.add_argument("--runs", type=int, default=5,
+                        help="Monte Carlo runs per sweep point "
+                             "(paper: 100)")
+    parser.add_argument("--seed", type=int, default=2011)
+    parser.add_argument("--chart", action="store_true",
+                        help="draw the sweep as a terminal chart "
+                             "in addition to the table")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="defaults consistency check")
+    sub.add_parser("figure2", help="impact of m (probability + latency)")
+    sub.add_parser("figure3a", help="impact of l")
+    sub.add_parser("figure3b", help="impact of n")
+    fig4 = sub.add_parser("figure4", help="impact of q")
+    fig4.add_argument("--share-count", type=int, default=40,
+                      help="l (paper: 40 for (a), 20 for (b))")
+    fig5 = sub.add_parser("figure5", help="impact of nu")
+    fig5.add_argument("--q", type=int, default=100)
+    fig5.add_argument(
+        "--link-model", choices=("codes", "independent"),
+        default="independent",
+        help="independent matches the paper's plotted curves",
+    )
+    theory = sub.add_parser("theory", help="Theorem 1-4 closed forms")
+    theory.add_argument("--q", type=int, default=20)
+    theory.add_argument("--nu", type=int, default=2)
+    sub.add_parser(
+        "validate",
+        help="sweep a config grid checking Theorem 1 agreement",
+    )
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    config = JRSNDConfig()
+    low, high = dndp_probability_bounds(config, config.n_compromised)
+    reactive = NetworkExperiment(
+        config, seed=args.seed, strategy=JammerStrategy.REACTIVE
+    ).run(args.runs)
+    random_ = NetworkExperiment(
+        config, seed=args.seed, strategy=JammerStrategy.RANDOM
+    ).run(args.runs)
+    print(format_series_table(
+        [{
+            "p_dndp_reactive": reactive.discovery_probability("dndp"),
+            "theory_P_minus": low,
+            "p_dndp_random": random_.discovery_probability("dndp"),
+            "theory_P_plus": high,
+            "p_jrsnd": reactive.discovery_probability("jrsnd"),
+        }],
+        title="Table I defaults: simulation vs Theorem 1",
+    ))
+
+
+def _cmd_theory(args: argparse.Namespace) -> None:
+    config = JRSNDConfig().replace(n_compromised=args.q, nu=args.nu)
+    low, high = dndp_probability_bounds(config, args.q)
+    print(format_series_table(
+        [{
+            "q": float(args.q),
+            "P_minus": low,
+            "P_plus": high,
+            "P_M_bound": mndp_two_hop_bound(low, config.expected_degree),
+            "T_D": dndp_expected_latency(config),
+            "T_M": mndp_expected_latency(config),
+            "T": combined_latency(config),
+        }],
+        title=f"Theorems 1-4 at q={args.q}, nu={args.nu}",
+    ))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        _cmd_table1(args)
+    elif args.command == "figure2":
+        rows = figure2_sweep(runs=args.runs, seed=args.seed)
+        print(format_series_table(
+            rows, columns=["m", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 2(a)",
+        ))
+        print()
+        print(format_series_table(
+            rows, columns=["m", "t_dndp", "t_mndp", "t_jrsnd"],
+            title="Figure 2(b)",
+        ))
+        if args.chart:
+            from repro.experiments.charts import ascii_chart
+
+            print()
+            print(ascii_chart(
+                rows, "m", ["p_dndp", "p_mndp", "p_jrsnd"],
+                title="Figure 2(a): probability vs m",
+            ))
+            print()
+            print(ascii_chart(
+                rows, "m", ["t_dndp", "t_mndp"],
+                title="Figure 2(b): latency vs m (s)",
+            ))
+    elif args.command == "figure3a":
+        print(format_series_table(
+            figure3a_sweep(runs=args.runs, seed=args.seed),
+            columns=["l", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 3(a)",
+        ))
+    elif args.command == "figure3b":
+        print(format_series_table(
+            figure3b_sweep(runs=args.runs, seed=args.seed),
+            columns=["n", "p_dndp", "p_mndp", "p_jrsnd"],
+            title="Figure 3(b)",
+        ))
+    elif args.command == "figure4":
+        print(format_series_table(
+            figure4_sweep(
+                share_count=args.share_count, runs=args.runs,
+                seed=args.seed,
+            ),
+            columns=["q", "p_dndp", "p_mndp", "p_jrsnd"],
+            title=f"Figure 4 at l = {args.share_count}",
+        ))
+    elif args.command == "figure5":
+        rows = figure5_sweep(
+            q=args.q, runs=args.runs, seed=args.seed,
+            link_model=args.link_model,
+        )
+        print(format_series_table(
+            rows, columns=["nu", "p_dndp", "p_mndp", "p_jrsnd", "t_mndp"],
+            title=f"Figure 5 (q = {args.q}, {args.link_model} links)",
+        ))
+        if args.chart:
+            from repro.experiments.charts import ascii_chart
+
+            print()
+            print(ascii_chart(
+                rows, "nu", ["p_dndp", "p_mndp", "p_jrsnd"],
+                title="Figure 5(a): probability vs nu",
+            ))
+    elif args.command == "theory":
+        _cmd_theory(args)
+    elif args.command == "validate":
+        from repro.experiments.validation import (
+            validate_theorem1_grid,
+            worst_deviation,
+        )
+
+        points = validate_theorem1_grid(runs=args.runs, seed=args.seed)
+        rows = [
+            {
+                "q": float(p_.q),
+                "l": float(p_.share_count),
+                "strategy": 1.0 if p_.strategy == "reactive" else 2.0,
+                "simulated": p_.simulated,
+                "predicted": p_.predicted,
+                "deviation": p_.deviation,
+            }
+            for p_ in points
+        ]
+        print(format_series_table(
+            rows,
+            title="Theorem 1 validation grid "
+                  "(strategy 1 = reactive vs P^-, 2 = random vs P^+)",
+        ))
+        gap, worst = worst_deviation(points)
+        print(f"\nworst deviation: {gap:.4f}"
+              + (f" at q={worst.q} l={worst.share_count} "
+                 f"{worst.strategy}" if worst else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

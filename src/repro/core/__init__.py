@@ -1,0 +1,39 @@
+"""The paper's contribution: D-NDP, M-NDP, and the combined JR-SND.
+
+- :mod:`repro.core.config` — every parameter of Table I plus the field
+  geometry, with validation and derived quantities.
+- :mod:`repro.core.timing` — the Section V-B timing model: ``t_h``,
+  ``t_b``, ``t_p``, ``lambda``, ``r`` and the message lengths.
+- :mod:`repro.core.messages` — typed protocol messages with canonical
+  byte encodings for signing and MACs.
+- :mod:`repro.core.dndp` — the direct neighbor discovery protocol, both
+  as an event-driven cryptographic state machine and as the per-pair
+  Monte Carlo sampler the figure experiments use.
+- :mod:`repro.core.mndp` — the multi-hop protocol: signed request
+  flooding, response routing, and the logical-graph closure model.
+- :mod:`repro.core.jrsnd` — a full JR-SND node for event-driven runs and
+  the combined outcome model.
+"""
+
+from repro.core.config import JRSNDConfig, default_config
+from repro.core.dndp import DNDPSampler, DNDPSession, PairOutcome
+from repro.core.jrsnd import JRSNDNode, JRSNDOutcome
+from repro.core.mndp import LogicalGraph, MNDPSampler
+from repro.core.neighbors import NeighborTable
+from repro.core.timing import ProtocolTiming
+from repro.core.wire import WireCodec
+
+__all__ = [
+    "JRSNDConfig",
+    "default_config",
+    "ProtocolTiming",
+    "NeighborTable",
+    "WireCodec",
+    "DNDPSession",
+    "DNDPSampler",
+    "PairOutcome",
+    "MNDPSampler",
+    "LogicalGraph",
+    "JRSNDNode",
+    "JRSNDOutcome",
+]

@@ -1,0 +1,261 @@
+"""Typed protocol messages with canonical byte encodings.
+
+Over the air every message is a :class:`repro.dsss.frame.Frame`; this
+module defines the *contents*: the four D-NDP messages and the M-NDP
+request/response with their signature chains.  ``signed_bytes`` returns
+the exact bytes covered by a signature or MAC, and ``wire_bits`` the
+paper-accounted message length used by the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.config import JRSNDConfig
+from repro.crypto.identity import NodeId
+from repro.crypto.signatures import IdentitySignature
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Hello",
+    "Confirm",
+    "AuthRequest",
+    "AuthResponse",
+    "MNDPExtension",
+    "MNDPRequest",
+    "MNDPResponse",
+]
+
+
+def _encode_ids(ids: Tuple[NodeId, ...]) -> bytes:
+    return len(ids).to_bytes(2, "big") + b"".join(i.to_bytes() for i in ids)
+
+
+@dataclass(frozen=True)
+class Hello:
+    """``{HELLO, ID_A}`` — the D-NDP beacon."""
+
+    sender: NodeId
+
+    def wire_bits(self, config: JRSNDConfig) -> int:
+        """Plain (pre-ECC) length ``l_t + l_id``."""
+        return config.type_bits + config.id_bits
+
+
+@dataclass(frozen=True)
+class Confirm:
+    """``{CONFIRM, ID_B}`` — the D-NDP response beacon."""
+
+    sender: NodeId
+
+    def wire_bits(self, config: JRSNDConfig) -> int:
+        """Plain length, same layout as HELLO."""
+        return config.type_bits + config.id_bits
+
+
+@dataclass(frozen=True)
+class AuthRequest:
+    """``{ID_A, n_A, f_K(ID_A | n_A)}`` — third D-NDP message."""
+
+    sender: NodeId
+    nonce: int
+    mac_tag: bytes
+
+    def mac_input(self) -> Tuple[bytes, bytes]:
+        """The fields covered by the MAC, in order."""
+        return (self.sender.to_bytes(), _nonce_bytes(self.nonce))
+
+    def wire_bits(self, config: JRSNDConfig) -> int:
+        """Plain length ``l_id + l_n + l_mac``."""
+        return config.id_bits + config.nonce_bits + config.mac_bits
+
+
+@dataclass(frozen=True)
+class AuthResponse:
+    """``{ID_B, n_B, f_K(ID_B | n_B)}`` — fourth D-NDP message."""
+
+    sender: NodeId
+    nonce: int
+    mac_tag: bytes
+
+    def mac_input(self) -> Tuple[bytes, bytes]:
+        """The fields covered by the MAC, in order."""
+        return (self.sender.to_bytes(), _nonce_bytes(self.nonce))
+
+    def wire_bits(self, config: JRSNDConfig) -> int:
+        """Plain length ``l_id + l_n + l_mac``."""
+        return config.id_bits + config.nonce_bits + config.mac_bits
+
+
+def _coordinate_bytes(value: float) -> bytes:
+    """Fixed-point 32-bit coordinate encoding (centimeter resolution)."""
+    scaled = int(round(value * 100.0))
+    if not -(1 << 31) <= scaled < (1 << 31):
+        raise ConfigurationError(f"coordinate {value} out of range")
+    return scaled.to_bytes(4, "big", signed=True)
+
+
+def nonce_bytes(nonce: int) -> bytes:
+    """Canonical 8-byte encoding of a nonce, used by every MAC and
+    signature input in the protocol."""
+    if nonce < 0:
+        raise ConfigurationError("nonce must be non-negative")
+    return int(nonce).to_bytes(8, "big")
+
+
+_nonce_bytes = nonce_bytes
+
+
+@dataclass(frozen=True)
+class MNDPExtension:
+    """One relay's addition to an M-NDP request or response:
+    ``ID_C, L_C, SIG_C``."""
+
+    node: NodeId
+    neighbors: Tuple[NodeId, ...]
+    signature: IdentitySignature
+
+    def signed_bytes(self, base: bytes) -> bytes:
+        """Bytes this extension's signature covers: everything before it
+        plus its own ID and neighbor list."""
+        return base + self.node.to_bytes() + _encode_ids(self.neighbors)
+
+
+@dataclass(frozen=True)
+class MNDPRequest:
+    """The M-NDP request with its signature chain.
+
+    The source's fields are ``{ID_A, L_A, n_A, nu, SIG_A}``; each relay
+    appends an :class:`MNDPExtension`.  When the deployment enables GPS
+    filtering (Section V-C's false-positive elimination) the source
+    also embeds its position, covered by its signature.
+    """
+
+    source: NodeId
+    source_neighbors: Tuple[NodeId, ...]
+    nonce: int
+    hop_budget: int
+    source_signature: IdentitySignature
+    extensions: Tuple[MNDPExtension, ...] = field(default=())
+    source_position: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        if self.hop_budget < 1:
+            raise ConfigurationError(
+                f"hop_budget (nu) must be >= 1, got {self.hop_budget}"
+            )
+
+    @property
+    def hops_traversed(self) -> int:
+        """Hops the request has crossed so far (source hop is 1)."""
+        return 1 + len(self.extensions)
+
+    def source_signed_bytes(self) -> bytes:
+        """Bytes covered by the source signature."""
+        base = (
+            b"mndp-req"
+            + self.source.to_bytes()
+            + _encode_ids(self.source_neighbors)
+            + _nonce_bytes(self.nonce)
+            + self.hop_budget.to_bytes(1, "big")
+        )
+        if self.source_position is not None:
+            x, y = self.source_position
+            base += b"pos" + _coordinate_bytes(x) + _coordinate_bytes(y)
+        return base
+
+    def extension_signed_bytes(self, index: int) -> bytes:
+        """Bytes covered by the ``index``-th extension's signature."""
+        base = self.source_signed_bytes()
+        for i in range(index):
+            base = self.extensions[i].signed_bytes(base)
+        return self.extensions[index].signed_bytes(base)
+
+    def extended(self, extension: MNDPExtension) -> "MNDPRequest":
+        """The request after one more relay appends itself."""
+        return MNDPRequest(
+            source=self.source,
+            source_neighbors=self.source_neighbors,
+            nonce=self.nonce,
+            hop_budget=self.hop_budget,
+            source_signature=self.source_signature,
+            extensions=self.extensions + (extension,),
+            source_position=self.source_position,
+        )
+
+    def path_nodes(self) -> Tuple[NodeId, ...]:
+        """The relay path so far: source, then each extension node."""
+        return (self.source,) + tuple(e.node for e in self.extensions)
+
+    def wire_bits(self, config: JRSNDConfig) -> int:
+        """Paper-accounted length: per path node an ID, a neighbor list
+        and a signature, plus nonce and hop fields (and 64 bits of
+        position when GPS filtering embeds one)."""
+        total = config.nonce_bits + config.hop_field_bits
+        total += (len(self.source_neighbors) + 1) * config.id_bits
+        total += config.signature_bits
+        if self.source_position is not None:
+            total += 64
+        for extension in self.extensions:
+            total += (len(extension.neighbors) + 1) * config.id_bits
+            total += config.signature_bits
+        return total
+
+
+@dataclass(frozen=True)
+class MNDPResponse:
+    """The M-NDP response ``{ID_A, ID_C, ID_B, L_B, n_B, nu, SIG_B}``
+    plus relay extensions on the way back."""
+
+    source: NodeId
+    via: NodeId
+    responder: NodeId
+    responder_neighbors: Tuple[NodeId, ...]
+    nonce: int
+    hop_budget: int
+    responder_signature: IdentitySignature
+    extensions: Tuple[MNDPExtension, ...] = field(default=())
+
+    def responder_signed_bytes(self) -> bytes:
+        """Bytes covered by the responder's signature."""
+        return (
+            b"mndp-resp"
+            + self.source.to_bytes()
+            + self.via.to_bytes()
+            + self.responder.to_bytes()
+            + _encode_ids(self.responder_neighbors)
+            + _nonce_bytes(self.nonce)
+            + self.hop_budget.to_bytes(1, "big")
+        )
+
+    def extension_signed_bytes(self, index: int) -> bytes:
+        """Bytes covered by the ``index``-th relay extension."""
+        base = self.responder_signed_bytes()
+        for i in range(index):
+            base = self.extensions[i].signed_bytes(base)
+        return self.extensions[index].signed_bytes(base)
+
+    def extended(self, extension: MNDPExtension) -> "MNDPResponse":
+        """The response after one more relay appends itself."""
+        return MNDPResponse(
+            source=self.source,
+            via=self.via,
+            responder=self.responder,
+            responder_neighbors=self.responder_neighbors,
+            nonce=self.nonce,
+            hop_budget=self.hop_budget,
+            responder_signature=self.responder_signature,
+            extensions=self.extensions + (extension,),
+        )
+
+    def wire_bits(self, config: JRSNDConfig) -> int:
+        """Paper-accounted response length."""
+        total = config.nonce_bits + config.hop_field_bits
+        total += 3 * config.id_bits  # ID_A, ID_C, ID_B
+        total += len(self.responder_neighbors) * config.id_bits
+        total += config.signature_bits
+        for extension in self.extensions:
+            total += (len(extension.neighbors) + 1) * config.id_bits
+            total += config.signature_bits
+        return total

@@ -1,0 +1,247 @@
+"""M-NDP: the multi-hop neighbor discovery protocol (Section V-C).
+
+Layers:
+
+- :class:`LogicalGraph` — the network's logical-neighbor relation, with
+  the bounded-hop reachability query M-NDP's success depends on.
+- :class:`MNDPSampler` — the Monte Carlo model: two physical neighbors
+  that failed D-NDP discover each other iff a jamming-resilient logical
+  path of at most ``nu`` hops connects them (M-NDP messages travel over
+  session spread codes the jammer cannot know).
+- Chain validation helpers for the event-driven implementation: every
+  signature in a request/response chain must verify, and consecutive
+  path nodes must be mutual logical neighbors per the embedded lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.messages import MNDPRequest, MNDPResponse
+from repro.crypto.signatures import SignatureScheme
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "LogicalGraph",
+    "MNDPSampler",
+    "validate_request_chain",
+    "validate_response_chain",
+]
+
+Pair = Tuple[int, int]
+
+
+def _ordered(a: int, b: int) -> Pair:
+    return (a, b) if a <= b else (b, a)
+
+
+class LogicalGraph:
+    """The logical-neighbor graph over node indices."""
+
+    def __init__(self, n_nodes: int) -> None:
+        check_positive("n_nodes", n_nodes)
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(int(n_nodes)))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the graph."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        """Number of logical-neighbor links."""
+        return self._graph.number_of_edges()
+
+    def add_link(self, a: int, b: int) -> None:
+        """Record that ``a`` and ``b`` are logical neighbors."""
+        if a == b:
+            raise ConfigurationError("a node is not its own neighbor")
+        self._graph.add_edge(int(a), int(b))
+
+    def has_link(self, a: int, b: int) -> bool:
+        """Whether the pair already discovered each other."""
+        return self._graph.has_edge(int(a), int(b))
+
+    def neighbors(self, node: int) -> Set[int]:
+        """Logical neighbors of ``node``."""
+        return set(self._graph.neighbors(int(node)))
+
+    def edges(self) -> Set[Pair]:
+        """All logical links as ordered pairs."""
+        return {_ordered(a, b) for a, b in self._graph.edges()}
+
+    def within_hops(self, source: int, max_hops: int) -> Dict[int, int]:
+        """Nodes reachable from ``source`` in at most ``max_hops`` logical
+        hops, mapped to their distance."""
+        check_positive("max_hops", max_hops)
+        return dict(
+            nx.single_source_shortest_path_length(
+                self._graph, int(source), cutoff=int(max_hops)
+            )
+        )
+
+    def hop_distance(self, a: int, b: int, max_hops: int) -> int:
+        """Logical distance between ``a`` and ``b``, or 0 if unreachable
+        within ``max_hops`` (0 is never a valid distance for a != b)."""
+        reachable = self.within_hops(a, max_hops)
+        return reachable.get(int(b), 0)
+
+    def copy(self) -> "LogicalGraph":
+        """An independent copy."""
+        clone = LogicalGraph(self.n_nodes)
+        clone._graph = self._graph.copy()
+        return clone
+
+
+class MNDPSampler:
+    """Monte Carlo M-NDP: bounded-hop closure of the logical graph.
+
+    Parameters
+    ----------
+    nu:
+        Maximum hops an M-NDP request may traverse.
+    exclude:
+        Node indices that do not relay (e.g. when modelling compromised
+        nodes refusing to cooperate — the paper keeps them in, so the
+        default is empty).
+    """
+
+    def __init__(self, nu: int, exclude: Iterable[int] = ()) -> None:
+        check_positive("nu", nu)
+        self._nu = int(nu)
+        self._exclude = frozenset(int(x) for x in exclude)
+
+    @property
+    def nu(self) -> int:
+        """The hop budget."""
+        return self._nu
+
+    @property
+    def excluded(self) -> FrozenSet[int]:
+        """Nodes that refuse to relay."""
+        return self._exclude
+
+    def discover(
+        self,
+        physical_pairs: Sequence[Pair],
+        logical: LogicalGraph,
+        rounds: int = 1,
+    ) -> Set[Pair]:
+        """Run M-NDP over all not-yet-logical physical pairs.
+
+        One round checks every remaining pair against the *current*
+        logical graph and then commits all new links at once (matching
+        Theorem 3's "no nodes have performed M-NDP yet" assumption for
+        ``rounds=1``).  More rounds model the periodic re-initiation the
+        paper describes: links formed by M-NDP enable further pairs.
+        Returns all pairs newly discovered across the rounds.
+        """
+        check_positive("rounds", rounds)
+        discovered: Set[Pair] = set()
+        working = logical
+        for _ in range(rounds):
+            pending = [
+                _ordered(a, b)
+                for a, b in physical_pairs
+                if not working.has_link(a, b)
+            ]
+            new_links = self._one_round(pending, working)
+            if not new_links:
+                break
+            working = working.copy() if working is logical else working
+            for a, b in new_links:
+                working.add_link(a, b)
+            discovered.update(new_links)
+        return discovered
+
+    def _one_round(
+        self, pending: List[Pair], logical: LogicalGraph
+    ) -> Set[Pair]:
+        """Pairs connectable by a ``<= nu``-hop path in the current graph."""
+        if not pending:
+            return set()
+        sources = {a for a, _ in pending}
+        reach: Dict[int, Dict[int, int]] = {}
+        graph = logical
+        if self._exclude:
+            graph = self._without_excluded(logical)
+        for source in sources:
+            if source in self._exclude:
+                reach[source] = {}
+                continue
+            reach[source] = graph.within_hops(source, self._nu)
+        return {
+            (a, b)
+            for a, b in pending
+            if b not in self._exclude and reach[a].get(b, 0) > 0
+        }
+
+    def _without_excluded(self, logical: LogicalGraph) -> LogicalGraph:
+        """The logical graph with excluded nodes unable to *relay*.
+
+        Excluded nodes keep their direct links but cannot sit inside a
+        path, so we drop them entirely and handle endpoint cases in the
+        caller (an excluded endpoint never discovers anyone via M-NDP).
+        """
+        clone = LogicalGraph(logical.n_nodes)
+        for a, b in logical.edges():
+            if a in self._exclude or b in self._exclude:
+                continue
+            clone.add_link(a, b)
+        return clone
+
+
+def validate_request_chain(
+    request: MNDPRequest, scheme: SignatureScheme
+) -> bool:
+    """Verify every signature and the path consistency of a request.
+
+    Checks (per Section V-C's receiver procedure):
+
+    1. the source signature verifies under ``ID_A``;
+    2. each extension's signature verifies under its relay's ID;
+    3. each relay appears in the *previous* hop's neighbor list — i.e.
+       the embedded lists witness a legitimate logical path.
+    """
+    if not scheme.verify(
+        request.source,
+        request.source_signed_bytes(),
+        request.source_signature,
+    ):
+        return False
+    previous_neighbors = set(request.source_neighbors)
+    for index, extension in enumerate(request.extensions):
+        if not scheme.verify(
+            extension.node,
+            request.extension_signed_bytes(index),
+            extension.signature,
+        ):
+            return False
+        if extension.node not in previous_neighbors:
+            return False
+        previous_neighbors = set(extension.neighbors)
+    return True
+
+
+def validate_response_chain(
+    response: MNDPResponse, scheme: SignatureScheme
+) -> bool:
+    """Verify every signature in an M-NDP response chain."""
+    if not scheme.verify(
+        response.responder,
+        response.responder_signed_bytes(),
+        response.responder_signature,
+    ):
+        return False
+    for index, extension in enumerate(response.extensions):
+        if not scheme.verify(
+            extension.node,
+            response.extension_signed_bytes(index),
+            extension.signature,
+        ):
+            return False
+    return True

@@ -1,0 +1,71 @@
+"""Logical-neighbor maintenance under mobility.
+
+Section IV-A: a node that detects no transmission under a real-time
+monitored code for a threshold amount of time stops monitoring it,
+assuming the corresponding neighbor moved out of range.  Because
+discovery is periodic, expired neighbors are simply re-discovered on a
+later D-NDP/M-NDP round if they return.
+
+:class:`NeighborTable` tracks per-peer last-activity timestamps;
+:class:`repro.core.jrsnd.JRSNDNode` touches it on every session-code
+delivery and exposes ``expire_stale_neighbors``/``start_maintenance``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["NeighborTable"]
+
+
+class NeighborTable:
+    """Last-activity bookkeeping for real-time monitored peers."""
+
+    def __init__(self) -> None:
+        self._last_activity: Dict[Hashable, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._last_activity)
+
+    def __contains__(self, peer: Hashable) -> bool:
+        return peer in self._last_activity
+
+    def touch(self, peer: Hashable, now: float) -> None:
+        """Record traffic from ``peer`` at time ``now``.
+
+        Time must not run backwards for a given peer.
+        """
+        check_non_negative("now", now)
+        previous = self._last_activity.get(peer)
+        if previous is not None and now < previous:
+            raise ConfigurationError(
+                f"activity time went backwards for {peer!r}: "
+                f"{now} < {previous}"
+            )
+        self._last_activity[peer] = float(now)
+
+    def last_activity(self, peer: Hashable) -> float:
+        """Last recorded traffic time for ``peer``."""
+        if peer not in self._last_activity:
+            raise ConfigurationError(f"unknown peer {peer!r}")
+        return self._last_activity[peer]
+
+    def idle_time(self, peer: Hashable, now: float) -> float:
+        """Seconds since the last traffic from ``peer``."""
+        return float(now) - self.last_activity(peer)
+
+    def stale_peers(self, now: float, threshold: float) -> List[Hashable]:
+        """Peers with no traffic for more than ``threshold`` seconds."""
+        check_positive("threshold", threshold)
+        return [
+            peer
+            for peer, last in self._last_activity.items()
+            if float(now) - last > threshold
+        ]
+
+    def forget(self, peer: Hashable) -> None:
+        """Remove a peer from the table (idempotent)."""
+        self._last_activity.pop(peer, None)

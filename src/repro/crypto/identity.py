@@ -1,0 +1,212 @@
+"""Identity-based key infrastructure (simulating the paper's ref. [13]).
+
+The authority holds a master secret.  Each node ``A`` gets an
+:class:`IBCPrivateKey` bound to its :class:`NodeId`; the key can compute
+the *pairwise shared key* ``K_AB`` with any peer ID such that both
+endpoints derive the same value (``K_AB == K_BA``) without interaction —
+exactly the SOK/Zhang-et-al. property D-NDP and M-NDP rely on.
+
+Simulation note (also in DESIGN.md): the real construction's hardness
+("no third node can compute ``K_AB``") is modelled by encapsulation.  The
+private key object internally holds a pairwise-root secret derived from
+the master, but the simulated adversary only ever calls the public API of
+key objects it captured by compromising nodes, so the information
+available to every simulated party matches the real scheme's security
+semantics.  Key *values* are real 256-bit HMAC outputs, so protocol-level
+properties (key agreement, MAC verification, session-code equality)
+hold cryptographically, not by bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto.kdf import derive_bytes
+from repro.errors import AuthenticationError, ConfigurationError
+from repro.utils.validation import check_in_range
+
+__all__ = ["NodeId", "TrustedAuthority", "IBCPrivateKey", "PublicParameters"]
+
+
+class NodeId:
+    """A node identifier, the node's public key in the IBC scheme.
+
+    Stored as an integer constrained to ``id_bits`` (the paper's
+    ``l_id = 16``), so IDs round-trip through the over-the-air frames.
+    """
+
+    __slots__ = ("_value", "_id_bits")
+
+    def __init__(self, value: int, id_bits: int = 16) -> None:
+        check_in_range("id_bits", id_bits, 1, 64)
+        check_in_range("node id", value, 0, (1 << id_bits) - 1)
+        self._value = int(value)
+        self._id_bits = int(id_bits)
+
+    @property
+    def value(self) -> int:
+        """Integer value of the ID."""
+        return self._value
+
+    @property
+    def id_bits(self) -> int:
+        """Field width used on the air."""
+        return self._id_bits
+
+    def to_bytes(self) -> bytes:
+        """Canonical byte encoding (big endian, fixed width)."""
+        return self._value.to_bytes((self._id_bits + 7) // 8, "big")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NodeId):
+            return NotImplemented
+        return self._value == other._value and self._id_bits == other._id_bits
+
+    def __lt__(self, other: "NodeId") -> bool:
+        return self._value < other._value
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._id_bits))
+
+    def __repr__(self) -> str:
+        return f"NodeId({self._value})"
+
+
+class PublicParameters:
+    """The authority's public parameters.
+
+    In the real scheme these are the pairing group descriptions; here they
+    carry a signature-verification oracle (see
+    :class:`repro.crypto.signatures.SignatureScheme`) and the ID width.
+    Verification is a *public* operation — anyone, including the
+    adversary, may verify — so exposing an oracle backed by the master
+    secret does not leak signing capability.
+    """
+
+    def __init__(self, authority: "TrustedAuthority", id_bits: int) -> None:
+        self._authority = authority
+        self._id_bits = int(id_bits)
+
+    @property
+    def id_bits(self) -> int:
+        """ID width in bits."""
+        return self._id_bits
+
+    def signature_key_for(self, signer: NodeId) -> bytes:
+        """Recompute the signer's signature key (internal to verification).
+
+        Public verifiability of ID-based signatures is simulated by
+        recomputing the HMAC key; callers outside
+        :mod:`repro.crypto.signatures` should use
+        :class:`~repro.crypto.signatures.SignatureScheme` instead.
+        """
+        return self._authority._signature_key(signer)
+
+
+class IBCPrivateKey:
+    """Node ``A``'s ID-based private key ``K_A^{-1}``.
+
+    Exposes exactly two capabilities: non-interactive pairwise key
+    agreement (:meth:`shared_key`) and message signing (via
+    :meth:`signing_key`, consumed by
+    :class:`~repro.crypto.signatures.SignatureScheme`).
+    """
+
+    def __init__(
+        self, node_id: NodeId, pairwise_root: bytes, signing_key: bytes
+    ) -> None:
+        if len(pairwise_root) < 16 or len(signing_key) < 16:
+            raise ConfigurationError("key material too short")
+        self._node_id = node_id
+        self._pairwise_root = pairwise_root
+        self._signing_key = signing_key
+
+    @property
+    def node_id(self) -> NodeId:
+        """The ID this private key belongs to."""
+        return self._node_id
+
+    def shared_key(self, peer: NodeId) -> bytes:
+        """The pairwise key ``K_AB``; symmetric in the two identities.
+
+        >>> authority = TrustedAuthority(b"m")
+        >>> ka = authority.issue_private_key(NodeId(1))
+        >>> kb = authority.issue_private_key(NodeId(2))
+        >>> ka.shared_key(NodeId(2)) == kb.shared_key(NodeId(1))
+        True
+        """
+        if peer == self._node_id:
+            raise ConfigurationError(
+                "a node does not form a pairwise key with itself"
+            )
+        low, high = sorted((self._node_id, peer))
+        return derive_bytes(
+            self._pairwise_root, "pairwise", low.to_bytes(), high.to_bytes()
+        )
+
+    def signing_key(self) -> bytes:
+        """Key material for ID-based signatures (internal use)."""
+        return self._signing_key
+
+    def __repr__(self) -> str:
+        return f"IBCPrivateKey(node={self._node_id!r})"
+
+
+class TrustedAuthority:
+    """The single MANET authority: issues private keys pre-deployment.
+
+    Parameters
+    ----------
+    master_secret:
+        The authority's master secret; every derivation is rooted here.
+    id_bits:
+        Width of node IDs (the paper's ``l_id``).
+    """
+
+    def __init__(self, master_secret: bytes, id_bits: int = 16) -> None:
+        if not master_secret:
+            raise ConfigurationError("master_secret must be non-empty")
+        check_in_range("id_bits", id_bits, 1, 64)
+        self._master = bytes(master_secret)
+        self._id_bits = int(id_bits)
+        self._pairwise_root = derive_bytes(self._master, "pairwise-root")
+
+    @property
+    def id_bits(self) -> int:
+        """ID width in bits."""
+        return self._id_bits
+
+    def public_parameters(self) -> PublicParameters:
+        """The scheme's public parameters (safe to hand to anyone)."""
+        return PublicParameters(self, self._id_bits)
+
+    def make_id(self, value: int) -> NodeId:
+        """Construct a NodeId with this authority's ID width."""
+        return NodeId(value, self._id_bits)
+
+    def issue_private_key(self, node_id: NodeId) -> IBCPrivateKey:
+        """Issue ``K_A^{-1}`` for a node (done before deployment)."""
+        if node_id.id_bits != self._id_bits:
+            raise AuthenticationError(
+                f"node id width {node_id.id_bits} does not match the "
+                f"authority's {self._id_bits}"
+            )
+        return IBCPrivateKey(
+            node_id,
+            pairwise_root=self._pairwise_root,
+            signing_key=self._signature_key(node_id),
+        )
+
+    def _signature_key(self, node_id: NodeId) -> bytes:
+        return derive_bytes(self._master, "signature", node_id.to_bytes())
+
+    def pairwise_key(
+        self, a: NodeId, b: NodeId, _check: Optional[bool] = True
+    ) -> bytes:
+        """Authority-side computation of ``K_AB`` (for tests/verification)."""
+        if a == b:
+            raise ConfigurationError("identical identities")
+        low, high = sorted((a, b))
+        return derive_bytes(
+            self._pairwise_root, "pairwise", low.to_bytes(), high.to_bytes()
+        )

@@ -1,0 +1,71 @@
+"""Nonces and replay protection.
+
+Each D-NDP/M-NDP run uses fresh ``l_n``-bit nonces (Table I: 20 bits) to
+bind the handshake messages together and to seed the session spread code.
+:class:`ReplayCache` remembers recently seen ``(peer, nonce)`` pairs so a
+replayed authentication message is rejected.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = ["NonceGenerator", "ReplayCache"]
+
+
+class NonceGenerator:
+    """Draws fixed-width random nonces from a dedicated RNG stream."""
+
+    def __init__(self, rng: np.random.Generator, nonce_bits: int = 20) -> None:
+        check_in_range("nonce_bits", nonce_bits, 8, 64)
+        self._rng = rng
+        self._nonce_bits = int(nonce_bits)
+
+    @property
+    def nonce_bits(self) -> int:
+        """Width of generated nonces."""
+        return self._nonce_bits
+
+    def next(self) -> int:
+        """A fresh random nonce in ``[0, 2^nonce_bits)``."""
+        return int(self._rng.integers(0, 1 << self._nonce_bits))
+
+    def to_bytes(self, nonce: int) -> bytes:
+        """Canonical byte encoding of a nonce."""
+        check_in_range("nonce", nonce, 0, (1 << self._nonce_bits) - 1)
+        return int(nonce).to_bytes((self._nonce_bits + 7) // 8, "big")
+
+
+class ReplayCache:
+    """A bounded LRU set of seen identifiers.
+
+    20-bit nonces are short, so the cache is scoped per peer: an entry is
+    a ``(peer, nonce)`` tuple, and eviction is least-recently-seen once
+    ``capacity`` is exceeded.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        check_positive("capacity", capacity)
+        self._capacity = int(capacity)
+        self._seen: "OrderedDict[Tuple[Hashable, ...], None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def seen_before(self, *key: Hashable) -> bool:
+        """Record ``key``; return True if it was already present."""
+        if not key:
+            raise ConfigurationError("replay key must be non-empty")
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            return True
+        self._seen[key] = None
+        if len(self._seen) > self._capacity:
+            self._seen.popitem(last=False)
+        return False

@@ -1,0 +1,52 @@
+"""Session spread-code derivation (end of D-NDP, Section V-B).
+
+After mutual authentication, both nodes compute the session spread code
+``C_AB = h_{K_AB}(n_A XOR n_B)`` — an ``N``-bit keyed hash of the XORed
+nonces, used from then on for real-time-monitored unicast between the
+pair.  The XOR makes the derivation order-independent, so both ends get
+the identical code without knowing who initiated.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.kdf import derive_bytes, expand_bytes
+from repro.dsss.spread_code import SpreadCode
+from repro.errors import ConfigurationError
+from repro.utils.bitstring import bits_from_bytes, nrz_from_bits
+from repro.utils.validation import check_positive
+
+__all__ = ["derive_session_code"]
+
+
+def derive_session_code(
+    shared_key: bytes,
+    nonce_a: int,
+    nonce_b: int,
+    code_length: int,
+    label: object = None,
+) -> SpreadCode:
+    """Derive ``C_AB = h_K(n_A XOR n_B)`` as an ``N``-chip spread code.
+
+    Both endpoints call this with their own nonce first; the XOR makes
+    the result identical.
+
+    >>> a = derive_session_code(b"k" * 32, 3, 5, 64)
+    >>> b = derive_session_code(b"k" * 32, 5, 3, 64)
+    >>> a == b
+    True
+    """
+    if not shared_key:
+        raise ConfigurationError("shared_key must be non-empty")
+    if nonce_a < 0 or nonce_b < 0:
+        raise ConfigurationError("nonces must be non-negative")
+    check_positive("code_length", code_length)
+    mixed = nonce_a ^ nonce_b
+    seed = derive_bytes(
+        bytes(shared_key),
+        "session-code",
+        mixed.to_bytes((max(mixed.bit_length(), 1) + 7) // 8, "big"),
+    )
+    n_bytes = (int(code_length) + 7) // 8
+    bits = bits_from_bytes(expand_bytes(seed, n_bytes, "session-chips"))
+    chips = nrz_from_bits(bits[: int(code_length)])
+    return SpreadCode(chips, code_id=label if label is not None else "session")

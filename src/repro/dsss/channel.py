@@ -1,0 +1,160 @@
+"""A chip-level superposition channel.
+
+Concurrent DSSS transmissions — legitimate and jamming alike — add up on
+the air.  :class:`ChipChannel` places each transmission's chip sequence at
+its chip offset, sums all of them into one float signal, and optionally
+adds white Gaussian noise.  A receiver then sees a single buffer in which
+transmissions spread with *its* codes stand out under correlation while
+others look like noise (the paper's assumption that differently-coded
+concurrent transmissions interfere negligibly at N = 512, which the tests
+verify empirically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dsss.spread_code import SpreadCode
+from repro.dsss.spreader import spread
+from repro.errors import SpreadCodeError
+
+__all__ = ["ChannelTransmission", "ChipChannel"]
+
+
+@dataclass(frozen=True)
+class ChannelTransmission:
+    """One transmission placed on the channel.
+
+    Attributes
+    ----------
+    chips:
+        The transmitted chip sequence (already spread).
+    offset:
+        Chip index at which the transmission begins.
+    amplitude:
+        Relative received power; 1.0 for an in-range legitimate sender.
+    label:
+        Free-form tag for tracing (e.g. ``"hello:A"`` or ``"jam"``).
+    """
+
+    chips: np.ndarray
+    offset: int
+    amplitude: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise SpreadCodeError(
+                f"offset must be non-negative, got {self.offset}"
+            )
+        if self.amplitude <= 0:
+            raise SpreadCodeError(
+                f"amplitude must be positive, got {self.amplitude}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last chip index occupied by this transmission."""
+        return self.offset + int(np.asarray(self.chips).size)
+
+
+class ChipChannel:
+    """Accumulates transmissions and renders the superposed signal.
+
+    >>> import numpy as np
+    >>> from repro.utils.rng import derive_rng
+    >>> rng = derive_rng(1, "doc")
+    >>> code = SpreadCode.random(64, rng)
+    >>> ch = ChipChannel(noise_std=0.0)
+    >>> ch.add_message(np.array([1, 0, 1]), code, offset=10)
+    >>> signal = ch.render()
+    >>> len(signal) >= 10 + 3 * 64
+    True
+    """
+
+    def __init__(self, noise_std: float = 0.0) -> None:
+        if noise_std < 0:
+            raise SpreadCodeError(
+                f"noise_std must be non-negative, got {noise_std}"
+            )
+        self._noise_std = float(noise_std)
+        self._transmissions: List[ChannelTransmission] = []
+
+    @property
+    def transmissions(self) -> List[ChannelTransmission]:
+        """The transmissions placed so far (read-only view)."""
+        return list(self._transmissions)
+
+    def add_transmission(self, transmission: ChannelTransmission) -> None:
+        """Place a raw chip sequence on the channel."""
+        self._transmissions.append(transmission)
+
+    def add_message(
+        self,
+        bits: np.ndarray,
+        code: SpreadCode,
+        offset: int,
+        amplitude: float = 1.0,
+        label: str = "",
+    ) -> None:
+        """Spread ``bits`` with ``code`` and place the result at ``offset``."""
+        chips = spread(bits, code)
+        self.add_transmission(
+            ChannelTransmission(chips, offset, amplitude, label)
+        )
+
+    def add_jamming(
+        self,
+        code: SpreadCode,
+        offset: int,
+        n_bits: int,
+        rng: np.random.Generator,
+        amplitude: float = 1.0,
+        label: str = "jam",
+    ) -> None:
+        """Place a jamming burst spread with ``code``.
+
+        The jammer transmits random data spread with the (compromised) code
+        and chip-synchronized with the target, which is the paper's jamming
+        model: random bits under the correct code cancel the correlation of
+        the legitimate bits they overlap.
+        """
+        if n_bits <= 0:
+            raise SpreadCodeError(f"n_bits must be positive, got {n_bits}")
+        bits = rng.integers(0, 2, size=n_bits, dtype=np.int8)
+        self.add_message(bits, code, offset, amplitude, label)
+
+    def render(
+        self,
+        length: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Sum all transmissions (plus noise) into one float signal.
+
+        ``length`` defaults to the smallest buffer containing every
+        transmission.  ``rng`` is required when ``noise_std > 0``.
+        """
+        natural = max((t.end for t in self._transmissions), default=0)
+        total = natural if length is None else int(length)
+        if total < natural:
+            raise SpreadCodeError(
+                f"length {total} clips a transmission ending at {natural}"
+            )
+        signal = np.zeros(total, dtype=np.float64)
+        for t in self._transmissions:
+            chips = np.asarray(t.chips, dtype=np.float64)
+            signal[t.offset : t.offset + chips.size] += t.amplitude * chips
+        if self._noise_std > 0:
+            if rng is None:
+                raise SpreadCodeError(
+                    "an rng is required to render a noisy channel"
+                )
+            signal += rng.normal(0.0, self._noise_std, size=total)
+        return signal
+
+    def clear(self) -> None:
+        """Remove all transmissions."""
+        self._transmissions.clear()

@@ -1,0 +1,58 @@
+"""Correlation primitives used by the synchronizer and receivers.
+
+The paper defines the correlation between two NRZ sequences
+``(u_1..u_N)`` and ``(v_1..v_N)`` as ``(1/N) * sum(u_i * v_i)`` and decodes
+a bit when the magnitude exceeds a threshold ``tau`` (0.15 at N = 512,
+following Popper et al.).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.dsss.spread_code import SpreadCode
+from repro.errors import SpreadCodeError
+
+__all__ = ["correlate", "correlate_many", "decide_bit"]
+
+
+def correlate(window: np.ndarray, code: SpreadCode) -> float:
+    """Normalized correlation of one N-chip window against one code."""
+    return code.correlation(window)
+
+
+def correlate_many(
+    buffer: np.ndarray, codes: Sequence[SpreadCode], position: int
+) -> np.ndarray:
+    """Correlate the window starting at ``position`` against several codes.
+
+    Returns an array of one correlation per code.  All codes must share the
+    same length, and the window must fit inside ``buffer``.
+    """
+    if not codes:
+        return np.zeros(0, dtype=np.float64)
+    n = codes[0].length
+    if any(code.length != n for code in codes):
+        raise SpreadCodeError("codes must all share one chip length")
+    buffer = np.asarray(buffer, dtype=np.float64)
+    if position < 0 or position + n > buffer.size:
+        raise SpreadCodeError(
+            f"window [{position}, {position + n}) out of buffer "
+            f"of {buffer.size} chips"
+        )
+    window = buffer[position : position + n]
+    matrix = np.stack([code.chips for code in codes]).astype(np.float64)
+    return matrix @ window / n
+
+
+def decide_bit(correlation: float, tau: float) -> Optional[int]:
+    """Threshold decision: 1 above ``tau``, 0 below ``-tau``, else erasure."""
+    if not 0 < tau < 1:
+        raise SpreadCodeError(f"tau must be in (0, 1), got {tau}")
+    if correlation >= tau:
+        return 1
+    if correlation <= -tau:
+        return 0
+    return None

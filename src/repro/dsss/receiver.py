@@ -1,0 +1,173 @@
+"""The buffering-and-processing schedule of Section V-B.
+
+A node can buffer incoming chips at the chip rate ``R`` but needs
+``rho * N`` seconds per correlation, so scanning a buffer of duration
+``t_b`` takes ``t_p = rho * N * m * R * t_b`` seconds — a factor
+``lambda = t_p / t_b = rho * N * m * R`` longer than filling it
+(``lambda ~ 94`` at the paper's example parameters).  The paper's schedule:
+during each window ``[i t_p, (i+1) t_p]`` the node processes the signal it
+buffered during ``[i t_p - t_b, i t_p]`` and buffers again only during the
+last ``t_b`` of the window.  The sender therefore repeats its HELLO for
+``r m t_h = (lambda + 1) t_b`` so that one complete copy necessarily lands
+inside a buffered window.
+
+:class:`BufferSchedule` computes these windows and answers the coverage
+question ("does a transmission lasting ``d`` starting at ``t`` fully cover
+some buffered window?") used by both the event-driven simulation and the
+tests that check ``r = ceil((lambda + 1)(m + 1) / m)`` is sufficient.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = ["ScheduleWindow", "BufferSchedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleWindow:
+    """One buffering window ``[buffer_start, buffer_end]``.
+
+    The signal captured in this window is processed during the *next*
+    schedule period, finishing at ``processing_done``.
+    """
+
+    index: int
+    buffer_start: float
+    buffer_end: float
+    processing_done: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the buffering window (the paper's ``t_b``)."""
+        return self.buffer_end - self.buffer_start
+
+
+class BufferSchedule:
+    """The periodic buffer/process schedule of a D-NDP receiver.
+
+    Parameters
+    ----------
+    t_buffer:
+        Buffering duration ``t_b = (m + 1) t_h`` in seconds.
+    t_process:
+        Processing duration ``t_p = lambda * t_b`` in seconds.
+    phase:
+        The node's schedule is not synchronized with anyone else's; this
+        offset shifts all windows (uniform in ``[0, t_process)`` in the
+        simulations).
+    """
+
+    def __init__(
+        self, t_buffer: float, t_process: float, phase: float = 0.0
+    ) -> None:
+        check_positive("t_buffer", t_buffer)
+        check_positive("t_process", t_process)
+        if t_process < t_buffer:
+            raise ConfigurationError(
+                f"t_process ({t_process}) must be >= t_buffer ({t_buffer}); "
+                "a schedule is only needed when processing is the bottleneck"
+            )
+        if phase < 0:
+            raise ConfigurationError(f"phase must be >= 0, got {phase}")
+        self._t_buffer = float(t_buffer)
+        self._t_process = float(t_process)
+        self._phase = float(phase)
+
+    @property
+    def t_buffer(self) -> float:
+        """Buffering duration per period."""
+        return self._t_buffer
+
+    @property
+    def t_process(self) -> float:
+        """Processing duration per period (also the period length)."""
+        return self._t_process
+
+    @property
+    def gap_ratio(self) -> float:
+        """The paper's ``lambda = t_p / t_b``."""
+        return self._t_process / self._t_buffer
+
+    def window(self, index: int) -> ScheduleWindow:
+        """The ``index``-th buffering window.
+
+        Window ``i`` buffers during ``[phase + i t_p - t_b,
+        phase + i t_p]`` and its contents are processed by
+        ``phase + (i + 1) t_p``.  In steady state the schedule repeats
+        indefinitely; the smallest valid index is the first whose
+        buffering interval starts at or after time zero.
+        """
+        if index < self.first_index():
+            raise ConfigurationError(
+                f"window index must be >= {self.first_index()}, got {index}"
+            )
+        end = self._phase + index * self._t_process
+        return ScheduleWindow(
+            index=index,
+            buffer_start=end - self._t_buffer,
+            buffer_end=end,
+            processing_done=end + self._t_process,
+        )
+
+    def first_index(self) -> int:
+        """Smallest window index whose buffer interval is non-negative."""
+        # phase + k t_p - t_b >= 0  <=>  k >= (t_b - phase) / t_p.
+        k = math.ceil((self._t_buffer - self._phase) / self._t_process)
+        return max(k, 0)
+
+    def windows_between(self, start: float, end: float) -> Iterator[
+        ScheduleWindow
+    ]:
+        """Yield every window whose buffering interval intersects
+        ``[start, end]``."""
+        if end < start:
+            raise ConfigurationError(
+                f"end ({end}) must be >= start ({start})"
+            )
+        first = max(
+            self.first_index(),
+            int(
+                math.floor(
+                    (start - self._phase) / self._t_process
+                )
+            ),
+        )
+        index = first
+        while True:
+            win = self.window(index)
+            if win.buffer_start > end:
+                return
+            if win.buffer_end >= start:
+                yield win
+            index += 1
+
+    def first_covered_window(
+        self, tx_start: float, tx_duration: float
+    ) -> Optional[ScheduleWindow]:
+        """First window fully inside a transmission ``[tx_start, tx_start+d]``.
+
+        A window fully covered by the transmission is guaranteed to hold a
+        complete message copy (given ``t_b >= (m + 1) t_h``).  Returns
+        ``None`` if the transmission is too short for this phase — which is
+        exactly the failure the paper's choice of ``r`` rules out.
+        """
+        check_positive("tx_duration", tx_duration)
+        tx_end = tx_start + tx_duration
+        for win in self.windows_between(tx_start, tx_end):
+            if win.buffer_start >= tx_start and win.buffer_end <= tx_end:
+                return win
+        return None
+
+    def required_tx_duration(self) -> float:
+        """Transmission duration guaranteeing coverage at any phase.
+
+        Equals ``t_p + t_b = (lambda + 1) t_b``, the duration the paper
+        assigns to the repeated HELLO broadcast.
+        """
+        return self._t_process + self._t_buffer

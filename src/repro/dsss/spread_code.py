@@ -1,0 +1,193 @@
+"""Spread codes and spread-code pools.
+
+A spread code (Section III) is a pseudorandom NRZ sequence of length ``N``
+(the paper uses ``N = 512``) whose chips take values in {-1, +1}.  The
+MANET authority generates a pool of ``s`` such codes (Section V-A); nodes
+receive subsets of the pool through the pre-distribution scheme in
+:mod:`repro.predistribution`.
+
+Codes are value objects: equality and hashing are by content, and the
+``code_id`` identifies the code's slot in the authority's pool (or labels a
+session code derived at runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SpreadCodeError
+from repro.utils.bitstring import nrz_from_bits
+from repro.utils.rng import derive_rng
+
+__all__ = ["SpreadCode", "CodePool"]
+
+
+class SpreadCode:
+    """An ``N``-chip pseudorandom NRZ spreading sequence.
+
+    Parameters
+    ----------
+    chips:
+        Sequence of -1/+1 chip values.
+    code_id:
+        Identifier of the code.  Pool codes use their pool index; session
+        codes derived during neighbor discovery use a string label.
+    """
+
+    __slots__ = ("_chips", "_code_id", "_hash")
+
+    def __init__(self, chips: Sequence[int], code_id: object = None) -> None:
+        arr = np.asarray(chips, dtype=np.int8)
+        if arr.ndim != 1 or arr.size == 0:
+            raise SpreadCodeError("chips must be a non-empty 1-D sequence")
+        if not np.isin(arr, (-1, 1)).all():
+            raise SpreadCodeError("chips must contain only -1 and +1")
+        arr.setflags(write=False)
+        self._chips = arr
+        self._code_id = code_id
+        self._hash = hash(arr.tobytes())
+
+    @property
+    def chips(self) -> np.ndarray:
+        """The read-only chip array."""
+        return self._chips
+
+    @property
+    def code_id(self) -> object:
+        """Pool index or session label of this code."""
+        return self._code_id
+
+    @property
+    def length(self) -> int:
+        """Number of chips, the paper's ``N``."""
+        return int(self._chips.size)
+
+    @classmethod
+    def random(
+        cls, length: int, rng: np.random.Generator, code_id: object = None
+    ) -> "SpreadCode":
+        """Draw a uniform random code of ``length`` chips."""
+        if length <= 0:
+            raise SpreadCodeError(f"length must be positive, got {length}")
+        bits = rng.integers(0, 2, size=length, dtype=np.int8)
+        return cls(nrz_from_bits(bits), code_id=code_id)
+
+    @classmethod
+    def from_bits(
+        cls, bits: Sequence[int], code_id: object = None
+    ) -> "SpreadCode":
+        """Build a code from a 0/1 bit sequence (bit 0 -> chip -1)."""
+        return cls(nrz_from_bits(np.asarray(bits, dtype=np.int8)), code_id)
+
+    def correlation(self, window: np.ndarray) -> float:
+        """Normalized correlation of a chip window against this code.
+
+        Implements the paper's definition: ``(1/N) * sum(u_i * v_i)``.
+        ``window`` may be a float array (superposed signal) and must have
+        exactly ``N`` entries.
+        """
+        window = np.asarray(window, dtype=np.float64)
+        if window.size != self.length:
+            raise SpreadCodeError(
+                f"window has {window.size} chips, code has {self.length}"
+            )
+        return float(window @ self._chips) / self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpreadCode):
+            return NotImplemented
+        return (
+            self._hash == other._hash
+            and self.length == other.length
+            and bool((self._chips == other._chips).all())
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"SpreadCode(id={self._code_id!r}, N={self.length})"
+
+
+class CodePool:
+    """The authority's secret pool of ``s`` spread codes.
+
+    The pool is generated deterministically from a seed so experiments are
+    reproducible.  Only the authority (and this object) holds all codes;
+    nodes see only the subsets handed out by the pre-distribution scheme.
+    """
+
+    def __init__(self, codes: Sequence[SpreadCode]) -> None:
+        if not codes:
+            raise SpreadCodeError("a code pool must contain at least one code")
+        lengths = {code.length for code in codes}
+        if len(lengths) != 1:
+            raise SpreadCodeError(
+                f"all codes in a pool must share one length, got {lengths}"
+            )
+        ids = [code.code_id for code in codes]
+        if len(set(ids)) != len(ids):
+            raise SpreadCodeError("code ids in a pool must be unique")
+        self._codes: List[SpreadCode] = list(codes)
+
+    @classmethod
+    def generate(
+        cls, size: int, code_length: int, seed: int
+    ) -> "CodePool":
+        """Generate ``size`` random codes of ``code_length`` chips.
+
+        Distinctness is enforced; with ``code_length >= 64`` collisions are
+        astronomically unlikely, but a duplicated draw is redrawn anyway.
+        """
+        if size <= 0:
+            raise SpreadCodeError(f"pool size must be positive, got {size}")
+        rng = derive_rng(seed, "code-pool")
+        codes: List[SpreadCode] = []
+        seen = set()
+        while len(codes) < size:
+            code = SpreadCode.random(code_length, rng, code_id=len(codes))
+            if code in seen:
+                continue
+            seen.add(code)
+            codes.append(code)
+        return cls(codes)
+
+    @property
+    def size(self) -> int:
+        """Number of codes in the pool, the paper's ``s``."""
+        return len(self._codes)
+
+    @property
+    def code_length(self) -> int:
+        """Chip length shared by every code in the pool."""
+        return self._codes[0].length
+
+    def code(self, index: int) -> SpreadCode:
+        """Return the code at pool slot ``index``."""
+        if not 0 <= index < self.size:
+            raise SpreadCodeError(
+                f"code index {index} out of range [0, {self.size})"
+            )
+        return self._codes[index]
+
+    def subset(self, indices: Sequence[int]) -> List[SpreadCode]:
+        """Return the codes at the given pool slots."""
+        return [self.code(i) for i in indices]
+
+    def index_of(self, code: SpreadCode) -> Optional[int]:
+        """Return the pool slot holding ``code``, or ``None``."""
+        for i, candidate in enumerate(self._codes):
+            if candidate == code:
+                return i
+        return None
+
+    def __iter__(self) -> Iterator[SpreadCode]:
+        return iter(self._codes)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return f"CodePool(s={self.size}, N={self.code_length})"

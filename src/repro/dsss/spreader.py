@@ -1,0 +1,71 @@
+"""Spreading and de-spreading of bit sequences (Section III).
+
+The sender converts each message bit to NRZ and multiplies it by the spread
+code, producing ``len(bits) * N`` chips.  The receiver, once synchronized,
+correlates each ``N``-chip block against the code and applies the threshold
+``tau``: correlation above ``tau`` decodes to bit 1, below ``-tau`` to
+bit 0, and anything in between is an *erasure* (the block was destroyed,
+e.g. by a jammer using the correct code).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dsss.spread_code import SpreadCode
+from repro.errors import SpreadCodeError
+from repro.utils.bitstring import nrz_from_bits
+
+__all__ = ["spread", "despread"]
+
+
+def spread(bits: np.ndarray, code: SpreadCode) -> np.ndarray:
+    """Spread a 0/1 bit array with ``code``.
+
+    Returns an ``int8`` chip array of length ``len(bits) * code.length``;
+    each message bit contributes one NRZ-scaled copy of the code.
+
+    >>> import numpy as np
+    >>> code = SpreadCode([+1, -1, -1, +1])
+    >>> spread(np.array([1, 0]), code).tolist()
+    [1, -1, -1, 1, -1, 1, 1, -1]
+    """
+    nrz = nrz_from_bits(np.asarray(bits, dtype=np.int8))
+    if nrz.size == 0:
+        return np.zeros(0, dtype=np.int8)
+    # Outer product: one row of +/-code per message bit, flattened.
+    chips = np.outer(nrz, code.chips).astype(np.int8)
+    return chips.reshape(-1)
+
+
+def despread(
+    chips: np.ndarray, code: SpreadCode, tau: float
+) -> List[Optional[int]]:
+    """De-spread a synchronized chip sequence with ``code``.
+
+    ``chips`` may be a float array (a superposed channel signal) whose
+    length is a multiple of ``code.length``.  Returns one entry per message
+    bit: ``1``, ``0``, or ``None`` for an erasure where the correlation
+    magnitude fell below ``tau``.
+    """
+    chips = np.asarray(chips, dtype=np.float64)
+    n = code.length
+    if chips.size % n != 0:
+        raise SpreadCodeError(
+            f"chip count {chips.size} is not a multiple of N={n}"
+        )
+    if not 0 < tau < 1:
+        raise SpreadCodeError(f"tau must be in (0, 1), got {tau}")
+    blocks = chips.reshape(-1, n)
+    correlations = blocks @ code.chips.astype(np.float64) / n
+    bits: List[Optional[int]] = []
+    for corr in correlations:
+        if corr >= tau:
+            bits.append(1)
+        elif corr <= -tau:
+            bits.append(0)
+        else:
+            bits.append(None)
+    return bits

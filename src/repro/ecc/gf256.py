@@ -1,0 +1,167 @@
+"""Arithmetic in the Galois field GF(2^8).
+
+The field is constructed with the primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D), the conventional choice for
+Reed-Solomon over bytes.  Multiplication and division use log/antilog
+tables built once at import time; polynomial helpers operate on
+coefficient lists with index 0 as the *highest*-degree coefficient, which
+matches the natural order of transmitted symbols.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GF256"]
+
+_PRIMITIVE_POLY = 0x11D
+_FIELD_SIZE = 256
+
+
+def _build_tables() -> Tuple[List[int], List[int]]:
+    """Build antilog (exp) and log tables for the generator alpha = 2."""
+    exp = [0] * (_FIELD_SIZE * 2)
+    log = [0] * _FIELD_SIZE
+    value = 1
+    for power in range(_FIELD_SIZE - 1):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= _PRIMITIVE_POLY
+    # Duplicate the table so products of logs never need a modulo.
+    for power in range(_FIELD_SIZE - 1, _FIELD_SIZE * 2):
+        exp[power] = exp[power - (_FIELD_SIZE - 1)]
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+class GF256:
+    """Namespace of GF(2^8) field and polynomial operations.
+
+    All methods are static; elements are ints in ``[0, 255]``.
+    """
+
+    ORDER = _FIELD_SIZE
+    GENERATOR = 2
+
+    @staticmethod
+    def add(a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        return a ^ b
+
+    @staticmethod
+    def subtract(a: int, b: int) -> int:
+        """Field subtraction (identical to addition in GF(2^8))."""
+        return a ^ b
+
+    @staticmethod
+    def multiply(a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        if a == 0 or b == 0:
+            return 0
+        return _EXP[_LOG[a] + _LOG[b]]
+
+    @staticmethod
+    def divide(a: int, b: int) -> int:
+        """Field division; raises on division by zero."""
+        if b == 0:
+            raise ConfigurationError("division by zero in GF(2^8)")
+        if a == 0:
+            return 0
+        return _EXP[(_LOG[a] - _LOG[b]) % (_FIELD_SIZE - 1)]
+
+    @staticmethod
+    def power(a: int, exponent: int) -> int:
+        """``a`` raised to an integer exponent (negative allowed for a != 0)."""
+        if a == 0:
+            if exponent <= 0:
+                raise ConfigurationError("0 cannot be raised to a power <= 0")
+            return 0
+        return _EXP[(_LOG[a] * exponent) % (_FIELD_SIZE - 1)]
+
+    @staticmethod
+    def inverse(a: int) -> int:
+        """Multiplicative inverse; raises for 0."""
+        if a == 0:
+            raise ConfigurationError("0 has no inverse in GF(2^8)")
+        return _EXP[(_FIELD_SIZE - 1) - _LOG[a]]
+
+    # ------------------------------------------------------------------
+    # Polynomial helpers (coefficient index 0 = highest degree).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def poly_scale(poly: Sequence[int], scalar: int) -> List[int]:
+        """Multiply every coefficient by ``scalar``."""
+        return [GF256.multiply(c, scalar) for c in poly]
+
+    @staticmethod
+    def poly_add(p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Add two polynomials of possibly different degrees."""
+        size = max(len(p), len(q))
+        result = [0] * size
+        for i, c in enumerate(p):
+            result[i + size - len(p)] = c
+        for i, c in enumerate(q):
+            result[i + size - len(q)] ^= c
+        return result
+
+    @staticmethod
+    def poly_multiply(p: Sequence[int], q: Sequence[int]) -> List[int]:
+        """Multiply two polynomials."""
+        result = [0] * (len(p) + len(q) - 1)
+        for i, pc in enumerate(p):
+            if pc == 0:
+                continue
+            for j, qc in enumerate(q):
+                result[i + j] ^= GF256.multiply(pc, qc)
+        return result
+
+    @staticmethod
+    def poly_eval(poly: Sequence[int], x: int) -> int:
+        """Evaluate a polynomial at ``x`` using Horner's rule."""
+        result = 0
+        for coefficient in poly:
+            result = GF256.multiply(result, x) ^ coefficient
+        return result
+
+    @staticmethod
+    def poly_divmod(
+        dividend: Sequence[int], divisor: Sequence[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Polynomial division; returns ``(quotient, remainder)``."""
+        divisor = list(divisor)
+        if not divisor or all(c == 0 for c in divisor):
+            raise ConfigurationError("polynomial division by zero")
+        while divisor and divisor[0] == 0:
+            divisor = divisor[1:]
+        out = list(dividend)
+        normalizer = divisor[0]
+        steps = len(dividend) - (len(divisor) - 1)
+        for i in range(max(steps, 0)):
+            out[i] = GF256.divide(out[i], normalizer)
+            coefficient = out[i]
+            if coefficient != 0:
+                for j in range(1, len(divisor)):
+                    if divisor[j] != 0:
+                        out[i + j] ^= GF256.multiply(divisor[j], coefficient)
+        separator = len(dividend) - (len(divisor) - 1)
+        if separator <= 0:
+            return [0], list(dividend)
+        return out[:separator], out[separator:]
+
+    @staticmethod
+    def poly_derivative(poly: Sequence[int]) -> List[int]:
+        """Formal derivative: odd-power terms survive in characteristic 2."""
+        n = len(poly)
+        result: List[int] = []
+        for i, c in enumerate(poly[:-1]):
+            degree = n - 1 - i
+            # In GF(2^m), the derivative coefficient is c * degree mod 2.
+            result.append(c if degree % 2 == 1 else 0)
+        return result if result else [0]

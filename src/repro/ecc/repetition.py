@@ -1,0 +1,77 @@
+"""A bit-level repetition code.
+
+The simplest ECC baseline: each bit is transmitted ``factor`` times and
+decoded by majority vote, with erasures (``None`` inputs) simply not
+voting.  Used as a comparison point for the Reed-Solomon codec in tests
+and the physical-layer benchmarks, and as a cheap inner code option for
+:class:`repro.ecc.codec.ExpansionCodec`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodeError
+
+__all__ = ["RepetitionCodec"]
+
+
+class RepetitionCodec:
+    """Encode bits by repetition, decode by majority vote.
+
+    Parameters
+    ----------
+    factor:
+        Number of copies per bit; must be >= 1.  Odd factors avoid ties.
+    """
+
+    def __init__(self, factor: int) -> None:
+        if factor < 1:
+            raise ConfigurationError(f"factor must be >= 1, got {factor}")
+        self._factor = int(factor)
+
+    @property
+    def factor(self) -> int:
+        """Copies transmitted per data bit."""
+        return self._factor
+
+    def encode(self, bits: Sequence[int]) -> np.ndarray:
+        """Repeat each bit ``factor`` times."""
+        arr = np.asarray(bits, dtype=np.int8)
+        if arr.size and not np.isin(arr, (0, 1)).all():
+            raise ConfigurationError("bits must contain only 0 and 1")
+        return np.repeat(arr, self._factor)
+
+    def decode(self, symbols: Sequence[Optional[int]]) -> np.ndarray:
+        """Majority-vote decode; ``None`` entries are erasures.
+
+        Raises :class:`repro.errors.DecodeError` if any bit's vote is a
+        tie or all its copies were erased.
+        """
+        symbols = list(symbols)
+        if len(symbols) % self._factor != 0:
+            raise ConfigurationError(
+                f"symbol count {len(symbols)} is not a multiple of "
+                f"factor {self._factor}"
+            )
+        decoded: List[int] = []
+        for start in range(0, len(symbols), self._factor):
+            group = symbols[start : start + self._factor]
+            ones = sum(1 for s in group if s == 1)
+            zeros = sum(1 for s in group if s == 0)
+            if ones == zeros:
+                raise DecodeError(
+                    f"tie or total erasure in repetition group at bit "
+                    f"{start // self._factor}"
+                )
+            decoded.append(1 if ones > zeros else 0)
+        return np.asarray(decoded, dtype=np.int8)
+
+    def tolerated_erasures_per_bit(self) -> int:
+        """Erasures per group that still allow unambiguous decoding."""
+        return self._factor - 1
+
+    def __repr__(self) -> str:
+        return f"RepetitionCodec(factor={self._factor})"

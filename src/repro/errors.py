@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one ``except`` clause.  Subsystems
+define narrower classes here rather than locally so that cross-module code
+(e.g. the protocol engines catching decode failures from the ECC layer) does
+not need to import deep internals.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SpreadCodeError(ReproError):
+    """Invalid spread-code construction or use."""
+
+
+class SynchronizationError(ReproError):
+    """The sliding-window synchronizer could not lock onto a message."""
+
+
+class DecodeError(ReproError):
+    """A codec failed to decode a (possibly corrupted) message."""
+
+
+class EccDecodeError(DecodeError):
+    """Reed-Solomon (or other ECC) decoding failed: too many errors."""
+
+
+class AuthenticationError(ReproError):
+    """A signature or MAC verification failed."""
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received an invalid or unexpected message."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class RevokedCodeError(ReproError):
+    """An operation was attempted with a locally revoked spread code."""

@@ -1,0 +1,170 @@
+"""Parameter sweeps reproducing every figure of Section VI-B.
+
+Each ``figureX_sweep`` returns a list of row dicts, one per x-axis
+point, carrying the same series the paper plots.  The benchmark files in
+``benchmarks/`` call these and print the tables; ``EXPERIMENTS.md``
+records paper-vs-measured values.
+
+Probabilities come from the Monte Carlo runner (reactive jamming, the
+paper's reported worst case); latencies come from the Theorem 2/4
+closed forms, which is what the paper's latency plots are built from
+(our event-driven simulation validates those closed forms separately in
+``tests/core/test_event_latency.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversary.jammer import JammerStrategy
+from repro.analysis.combined import combined_probability
+from repro.analysis.dndp_theory import dndp_expected_latency
+from repro.analysis.mndp_theory import mndp_expected_latency
+from repro.core.config import JRSNDConfig, default_config
+from repro.experiments.runner import NetworkExperiment
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "figure2_sweep",
+    "figure3a_sweep",
+    "figure3b_sweep",
+    "figure4_sweep",
+    "figure5_sweep",
+]
+
+Row = Dict[str, float]
+
+
+def _probability_row(
+    config: JRSNDConfig,
+    seed: int,
+    runs: int,
+    strategy: JammerStrategy,
+    mndp_rounds: int = 1,
+    link_model: str = "codes",
+) -> Dict[str, float]:
+    result = NetworkExperiment(
+        config, seed=seed, strategy=strategy, mndp_rounds=mndp_rounds,
+        link_model=link_model,
+    ).run(runs)
+    return {
+        "p_dndp": result.discovery_probability("dndp"),
+        "p_mndp": result.discovery_probability("mndp"),
+        "p_jrsnd": result.discovery_probability("jrsnd"),
+        "degree": result.mean_degree(),
+    }
+
+
+def figure2_sweep(
+    m_values: Sequence[int] = (20, 40, 60, 80, 100, 140, 200),
+    runs: int = 10,
+    seed: int = 2011,
+    base: Optional[JRSNDConfig] = None,
+    strategy: JammerStrategy = JammerStrategy.REACTIVE,
+) -> List[Row]:
+    """Figure 2: impact of ``m`` on probability (a) and latency (b)."""
+    check_positive("runs", runs)
+    config0 = base if base is not None else default_config()
+    rows: List[Row] = []
+    for m in m_values:
+        config = config0.replace(codes_per_node=int(m))
+        row: Row = {"m": float(m)}
+        row.update(_probability_row(config, seed, runs, strategy))
+        row["t_dndp"] = dndp_expected_latency(config)
+        row["t_mndp"] = mndp_expected_latency(config)
+        row["t_jrsnd"] = max(row["t_dndp"], row["t_mndp"])
+        rows.append(row)
+    return rows
+
+
+def figure3a_sweep(
+    l_values: Sequence[int] = (5, 10, 20, 40, 60, 100, 150, 200),
+    runs: int = 10,
+    seed: int = 2011,
+    base: Optional[JRSNDConfig] = None,
+    strategy: JammerStrategy = JammerStrategy.REACTIVE,
+) -> List[Row]:
+    """Figure 3(a): impact of ``l`` on the discovery probability."""
+    config0 = base if base is not None else default_config()
+    rows: List[Row] = []
+    for l in l_values:
+        config = config0.replace(share_count=int(l))
+        row: Row = {"l": float(l)}
+        row.update(_probability_row(config, seed, runs, strategy))
+        rows.append(row)
+    return rows
+
+
+def figure3b_sweep(
+    n_values: Sequence[int] = (500, 1000, 1500, 2000, 3000, 4000),
+    runs: int = 10,
+    seed: int = 2011,
+    base: Optional[JRSNDConfig] = None,
+    strategy: JammerStrategy = JammerStrategy.REACTIVE,
+) -> List[Row]:
+    """Figure 3(b): impact of ``n`` on the discovery probability."""
+    config0 = base if base is not None else default_config()
+    rows: List[Row] = []
+    for n in n_values:
+        config = config0.replace(n_nodes=int(n))
+        row: Row = {"n": float(n)}
+        row.update(_probability_row(config, seed, runs, strategy))
+        rows.append(row)
+    return rows
+
+
+def figure4_sweep(
+    share_count: int,
+    q_values: Sequence[int] = (0, 20, 40, 60, 80, 100),
+    runs: int = 10,
+    seed: int = 2011,
+    base: Optional[JRSNDConfig] = None,
+    strategy: JammerStrategy = JammerStrategy.REACTIVE,
+) -> List[Row]:
+    """Figure 4: impact of ``q`` at fixed ``l`` (paper: 40 and 20)."""
+    config0 = base if base is not None else default_config()
+    rows: List[Row] = []
+    for q in q_values:
+        config = config0.replace(
+            share_count=int(share_count), n_compromised=int(q)
+        )
+        row: Row = {"q": float(q), "l": float(share_count)}
+        row.update(_probability_row(config, seed, runs, strategy))
+        rows.append(row)
+    return rows
+
+
+def figure5_sweep(
+    nu_values: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    q: int = 100,
+    runs: int = 10,
+    seed: int = 2011,
+    base: Optional[JRSNDConfig] = None,
+    strategy: JammerStrategy = JammerStrategy.REACTIVE,
+    mndp_rounds: int = 1,
+    link_model: str = "codes",
+) -> List[Row]:
+    """Figure 5: impact of ``nu`` at heavy compromise.
+
+    The paper fixes ``P_D = 0.2`` by setting ``q = 100`` at ``l = 40``
+    (its Fig. 4(a) point) and sweeps the hop budget; latency (b) comes
+    from Theorem 4.  ``link_model="independent"`` reproduces the
+    paper's plotted nu-dependence (see the runner's docstring).
+    """
+    config0 = base if base is not None else default_config()
+    rows: List[Row] = []
+    for nu in nu_values:
+        config = config0.replace(nu=int(nu), n_compromised=int(q))
+        row: Row = {"nu": float(nu), "q": float(q)}
+        row.update(
+            _probability_row(
+                config, seed, runs, strategy, mndp_rounds=mndp_rounds,
+                link_model=link_model,
+            )
+        )
+        row["p_combined_check"] = combined_probability(
+            row["p_dndp"], row["p_mndp"]
+        )
+        row["t_mndp"] = mndp_expected_latency(config)
+        rows.append(row)
+    return rows

@@ -1,0 +1,51 @@
+"""Plain-text rendering of experiment sweeps.
+
+The benchmark harness prints each figure's series as an aligned table so
+the run log doubles as the reproduction record in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_series_table", "format_row"]
+
+
+def format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    """One aligned table row."""
+    cells = []
+    for value, width in zip(values, widths):
+        if isinstance(value, float):
+            text = f"{value:.4f}" if abs(value) < 1000 else f"{value:.1f}"
+        else:
+            text = str(value)
+        cells.append(text.rjust(width))
+    return "  ".join(cells)
+
+
+def format_series_table(
+    rows: List[Dict[str, float]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render sweep rows as an aligned text table.
+
+    ``columns`` defaults to the keys of the first row, in order.
+    """
+    if not rows:
+        raise ConfigurationError("no rows to format")
+    keys = list(columns) if columns else list(rows[0].keys())
+    for key in keys:
+        if key not in rows[0]:
+            raise ConfigurationError(f"unknown column {key!r}")
+    widths = [max(len(key), 9) for key in keys]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(keys, widths))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(format_row([row[key] for key in keys], widths))
+    return "\n".join(lines)

@@ -1,0 +1,345 @@
+"""The field-level Monte Carlo experiment.
+
+One run mirrors the authors' C++ simulation:
+
+1. place ``n`` nodes uniformly in the field and build the
+   physical-neighbor pair list;
+2. run the pre-distribution assignment;
+3. compromise ``q`` random nodes, giving the jammer its code set;
+4. sample every physical pair's D-NDP outcome under the chosen jamming
+   strategy (the model validated against Theorem 1);
+5. close the surviving logical graph under ``nu``-hop M-NDP;
+6. report ``P_D`` (fraction of pairs direct), ``P_M`` (fraction of
+   D-NDP failures recovered), and the combined ``P``.
+
+The per-pair D-NDP sampling is vectorized over all pairs with a boolean
+node-by-code membership matrix; ``tests/experiments`` checks statistical
+agreement with the reference per-pair :class:`repro.core.dndp.DNDPSampler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.jammer import JammerStrategy, JammingModel
+from repro.core.config import JRSNDConfig
+from repro.core.dndp import DNDPSampler
+from repro.core.mndp import LogicalGraph, MNDPSampler
+from repro.errors import ConfigurationError
+from repro.predistribution.authority import PreDistributor
+from repro.sim.field import RectangularField
+from repro.sim.mobility import uniform_positions
+from repro.utils.rng import SeedSequencer
+from repro.utils.validation import check_positive
+
+__all__ = ["RunResult", "ExperimentResult", "NetworkExperiment"]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Counts from one simulated field snapshot.
+
+    Attributes
+    ----------
+    n_pairs:
+        Physical-neighbor pairs in the snapshot.
+    dndp_successes:
+        Pairs that discovered each other directly.
+    mndp_successes:
+        D-NDP-failed pairs recovered by M-NDP.
+    mean_degree:
+        Average physical degree ``g`` of this snapshot.
+    mean_dndp_latency:
+        Mean sampled handshake latency over direct successes (seconds),
+        or ``None`` when latency sampling was off.
+    """
+
+    n_pairs: int
+    dndp_successes: int
+    mndp_successes: int
+    mean_degree: float
+    mean_dndp_latency: Optional[float] = None
+
+    @property
+    def p_dndp(self) -> float:
+        """Direct discovery probability of this run."""
+        return self.dndp_successes / self.n_pairs if self.n_pairs else 0.0
+
+    @property
+    def p_mndp(self) -> float:
+        """Fraction of D-NDP failures recovered by M-NDP."""
+        failures = self.n_pairs - self.dndp_successes
+        return self.mndp_successes / failures if failures else 0.0
+
+    @property
+    def p_jrsnd(self) -> float:
+        """Combined discovery probability."""
+        if not self.n_pairs:
+            return 0.0
+        return (self.dndp_successes + self.mndp_successes) / self.n_pairs
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Aggregate over all runs of one experiment."""
+
+    runs: Tuple[RunResult, ...]
+
+    def discovery_probability(self, kind: str) -> float:
+        """Mean probability across runs; ``kind`` is ``dndp`` (direct),
+        ``mndp`` (recovery rate of failures), or ``jrsnd`` (combined)."""
+        values = self._series(kind)
+        return float(np.mean(values)) if values else 0.0
+
+    def std(self, kind: str) -> float:
+        """Across-run standard deviation."""
+        values = self._series(kind)
+        return float(np.std(values)) if values else 0.0
+
+    def confidence_interval(
+        self, kind: str, confidence: float = 0.95
+    ) -> Tuple[float, float, float]:
+        """``(mean, low, high)`` Student-t interval across runs."""
+        from repro.utils.stats import mean_confidence_interval
+
+        return mean_confidence_interval(self._series(kind), confidence)
+
+    def mean_degree(self) -> float:
+        """Average physical degree across runs."""
+        return float(np.mean([r.mean_degree for r in self.runs]))
+
+    def mean_dndp_latency(self) -> Optional[float]:
+        """Average sampled direct-discovery latency, if recorded."""
+        values = [
+            r.mean_dndp_latency
+            for r in self.runs
+            if r.mean_dndp_latency is not None
+        ]
+        return float(np.mean(values)) if values else None
+
+    def _series(self, kind: str) -> List[float]:
+        if kind == "dndp":
+            return [r.p_dndp for r in self.runs]
+        if kind == "mndp":
+            return [r.p_mndp for r in self.runs]
+        if kind == "jrsnd":
+            return [r.p_jrsnd for r in self.runs]
+        raise ConfigurationError(
+            f"kind must be dndp/mndp/jrsnd, got {kind!r}"
+        )
+
+
+class NetworkExperiment:
+    """Runs field snapshots under a configuration.
+
+    Parameters
+    ----------
+    config:
+        Deployment parameters (Table I defaults).
+    seed:
+        Root seed; every run derives independent sub-streams.
+    strategy:
+        Jamming strategy; the paper reports reactive (worst case).
+    mndp_rounds:
+        M-NDP closure rounds (1 = Theorem 3's assumption).
+    sample_latency:
+        Record per-pair latency samples for successful D-NDP runs.
+    link_model:
+        ``"codes"`` (default) samples every pair's D-NDP outcome from
+        its actual shared codes and the compromise state — the faithful
+        model, in which one relay's clean code set helps *all* its
+        links, so M-NDP recovers more than the paper plots.
+        ``"independent"`` draws each physical link i.i.d. with the
+        Theorem 1 probability for the strategy; this matches the
+        authors' plotted M-NDP behaviour (notably Fig. 5(a)'s strong
+        dependence on nu) and is almost certainly what their C++
+        simulator did.  See EXPERIMENTS.md for the comparison.
+    """
+
+    def __init__(
+        self,
+        config: JRSNDConfig,
+        seed: int,
+        strategy: JammerStrategy = JammerStrategy.REACTIVE,
+        mndp_rounds: int = 1,
+        sample_latency: bool = False,
+        link_model: str = "codes",
+    ) -> None:
+        check_positive("mndp_rounds", mndp_rounds)
+        if strategy not in (JammerStrategy.REACTIVE, JammerStrategy.RANDOM):
+            raise ConfigurationError(
+                "NetworkExperiment supports the paper's RANDOM and "
+                "REACTIVE strategies; use DNDPSampler directly for the "
+                f"{strategy} ablation"
+            )
+        if link_model not in ("codes", "independent"):
+            raise ConfigurationError(
+                f"link_model must be 'codes' or 'independent', "
+                f"got {link_model!r}"
+            )
+        self._config = config
+        self._seeds = SeedSequencer(seed)
+        self._strategy = strategy
+        self._mndp_rounds = int(mndp_rounds)
+        self._sample_latency = bool(sample_latency)
+        self._link_model = link_model
+
+    @property
+    def config(self) -> JRSNDConfig:
+        """The experiment's configuration."""
+        return self._config
+
+    def run(self, runs: int = 1) -> ExperimentResult:
+        """Execute ``runs`` independent snapshots."""
+        check_positive("runs", runs)
+        results = [self.run_once(i) for i in range(runs)]
+        return ExperimentResult(runs=tuple(results))
+
+    def run_once(self, run_index: int) -> RunResult:
+        """Execute one snapshot with its own derived seed."""
+        seeds = self._seeds.child(f"run-{run_index}")
+        config = self._config
+
+        field = RectangularField(
+            config.field_width, config.field_height, config.tx_range
+        )
+        positions = uniform_positions(
+            field, config.n_nodes, seeds.rng("placement")
+        )
+        pairs = field.neighbor_pairs(positions)
+        mean_degree = (
+            2.0 * len(pairs) / config.n_nodes if config.n_nodes else 0.0
+        )
+
+        distributor = PreDistributor(
+            config.n_nodes, config.codes_per_node, config.share_count
+        )
+        assignment = distributor.assign(seeds.rng("assignment"))
+
+        compromise = CompromiseModel(assignment).compromise_random(
+            config.n_compromised, seeds.rng("compromise")
+        )
+        jamming = JammingModel.from_compromise(
+            self._strategy, compromise, config.z_jamming_signals, config.mu
+        )
+
+        if self._link_model == "independent":
+            direct = self._sample_independent(pairs, seeds.rng("jamming"))
+        else:
+            direct = self._sample_dndp(
+                pairs, assignment, jamming, seeds.rng("jamming")
+            )
+        logical = LogicalGraph(config.n_nodes)
+        for (a, b), success in zip(pairs, direct):
+            if success:
+                logical.add_link(a, b)
+        mndp = MNDPSampler(config.nu)
+        recovered = mndp.discover(
+            pairs, logical, rounds=self._mndp_rounds
+        )
+
+        mean_latency = None
+        dndp_successes = int(np.count_nonzero(direct))
+        if self._sample_latency and dndp_successes:
+            sampler = DNDPSampler(config, jamming)
+            rng = seeds.rng("latency")
+            samples = [
+                sampler.sample_latency(rng)
+                for _ in range(min(dndp_successes, 1000))
+            ]
+            mean_latency = float(np.mean(samples))
+
+        return RunResult(
+            n_pairs=len(pairs),
+            dndp_successes=dndp_successes,
+            mndp_successes=len(recovered),
+            mean_degree=mean_degree,
+            mean_dndp_latency=mean_latency,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _sample_independent(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """The i.i.d. link model: Bernoulli(P) per physical pair with
+        Theorem 1's closed-form probability for the strategy."""
+        from repro.analysis.dndp_theory import (
+            dndp_lower_bound,
+            dndp_upper_bound,
+        )
+
+        if self._strategy is JammerStrategy.REACTIVE:
+            p = dndp_lower_bound(self._config, self._config.n_compromised)
+        else:
+            p = dndp_upper_bound(self._config, self._config.n_compromised)
+        return rng.random(len(pairs)) < p
+
+    def _sample_dndp(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        assignment,
+        jamming: JammingModel,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorized per-pair D-NDP outcomes.
+
+        Implements exactly :meth:`repro.core.dndp.DNDPSampler.sample_pair`:
+        a pair succeeds iff it shares a non-compromised code, or (random
+        jamming only) some shared compromised code's sub-session escapes
+        both the HELLO jam (prob ``beta``) and the burst jam
+        (prob ``beta'``).
+        """
+        config = self._config
+        if not pairs:
+            return np.zeros(0, dtype=bool)
+        membership = np.zeros(
+            (config.n_nodes, assignment.pool_size), dtype=bool
+        )
+        for node, codes in enumerate(assignment.node_codes):
+            membership[node, codes] = True
+        compromised = np.zeros(assignment.pool_size, dtype=bool)
+        if jamming.n_compromised:
+            compromised[sorted(
+                c for c in range(assignment.pool_size) if jamming.knows(c)
+            )] = True
+
+        pair_array = np.asarray(pairs, dtype=np.int64)
+        success = np.zeros(len(pairs), dtype=bool)
+        chunk = 4096
+        for start in range(0, len(pairs), chunk):
+            stop = min(start + chunk, len(pairs))
+            rows_a = membership[pair_array[start:stop, 0]]
+            rows_b = membership[pair_array[start:stop, 1]]
+            shared = rows_a & rows_b
+            safe_shared = shared & ~compromised
+            direct = safe_shared.any(axis=1)
+            if self._strategy is JammerStrategy.RANDOM and jamming.n_compromised:
+                # Compromised shared codes may still survive random
+                # jamming: per sub-session failure prob is
+                # beta + beta' - beta*beta' (same arithmetic as
+                # DNDPSampler's message_jammed/burst_jammed).
+                tries = min(
+                    jamming.codes_per_message, jamming.n_compromised
+                )
+                beta = tries / jamming.n_compromised
+                beta_prime = min(3.0 * beta, 1.0)
+                kill = beta + beta_prime - beta * beta_prime
+                at_risk = (shared & compromised).sum(axis=1)
+                survive_any = np.zeros(stop - start, dtype=bool)
+                positive = at_risk > 0
+                if positive.any():
+                    fail_all = kill ** at_risk[positive]
+                    survive_any[positive] = (
+                        rng.random(int(positive.sum())) >= fail_all
+                    )
+                success[start:stop] = direct | survive_any
+            else:
+                success[start:stop] = direct
+        return success

@@ -1,0 +1,90 @@
+"""Systematic analysis-vs-simulation validation.
+
+Sweeps a grid of configurations, runs the Monte Carlo experiment under
+both jammer strategies, and reports each point's deviation from its
+Theorem 1 closed form.  Used by ``python -m repro validate`` and by the
+integration tests as a regression net: if a model change silently
+breaks the Theorem 1 agreement anywhere on the grid, this catches it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.adversary.jammer import JammerStrategy
+from repro.analysis.dndp_theory import (
+    dndp_lower_bound,
+    dndp_upper_bound,
+)
+from repro.core.config import JRSNDConfig, default_config
+from repro.experiments.runner import NetworkExperiment
+from repro.utils.validation import check_positive
+
+__all__ = ["ValidationPoint", "validate_theorem1_grid", "worst_deviation"]
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One grid point's simulated vs predicted D-NDP probability."""
+
+    q: int
+    share_count: int
+    strategy: str
+    simulated: float
+    predicted: float
+
+    @property
+    def deviation(self) -> float:
+        """Absolute simulation-theory gap."""
+        return abs(self.simulated - self.predicted)
+
+
+def validate_theorem1_grid(
+    q_values: Sequence[int] = (0, 20, 60),
+    l_values: Sequence[int] = (20, 40),
+    runs: int = 3,
+    seed: int = 2011,
+    base: Optional[JRSNDConfig] = None,
+) -> List[ValidationPoint]:
+    """Run the grid and return every point's deviation.
+
+    Reactive runs are compared against ``P^-`` and random runs against
+    ``P^+`` — the strategy each bound models exactly.
+    """
+    check_positive("runs", runs)
+    config0 = base if base is not None else default_config()
+    points: List[ValidationPoint] = []
+    for l in l_values:
+        for q in q_values:
+            config = config0.replace(
+                share_count=int(l), n_compromised=int(q)
+            )
+            for strategy, bound in (
+                (JammerStrategy.REACTIVE, dndp_lower_bound),
+                (JammerStrategy.RANDOM, dndp_upper_bound),
+            ):
+                result = NetworkExperiment(
+                    config, seed=seed, strategy=strategy
+                ).run(runs)
+                points.append(
+                    ValidationPoint(
+                        q=int(q),
+                        share_count=int(l),
+                        strategy=strategy.value,
+                        simulated=result.discovery_probability("dndp"),
+                        predicted=bound(config, int(q)),
+                    )
+                )
+    return points
+
+
+def worst_deviation(points: Sequence[ValidationPoint]) -> Tuple[
+    float, Optional[ValidationPoint]
+]:
+    """The largest simulation-theory gap on the grid and its point."""
+    worst: Optional[ValidationPoint] = None
+    for point in points:
+        if worst is None or point.deviation > worst.deviation:
+            worst = point
+    return (worst.deviation if worst else 0.0), worst

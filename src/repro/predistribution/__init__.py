@@ -1,0 +1,33 @@
+"""Random spread-code pre-distribution (Section V-A of the paper).
+
+The authority generates a pool of ``s`` secret spread codes and runs ``m``
+assignment rounds; in each round the ``n`` nodes are randomly partitioned
+into ``w = n / l`` subsets of size ``l`` and each subset receives one
+fresh code.  After ``m`` rounds every node holds ``m`` codes and every
+code is held by exactly ``l`` nodes, which gives the authority *fine
+control of the damage from compromised spread codes* — the paper's core
+departure from Eschenauer-Gligor-style random drawing.
+"""
+
+from repro.predistribution.analysis import (
+    code_compromise_probability,
+    expected_compromised_codes,
+    expected_shared_codes,
+    probability_at_least_one_shared,
+    shared_code_pmf,
+    shared_codes_probability,
+)
+from repro.predistribution.authority import CodeAssignment, PreDistributor
+from repro.predistribution.revocation import RevocationList
+
+__all__ = [
+    "PreDistributor",
+    "CodeAssignment",
+    "RevocationList",
+    "shared_codes_probability",
+    "shared_code_pmf",
+    "code_compromise_probability",
+    "expected_compromised_codes",
+    "expected_shared_codes",
+    "probability_at_least_one_shared",
+]

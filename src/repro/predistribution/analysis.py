@@ -1,0 +1,102 @@
+"""Closed-form analysis of the pre-distribution scheme (Section VI-A1).
+
+Two results from the paper:
+
+- Eq. (1): the number of codes shared by two nodes is binomial,
+  ``Pr[x] = C(m, x) * ((l-1)/(n-1))^x * ((n-l)/(n-1))^(m-x)``,
+  because each of the ``m`` independent rounds pairs the two nodes into
+  the same subset with probability ``(l-1)/(n-1)``.
+
+- Eq. (2): after ``q`` node compromises, any single pool code is
+  compromised with probability ``alpha = 1 - C(n-l, q) / C(n, q)``
+  (the complement of "none of the code's l holders is among the q").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "shared_codes_probability",
+    "shared_code_pmf",
+    "expected_shared_codes",
+    "probability_at_least_one_shared",
+    "code_compromise_probability",
+    "expected_compromised_codes",
+]
+
+
+def _check_population(n: int, l: int) -> None:
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    if not 2 <= l <= n:
+        raise ConfigurationError(f"l must be in [2, n={n}], got {l}")
+
+
+def shared_codes_probability(x: int, n: int, m: int, l: int) -> float:
+    """Eq. (1): probability two nodes share exactly ``x`` codes.
+
+    >>> round(sum(shared_codes_probability(x, 100, 10, 20) for x in range(11)), 9)
+    1.0
+    """
+    _check_population(n, l)
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    if not 0 <= x <= m:
+        return 0.0
+    p_round = (l - 1) / (n - 1)
+    return (
+        math.comb(m, x) * p_round**x * (1.0 - p_round) ** (m - x)
+    )
+
+
+def shared_code_pmf(n: int, m: int, l: int) -> np.ndarray:
+    """The full pmf of Eq. (1), indices 0..m."""
+    return np.array(
+        [shared_codes_probability(x, n, m, l) for x in range(m + 1)]
+    )
+
+
+def expected_shared_codes(n: int, m: int, l: int) -> float:
+    """Mean shared-code count: ``m (l-1)/(n-1)``."""
+    _check_population(n, l)
+    return m * (l - 1) / (n - 1)
+
+
+def probability_at_least_one_shared(n: int, m: int, l: int) -> float:
+    """Probability two nodes can even attempt D-NDP: ``1 - Pr[0]``."""
+    return 1.0 - shared_codes_probability(0, n, m, l)
+
+
+def code_compromise_probability(n: int, l: int, q: int) -> float:
+    """Eq. (2): probability a given pool code is compromised.
+
+    ``q`` is the number of compromised nodes; the code is safe only if
+    all ``q`` fall outside its ``l`` holders.
+    """
+    _check_population(n, l)
+    if q < 0:
+        raise ConfigurationError(f"q must be >= 0, got {q}")
+    if q == 0:
+        return 0.0
+    if q > n - l:
+        return 1.0
+    # C(n-l, q) / C(n, q) computed stably in log space.
+    log_ratio = (
+        math.lgamma(n - l + 1)
+        - math.lgamma(n - l - q + 1)
+        - math.lgamma(n + 1)
+        + math.lgamma(n - q + 1)
+    )
+    return 1.0 - math.exp(log_ratio)
+
+
+def expected_compromised_codes(s: int, n: int, l: int, q: int) -> float:
+    """Expected compromised pool codes ``c = s * alpha``."""
+    if s < 1:
+        raise ConfigurationError(f"s must be >= 1, got {s}")
+    return s * code_compromise_probability(n, l, q)

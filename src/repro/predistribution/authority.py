@@ -1,0 +1,249 @@
+"""The authority's code-assignment procedure (Section V-A).
+
+``m`` rounds of random equal partition: in round ``i`` the authority
+splits the ``n`` nodes into ``w`` subsets of cardinality ``l`` and
+assigns code ``C_{w(i-1)+j}`` to subset ``j``.  When ``l`` does not
+divide ``n``, virtual nodes pad the last subsets; their assignments are
+banked and handed to late joiners.  If more than the banked number of new
+nodes arrive, a whole extra distribution round re-runs over the existing
+pool, raising each code's share count by one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = ["CodeAssignment", "PreDistributor"]
+
+
+@dataclass
+class CodeAssignment:
+    """The result of pre-distribution.
+
+    Attributes
+    ----------
+    node_codes:
+        ``node_codes[i]`` is the ordered list of pool indices assigned to
+        node ``i`` (length ``m``).
+    code_holders:
+        ``code_holders[c]`` is the set of node indices holding pool code
+        ``c``.
+    pool_size:
+        Total number of pool codes ``s = w * m`` used by the assignment.
+    """
+
+    node_codes: List[List[int]]
+    code_holders: Dict[int, Set[int]] = field(repr=False)
+    pool_size: int = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of (real) nodes covered by the assignment."""
+        return len(self.node_codes)
+
+    @property
+    def codes_per_node(self) -> int:
+        """The paper's ``m``."""
+        return len(self.node_codes[0]) if self.node_codes else 0
+
+    def shared_codes(self, a: int, b: int) -> List[int]:
+        """Pool indices shared by nodes ``a`` and ``b`` (the paper's
+        ``C_A ∩ C_B``)."""
+        return sorted(set(self.node_codes[a]) & set(self.node_codes[b]))
+
+    def holders_of(self, code_index: int) -> Set[int]:
+        """Nodes holding pool code ``code_index``."""
+        return set(self.code_holders.get(code_index, set()))
+
+    def max_share_count(self) -> int:
+        """Largest number of nodes sharing any one code (``<= l`` plus
+        any late-join increments)."""
+        return max(
+            (len(holders) for holders in self.code_holders.values()),
+            default=0,
+        )
+
+    def compromised_codes(self, compromised_nodes: Sequence[int]) -> Set[int]:
+        """Union of pool indices held by the given nodes."""
+        codes: Set[int] = set()
+        for node in compromised_nodes:
+            if not 0 <= node < self.n_nodes:
+                raise ConfigurationError(
+                    f"node index {node} out of range [0, {self.n_nodes})"
+                )
+            codes.update(self.node_codes[node])
+        return codes
+
+
+class PreDistributor:
+    """Runs the ``m``-round partition assignment.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes ``n``.
+    codes_per_node:
+        Codes per node ``m``.
+    share_count:
+        Nodes per code ``l``.
+    """
+
+    def __init__(
+        self, n_nodes: int, codes_per_node: int, share_count: int
+    ) -> None:
+        check_positive("n_nodes", n_nodes)
+        check_positive("codes_per_node", codes_per_node)
+        check_positive("share_count", share_count)
+        if share_count < 2:
+            raise ConfigurationError(
+                f"share_count (l) must be >= 2 for any code to be shared, "
+                f"got {share_count}"
+            )
+        if share_count > n_nodes:
+            raise ConfigurationError(
+                f"share_count l={share_count} cannot exceed n={n_nodes}"
+            )
+        self._n = int(n_nodes)
+        self._m = int(codes_per_node)
+        self._l = int(share_count)
+        # Virtual nodes pad n up to a multiple of l (Section V-A).
+        self._w = math.ceil(self._n / self._l)
+        self._n_virtual = self._w * self._l - self._n
+
+    @property
+    def n_nodes(self) -> int:
+        """Real node count ``n``."""
+        return self._n
+
+    @property
+    def codes_per_node(self) -> int:
+        """Codes per node ``m``."""
+        return self._m
+
+    @property
+    def share_count(self) -> int:
+        """Target share count ``l``."""
+        return self._l
+
+    @property
+    def subsets_per_round(self) -> int:
+        """The paper's ``w = ceil(n / l)``."""
+        return self._w
+
+    @property
+    def n_virtual(self) -> int:
+        """Virtual nodes introduced to pad the partition (``l'``)."""
+        return self._n_virtual
+
+    @property
+    def pool_size(self) -> int:
+        """Pool codes consumed: ``s = w * m``."""
+        return self._w * self._m
+
+    def assign(self, rng: np.random.Generator) -> CodeAssignment:
+        """Run the ``m`` rounds and return the assignment.
+
+        Virtual node slots participate in the partition but their codes
+        are simply not recorded against any real node, so some codes end
+        up shared by fewer than ``l`` real nodes — the behaviour the
+        paper describes as "not affect the performance very much".
+        """
+        total = self._n + self._n_virtual
+        node_codes: List[List[int]] = [[] for _ in range(self._n)]
+        code_holders: Dict[int, Set[int]] = {}
+        for round_index in range(self._m):
+            order = rng.permutation(total)
+            for subset_index in range(self._w):
+                code_index = self._w * round_index + subset_index
+                members = order[
+                    subset_index * self._l : (subset_index + 1) * self._l
+                ]
+                holders = {int(node) for node in members if node < self._n}
+                code_holders[code_index] = holders
+                for node in holders:
+                    node_codes[node].append(code_index)
+        return CodeAssignment(
+            node_codes=node_codes,
+            code_holders=code_holders,
+            pool_size=self.pool_size,
+        )
+
+    def admit_new_nodes(
+        self,
+        assignment: CodeAssignment,
+        n_new: int,
+        rng: np.random.Generator,
+    ) -> Tuple[CodeAssignment, List[int]]:
+        """Admit ``n_new`` late joiners (Section V-A's join procedure).
+
+        Virtual-node slots are consumed first: each new node inherits a
+        random unused code from each round's short subsets.  Once the
+        virtual budget is exhausted, a full extra pass re-partitions
+        ``w`` new nodes over the existing pool, raising share counts by
+        one.  Returns the extended assignment and the indices of the new
+        nodes.
+        """
+        check_positive("n_new", n_new)
+        node_codes = [list(codes) for codes in assignment.node_codes]
+        code_holders = {
+            code: set(holders)
+            for code, holders in assignment.code_holders.items()
+        }
+        new_indices: List[int] = []
+        remaining = int(n_new)
+        virtual_budget = self._n_virtual - (len(node_codes) - self._n)
+        while remaining > 0 and virtual_budget > 0:
+            new_node = len(node_codes)
+            codes = self._codes_for_virtual_slot(code_holders, rng)
+            node_codes.append(codes)
+            for code in codes:
+                code_holders.setdefault(code, set()).add(new_node)
+            new_indices.append(new_node)
+            remaining -= 1
+            virtual_budget -= 1
+        while remaining > 0:
+            batch = min(remaining, self._w)
+            start = len(node_codes)
+            # One extra distribution round-set over the existing s codes.
+            for round_index in range(self._m):
+                order = rng.permutation(self._w)
+                for offset in range(batch):
+                    node = start + offset
+                    code_index = self._w * round_index + int(order[offset])
+                    if node >= len(node_codes):
+                        node_codes.extend(
+                            [] for _ in range(node - len(node_codes) + 1)
+                        )
+                    node_codes[node].append(code_index)
+                    code_holders.setdefault(code_index, set()).add(node)
+            new_indices.extend(range(start, start + batch))
+            remaining -= batch
+        extended = CodeAssignment(
+            node_codes=node_codes,
+            code_holders=code_holders,
+            pool_size=assignment.pool_size,
+        )
+        return extended, new_indices
+
+    def _codes_for_virtual_slot(
+        self, code_holders: Dict[int, Set[int]], rng: np.random.Generator
+    ) -> List[int]:
+        """Pick one under-subscribed code per round for a late joiner."""
+        codes: List[int] = []
+        for round_index in range(self._m):
+            round_codes = range(
+                self._w * round_index, self._w * (round_index + 1)
+            )
+            short = [
+                c for c in round_codes if len(code_holders.get(c, ())) < self._l
+            ]
+            pool = short if short else list(round_codes)
+            codes.append(int(pool[int(rng.integers(0, len(pool)))]))
+        return codes

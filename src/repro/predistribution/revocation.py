@@ -1,0 +1,88 @@
+"""Local spread-code revocation (Section V-D).
+
+Each node keeps a counter per spread code it holds; every invalid
+neighbor-discovery request received under that code (bad signature, bad
+MAC) increments the counter, and once it exceeds the threshold ``gamma``
+the node locally revokes the code.  With every code held by at most
+``l`` nodes, a compromised code can force at most ``(l - 1) * gamma``
+wasted verifications across the network — the bound the DoS-resilience
+benchmark checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from repro.errors import ConfigurationError, RevokedCodeError
+from repro.utils.validation import check_positive
+
+__all__ = ["RevocationList"]
+
+
+class RevocationList:
+    """Per-node counters and revocation state for its spread codes.
+
+    Parameters
+    ----------
+    codes:
+        The pool indices this node holds.
+    gamma:
+        Invalid-request threshold; exceeding it revokes the code.
+    """
+
+    def __init__(self, codes: Iterable[int], gamma: int) -> None:
+        check_positive("gamma", gamma)
+        self._gamma = int(gamma)
+        self._counters: Dict[int, int] = {int(c): 0 for c in codes}
+        if not self._counters:
+            raise ConfigurationError("a node must hold at least one code")
+        self._revoked: Set[int] = set()
+
+    @property
+    def gamma(self) -> int:
+        """The revocation threshold."""
+        return self._gamma
+
+    @property
+    def revoked(self) -> Set[int]:
+        """Pool indices this node has locally revoked."""
+        return set(self._revoked)
+
+    def active_codes(self) -> Set[int]:
+        """Codes still accepted for spreading/de-spreading."""
+        return set(self._counters) - self._revoked
+
+    def is_active(self, code_index: int) -> bool:
+        """Whether the node still uses ``code_index``."""
+        return code_index in self._counters and code_index not in self._revoked
+
+    def counter(self, code_index: int) -> int:
+        """Current invalid-request count for a held code."""
+        self._require_held(code_index)
+        return self._counters[code_index]
+
+    def record_invalid_request(self, code_index: int) -> bool:
+        """Count one invalid request under ``code_index``.
+
+        Returns True if this request tipped the code into revocation.
+        Requests under already-revoked codes raise
+        :class:`RevokedCodeError` — the node no longer de-spreads them,
+        so the caller (the simulation's medium) should not have delivered
+        the message at all.
+        """
+        self._require_held(code_index)
+        if code_index in self._revoked:
+            raise RevokedCodeError(
+                f"code {code_index} is already revoked at this node"
+            )
+        self._counters[code_index] += 1
+        if self._counters[code_index] > self._gamma:
+            self._revoked.add(code_index)
+            return True
+        return False
+
+    def _require_held(self, code_index: int) -> None:
+        if code_index not in self._counters:
+            raise ConfigurationError(
+                f"code {code_index} is not held by this node"
+            )

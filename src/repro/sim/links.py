@@ -1,0 +1,129 @@
+"""Link models: when does a transmission reach a receiver?
+
+The paper's model is a unit disk — two nodes are physical neighbors iff
+their distance is at most the transmission range — and that is the
+default here (:class:`DiskLinkModel`).  Real radios fade;
+:class:`LogNormalShadowingModel` implements the standard log-distance
+path loss with log-normal shadowing, calibrated so the *median* range
+equals the configured ``tx_range``: reception probability is 0.5 at the
+nominal range, higher inside, lower outside, with the transition width
+set by ``sigma_db / path_loss_exponent``.
+
+The medium samples each (transmission, receiver) pair independently;
+discovery probabilities under fading can then be compared against the
+disk model (see ``tests/sim/test_links.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+__all__ = ["LinkModel", "DiskLinkModel", "LogNormalShadowingModel"]
+
+
+class LinkModel(Protocol):
+    """Decides reception for one transmission at one receiver."""
+
+    def delivered(
+        self, distance: float, rng: np.random.Generator
+    ) -> bool:
+        """Whether a transmission at ``distance`` meters is received."""
+
+    def reception_probability(self, distance: float) -> float:
+        """The marginal reception probability at ``distance``."""
+
+
+class DiskLinkModel:
+    """The paper's unit-disk model: in range iff distance <= tx_range."""
+
+    def __init__(self, tx_range: float) -> None:
+        check_positive("tx_range", tx_range)
+        self._range = float(tx_range)
+
+    @property
+    def tx_range(self) -> float:
+        """The hard reception radius."""
+        return self._range
+
+    def reception_probability(self, distance: float) -> float:
+        """1 inside the disk, 0 outside."""
+        if distance < 0:
+            raise ConfigurationError(f"negative distance {distance}")
+        return 1.0 if distance <= self._range else 0.0
+
+    def delivered(
+        self, distance: float, rng: np.random.Generator
+    ) -> bool:
+        """Deterministic disk membership (rng unused)."""
+        return self.reception_probability(distance) > 0.5
+
+
+class LogNormalShadowingModel:
+    """Log-distance path loss with log-normal shadowing.
+
+    Received power at distance ``d`` (dB, relative):
+    ``P(d) = -10 n log10(d / d_ref) + X``, ``X ~ N(0, sigma^2)``; the
+    frame is received when ``P(d)`` exceeds the sensitivity threshold,
+    which we place so that ``P(tx_range)`` is met with probability 0.5
+    — i.e. the configured range is the *median* range.
+
+    Parameters
+    ----------
+    tx_range:
+        Median reception range in meters.
+    path_loss_exponent:
+        The exponent ``n`` (2 free space, ~2.7-4 outdoor).
+    sigma_db:
+        Shadowing standard deviation in dB (0 reduces to the disk).
+    """
+
+    def __init__(
+        self,
+        tx_range: float,
+        path_loss_exponent: float = 3.0,
+        sigma_db: float = 4.0,
+    ) -> None:
+        check_positive("tx_range", tx_range)
+        check_positive("path_loss_exponent", path_loss_exponent)
+        if sigma_db < 0:
+            raise ConfigurationError(
+                f"sigma_db must be >= 0, got {sigma_db}"
+            )
+        self._range = float(tx_range)
+        self._exponent = float(path_loss_exponent)
+        self._sigma = float(sigma_db)
+
+    @property
+    def tx_range(self) -> float:
+        """Median reception range."""
+        return self._range
+
+    def _margin_db(self, distance: float) -> float:
+        """Link margin over the threshold at ``distance`` (dB)."""
+        if distance < 0:
+            raise ConfigurationError(f"negative distance {distance}")
+        if distance == 0:
+            return float("inf")
+        return -10.0 * self._exponent * math.log10(distance / self._range)
+
+    def reception_probability(self, distance: float) -> float:
+        """``Q(-margin / sigma)`` — 0.5 exactly at the median range."""
+        margin = self._margin_db(distance)
+        if math.isinf(margin):
+            return 1.0
+        if self._sigma == 0:
+            return 1.0 if margin >= 0 else 0.0
+        # Phi(margin / sigma) via erf.
+        return 0.5 * (1.0 + math.erf(margin / (self._sigma * math.sqrt(2))))
+
+    def delivered(
+        self, distance: float, rng: np.random.Generator
+    ) -> bool:
+        """Sample one shadowing realization."""
+        return bool(rng.random() < self.reception_probability(distance))

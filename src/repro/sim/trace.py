@@ -1,0 +1,111 @@
+"""Tracing and statistics collection for simulations.
+
+A :class:`TraceRecorder` accumulates named counters, timing samples, and
+an optional structured event log; the experiment harness reads these to
+build the figure series, and tests assert on them.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TraceRecorder", "TraceEvent"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured log entry."""
+
+    time: float
+    category: str
+    detail: Dict[str, Any]
+
+
+class TraceRecorder:
+    """Counters, timing samples, and an event log.
+
+    Parameters
+    ----------
+    keep_events:
+        Whether to retain the structured event log (large runs disable
+        it and keep only counters/samples).
+    """
+
+    def __init__(self, keep_events: bool = True) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+        self._events: List[TraceEvent] = []
+        self._keep_events = bool(keep_events)
+
+    # -- counters -------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name``."""
+        self._counters[name] += int(amount)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """All counters as a plain dict."""
+        return dict(self._counters)
+
+    # -- timing samples --------------------------------------------------
+
+    def sample(self, name: str, value: float) -> None:
+        """Record one numeric sample under ``name``."""
+        if not math.isfinite(value):
+            raise ConfigurationError(f"non-finite sample for {name}: {value}")
+        self._samples[name].append(float(value))
+
+    def samples(self, name: str) -> List[float]:
+        """All samples recorded under ``name``."""
+        return list(self._samples.get(name, ()))
+
+    def mean(self, name: str) -> Optional[float]:
+        """Mean of a sample series, or None if empty."""
+        values = self._samples.get(name)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def percentile(self, name: str, q: float) -> Optional[float]:
+        """The ``q``-th percentile (0-100) of a sample series."""
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"q must be in [0, 100], got {q}")
+        values = sorted(self._samples.get(name, ()))
+        if not values:
+            return None
+        rank = (len(values) - 1) * q / 100.0
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return values[low]
+        weight = rank - low
+        return values[low] * (1 - weight) + values[high] * weight
+
+    # -- structured events -----------------------------------------------
+
+    def log(self, time: float, category: str, **detail: Any) -> None:
+        """Append a structured event (no-op when events are disabled)."""
+        if self._keep_events:
+            self._events.append(TraceEvent(time, category, detail))
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """All events, optionally filtered by category."""
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def summary(self) -> Dict[str, Tuple[int, Optional[float]]]:
+        """Compact overview: per-series (count, mean)."""
+        out: Dict[str, Tuple[int, Optional[float]]] = {}
+        for name, values in self._samples.items():
+            out[name] = (len(values), sum(values) / len(values))
+        return out

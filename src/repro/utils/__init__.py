@@ -1,0 +1,44 @@
+"""Shared low-level utilities: bit sequences, NRZ conversion, RNG helpers."""
+
+from repro.utils.bitstring import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_int,
+    hamming_distance,
+    nrz_from_bits,
+    nrz_to_bits,
+    random_bits,
+    xor_bits,
+)
+from repro.utils.rng import SeedSequencer, derive_rng, fraction_indices
+from repro.utils.stats import mean_confidence_interval, wilson_interval
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_from_int",
+    "bits_to_bytes",
+    "bits_to_int",
+    "hamming_distance",
+    "nrz_from_bits",
+    "nrz_to_bits",
+    "random_bits",
+    "xor_bits",
+    "SeedSequencer",
+    "derive_rng",
+    "fraction_indices",
+    "mean_confidence_interval",
+    "wilson_interval",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_type",
+]

@@ -1,0 +1,120 @@
+"""Bit-sequence utilities.
+
+The DSSS layer (Section III of the paper) works on *NRZ* (non-return-to-zero)
+sequences: bit ``1`` maps to ``+1`` and bit ``0`` maps to ``-1``.  Everything
+above the physical layer works on ordinary 0/1 bits or bytes.  This module
+provides the conversions between those representations.
+
+Bits are represented as ``numpy`` arrays of dtype ``int8`` with values in
+{0, 1}; NRZ sequences are ``int8`` arrays with values in {-1, +1}.  Using a
+fixed dtype keeps chip-level simulations of 512-chip codes over multi-bit
+messages cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_to_bytes",
+    "bits_from_int",
+    "bits_to_int",
+    "nrz_from_bits",
+    "nrz_to_bits",
+    "random_bits",
+    "xor_bits",
+    "hamming_distance",
+]
+
+
+def bits_from_bytes(data: bytes) -> np.ndarray:
+    """Expand ``data`` into a bit array, most significant bit first.
+
+    >>> bits_from_bytes(b"\\x80").tolist()
+    [1, 0, 0, 0, 0, 0, 0, 0]
+    """
+    if not isinstance(data, (bytes, bytearray)):
+        raise ConfigurationError(f"expected bytes, got {type(data).__name__}")
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    return np.unpackbits(raw).astype(np.int8)
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Pack a 0/1 bit array (MSB first) back into bytes.
+
+    The bit length must be a multiple of 8; use :func:`bits_from_int` for
+    arbitrary-width fields.
+    """
+    bits = np.asarray(bits)
+    if bits.size % 8 != 0:
+        raise ConfigurationError(
+            f"bit length {bits.size} is not a multiple of 8"
+        )
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ConfigurationError("bit array must contain only 0 and 1")
+    return np.packbits(bits.astype(np.uint8)).tobytes()
+
+
+def bits_from_int(value: int, width: int) -> np.ndarray:
+    """Encode a non-negative integer as a fixed-width bit array (MSB first)."""
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if value < 0:
+        raise ConfigurationError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ConfigurationError(f"value {value} does not fit in {width} bits")
+    return np.array(
+        [(value >> (width - 1 - i)) & 1 for i in range(width)], dtype=np.int8
+    )
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Decode a bit array (MSB first) into an integer."""
+    result = 0
+    for bit in np.asarray(bits).tolist():
+        if bit not in (0, 1):
+            raise ConfigurationError(f"invalid bit value {bit}")
+        result = (result << 1) | bit
+    return result
+
+
+def nrz_from_bits(bits: np.ndarray) -> np.ndarray:
+    """Map bits {0, 1} to NRZ symbols {-1, +1} (Section III of the paper)."""
+    bits = np.asarray(bits, dtype=np.int8)
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ConfigurationError("bit array must contain only 0 and 1")
+    return (2 * bits - 1).astype(np.int8)
+
+
+def nrz_to_bits(nrz: np.ndarray) -> np.ndarray:
+    """Map NRZ symbols {-1, +1} back to bits {0, 1}."""
+    nrz = np.asarray(nrz, dtype=np.int8)
+    if nrz.size and not np.isin(nrz, (-1, 1)).all():
+        raise ConfigurationError("NRZ array must contain only -1 and +1")
+    return ((nrz + 1) // 2).astype(np.int8)
+
+
+def random_bits(length: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``length`` uniform random bits from ``rng``."""
+    if length < 0:
+        raise ConfigurationError(f"length must be non-negative, got {length}")
+    return rng.integers(0, 2, size=length, dtype=np.int8)
+
+
+def xor_bits(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bitwise XOR of two equal-length bit arrays."""
+    a = np.asarray(a, dtype=np.int8)
+    b = np.asarray(b, dtype=np.int8)
+    if a.shape != b.shape:
+        raise ConfigurationError(
+            f"shape mismatch: {a.shape} vs {b.shape}"
+        )
+    return np.bitwise_xor(a, b).astype(np.int8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of positions where two equal-length bit arrays differ."""
+    return int(xor_bits(a, b).sum())

@@ -1,0 +1,92 @@
+"""Deterministic randomness plumbing.
+
+Every stochastic component in this package draws from a
+``numpy.random.Generator`` that is *passed in*, never from a module-level
+global.  :class:`SeedSequencer` hands out independent child generators from a
+single experiment seed so that (a) a whole experiment is reproducible from
+one integer and (b) changing how many draws one subsystem makes does not
+perturb another subsystem's stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SeedSequencer", "derive_rng", "fraction_indices"]
+
+
+class SeedSequencer:
+    """Hands out independent, reproducible child RNGs from a root seed.
+
+    Children are keyed by a string label; asking for the same label twice
+    returns generators with identical streams, so components can be
+    re-created mid-experiment without losing reproducibility.
+
+    >>> seq = SeedSequencer(42)
+    >>> a1 = seq.rng("jammer")
+    >>> a2 = seq.rng("jammer")
+    >>> bool((a1.integers(0, 100, 5) == a2.integers(0, 100, 5)).all())
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        if not isinstance(seed, (int, np.integer)):
+            raise ConfigurationError(
+                f"seed must be an int, got {type(seed).__name__}"
+            )
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The root seed."""
+        return self._seed
+
+    def rng(self, label: str) -> np.random.Generator:
+        """Return the child generator for ``label``."""
+        return derive_rng(self._seed, label)
+
+    def child(self, label: str) -> "SeedSequencer":
+        """Return a child sequencer with its own namespace."""
+        entropy = np.random.SeedSequence(
+            self._seed, spawn_key=(_label_key(label),)
+        )
+        return SeedSequencer(int(entropy.generate_state(1)[0]))
+
+    def spawn(self, labels: Iterable[str]) -> List[np.random.Generator]:
+        """Return one child generator per label, in order."""
+        return [self.rng(label) for label in labels]
+
+
+def _label_key(label: str) -> int:
+    """Map a string label to a stable 32-bit spawn key."""
+    key = 2166136261
+    for ch in label.encode("utf-8"):
+        key = ((key ^ ch) * 16777619) & 0xFFFFFFFF
+    return key
+
+
+def derive_rng(seed: int, label: str) -> np.random.Generator:
+    """Create a generator deterministically derived from ``seed`` + ``label``."""
+    sequence = np.random.SeedSequence(int(seed), spawn_key=(_label_key(label),))
+    return np.random.default_rng(sequence)
+
+
+def fraction_indices(
+    length: int, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose ``round(fraction * length)`` distinct indices in ``[0, length)``.
+
+    Used by the channel and jammer models to corrupt a fraction of a
+    message's bits or chips.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+    if length < 0:
+        raise ConfigurationError(f"length must be non-negative, got {length}")
+    count = int(round(fraction * length))
+    count = min(count, length)
+    return rng.choice(length, size=count, replace=False)

@@ -1,0 +1,68 @@
+"""Small argument-validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` with a uniform message
+format, keeping the validation noise in constructors short and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_in_range",
+    "check_type",
+]
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Require ``value > 0``; return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Require ``value >= 0``; return it."""
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: Number) -> Number:
+    """Require ``0 <= value <= 1``; return it."""
+    if not 0 <= value <= 1:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str, value: Number, low: Number, high: Number
+) -> Number:
+    """Require ``low <= value <= high``; return it."""
+    if not low <= value <= high:
+        raise ConfigurationError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def check_type(
+    name: str, value: Any, types: Union[Type, Tuple[Type, ...]]
+) -> Any:
+    """Require ``isinstance(value, types)``; return the value."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise ConfigurationError(
+            f"{name} must be {expected}, got {type(value).__name__}"
+        )
+    return value

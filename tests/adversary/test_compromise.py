@@ -1,0 +1,52 @@
+"""Unit tests for the node compromise model."""
+
+import pytest
+
+from repro.adversary.compromise import CompromiseModel
+from repro.errors import ConfigurationError
+from repro.predistribution.authority import PreDistributor
+
+
+@pytest.fixture
+def assignment(rng):
+    return PreDistributor(40, codes_per_node=4, share_count=8).assign(rng)
+
+
+class TestCompromise:
+    def test_random_count(self, assignment, rng):
+        state = CompromiseModel(assignment).compromise_random(5, rng)
+        assert state.n_nodes == 5
+
+    def test_codes_are_union(self, assignment, rng):
+        model = CompromiseModel(assignment)
+        state = model.compromise_nodes([0, 3])
+        expected = set(assignment.node_codes[0]) | set(
+            assignment.node_codes[3]
+        )
+        assert set(state.codes) == expected
+        assert state.n_codes == len(expected)
+
+    def test_knows_queries(self, assignment, rng):
+        model = CompromiseModel(assignment)
+        state = model.compromise_nodes([1])
+        assert state.knows_node(1)
+        assert not state.knows_node(2)
+        for code in assignment.node_codes[1]:
+            assert state.knows_code(code)
+
+    def test_empty(self, assignment):
+        state = CompromiseModel(assignment).empty()
+        assert state.n_nodes == 0
+        assert state.n_codes == 0
+
+    def test_zero_q(self, assignment, rng):
+        state = CompromiseModel(assignment).compromise_random(0, rng)
+        assert state.n_nodes == 0
+
+    def test_q_exceeds_n(self, assignment, rng):
+        with pytest.raises(ConfigurationError):
+            CompromiseModel(assignment).compromise_random(99, rng)
+
+    def test_distinct_nodes(self, assignment, rng):
+        state = CompromiseModel(assignment).compromise_random(10, rng)
+        assert len(state.nodes) == 10

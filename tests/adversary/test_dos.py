@@ -1,0 +1,75 @@
+"""Unit tests for the DoS attack and the (l-1)*gamma bound."""
+
+import pytest
+
+from repro.adversary.dos import DoSAttacker
+from repro.errors import ConfigurationError
+from repro.predistribution.revocation import RevocationList
+
+
+def _victims(code_holders, gamma):
+    nodes = {node for holders in code_holders.values() for node in holders}
+    victims = {}
+    for node in nodes:
+        codes = [c for c, holders in code_holders.items() if node in holders]
+        victims[node] = RevocationList(codes, gamma)
+    return victims
+
+
+class TestFlood:
+    def test_bounded_by_l_minus_one_gamma(self, rng):
+        """Section V-D: per compromised code at most (l-1)*gamma
+        verifications once every victim revokes."""
+        gamma = 3
+        l = 5
+        holders = {0: list(range(l)), 1: list(range(l))}
+        victims = _victims(holders, gamma)
+        attacker = DoSAttacker([0, 1])
+        impact = attacker.flood(victims, holders, requests_per_code=100, rng=rng)
+        # Each victim tolerates gamma + 1 requests before revoking.
+        per_code_cap = l * (gamma + 1)
+        assert impact.worst_code_verifications() <= per_code_cap
+        assert impact.revocations == 2 * l
+
+    def test_verifications_stop_after_revocation(self, rng):
+        gamma = 2
+        holders = {0: [0, 1, 2]}
+        victims = _victims(holders, gamma)
+        attacker = DoSAttacker([0])
+        first = attacker.flood(victims, holders, requests_per_code=50, rng=rng)
+        # Re-flood: all victims have revoked, zero further verifications.
+        second = attacker.flood(victims, holders, requests_per_code=50, rng=rng)
+        assert first.verifications == 3 * (gamma + 1)
+        assert second.verifications == 0
+
+    def test_unbounded_without_revocation(self, rng):
+        """With a huge gamma the attack cost grows linearly: the
+        baseline JR-SND avoids only via revocation."""
+        holders = {0: [0, 1]}
+        victims = _victims(holders, gamma=10_000)
+        attacker = DoSAttacker([0])
+        impact = attacker.flood(victims, holders, requests_per_code=500, rng=rng)
+        assert impact.verifications == 2 * 500
+
+    def test_nonheld_codes_ignored(self, rng):
+        holders = {0: [0]}
+        victims = _victims(holders, gamma=2)
+        attacker = DoSAttacker([0, 99])
+        impact = attacker.flood(victims, holders, requests_per_code=10, rng=rng)
+        assert impact.per_code_verifications[99] == 0
+
+    def test_injected_count(self, rng):
+        holders = {0: [0], 1: [0]}
+        victims = _victims(holders, gamma=1)
+        attacker = DoSAttacker([0, 1])
+        impact = attacker.flood(victims, holders, requests_per_code=7, rng=rng)
+        assert impact.injected == 14
+
+    def test_rejects_no_codes(self):
+        with pytest.raises(ConfigurationError):
+            DoSAttacker([])
+
+    def test_rejects_zero_requests(self, rng):
+        attacker = DoSAttacker([0])
+        with pytest.raises(ConfigurationError):
+            attacker.flood({}, {}, requests_per_code=0, rng=rng)

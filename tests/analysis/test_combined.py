@@ -1,0 +1,70 @@
+"""Unit tests for the combined JR-SND metrics."""
+
+import pytest
+
+from repro.analysis.combined import (
+    combined_latency,
+    combined_probability,
+    theoretical_jrsnd_probability,
+)
+from repro.analysis.dndp_theory import dndp_expected_latency
+from repro.analysis.mndp_theory import mndp_expected_latency
+from repro.core.config import default_config
+from repro.errors import ConfigurationError
+
+
+class TestCombinedProbability:
+    def test_formula(self):
+        assert combined_probability(0.6, 0.5) == pytest.approx(0.8)
+
+    def test_bounds(self):
+        assert combined_probability(0.0, 0.0) == 0.0
+        assert combined_probability(1.0, 0.0) == 1.0
+        assert combined_probability(0.0, 1.0) == 1.0
+
+    def test_at_least_max(self):
+        for p_d in (0.2, 0.5, 0.9):
+            for p_m in (0.1, 0.6):
+                combined = combined_probability(p_d, p_m)
+                assert combined >= max(p_d, p_m) - 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            combined_probability(1.2, 0.5)
+
+
+class TestCombinedLatency:
+    def test_max_of_both(self):
+        config = default_config()
+        assert combined_latency(config) == pytest.approx(
+            max(
+                dndp_expected_latency(config),
+                mndp_expected_latency(config),
+            )
+        )
+
+    def test_dndp_dominates_at_default_m(self):
+        """At m = 100 D-NDP is slower (Fig. 2(b) beyond crossover)."""
+        config = default_config()
+        assert combined_latency(config) == pytest.approx(
+            dndp_expected_latency(config)
+        )
+
+    def test_mndp_dominates_at_small_m(self):
+        config = default_config().replace(codes_per_node=20)
+        assert combined_latency(config) == pytest.approx(
+            mndp_expected_latency(config)
+        )
+
+
+class TestClosedFormJrsnd:
+    def test_reasonable_at_defaults(self):
+        value = theoretical_jrsnd_probability(default_config(), 20)
+        assert 0.9 < value <= 1.0
+
+    def test_decreasing_in_q(self):
+        config = default_config()
+        values = [
+            theoretical_jrsnd_probability(config, q) for q in (0, 40, 100)
+        ]
+        assert values[0] >= values[1] >= values[2]

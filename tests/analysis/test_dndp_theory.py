@@ -1,0 +1,138 @@
+"""Unit tests for Theorem 1 and 2 closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.jammer import JammerStrategy, JammingModel
+from repro.analysis.dndp_theory import (
+    dndp_expected_latency,
+    dndp_lower_bound,
+    dndp_probability_bounds,
+    dndp_upper_bound,
+    jamming_beta,
+    jamming_beta_prime,
+)
+from repro.core.config import default_config
+from repro.core.dndp import DNDPSampler
+from repro.predistribution.analysis import (
+    probability_at_least_one_shared,
+)
+from repro.predistribution.authority import PreDistributor
+
+
+class TestBetas:
+    def test_beta_formula(self):
+        config = default_config()
+        c = config.pool_size * _alpha(config)
+        expected = min(8 * 2 / c, 1.0)
+        assert jamming_beta(config, 20) == pytest.approx(expected)
+
+    def test_beta_prime_is_triple(self):
+        config = default_config()
+        beta = jamming_beta(config, 20)
+        assert jamming_beta_prime(config, 20) == pytest.approx(
+            min(3 * beta, 1.0)
+        )
+
+    def test_no_compromise_zero(self):
+        config = default_config()
+        assert jamming_beta(config, 0) == 0.0
+        assert jamming_beta_prime(config, 0) == 0.0
+
+
+def _alpha(config):
+    from repro.predistribution.analysis import code_compromise_probability
+
+    return code_compromise_probability(
+        config.n_nodes, config.share_count, config.n_compromised
+    )
+
+
+class TestTheorem1:
+    def test_bounds_ordered(self):
+        config = default_config()
+        for q in (0, 20, 60, 100):
+            low, high = dndp_probability_bounds(config, q)
+            assert 0 <= low <= high <= 1
+
+    def test_no_compromise_equals_share_probability(self):
+        """With q = 0 both bounds reduce to P(at least one shared code)."""
+        config = default_config()
+        expected = probability_at_least_one_shared(
+            config.n_nodes, config.codes_per_node, config.share_count
+        )
+        assert dndp_lower_bound(config, 0) == pytest.approx(expected)
+        assert dndp_upper_bound(config, 0) == pytest.approx(expected)
+
+    def test_monotone_decreasing_in_q(self):
+        config = default_config()
+        lows = [dndp_lower_bound(config, q) for q in (0, 20, 40, 80)]
+        assert all(a >= b for a, b in zip(lows, lows[1:]))
+
+    def test_lower_bound_matches_sampler(self, rng):
+        """Closed form vs the per-pair Monte Carlo process (reactive)."""
+        config = default_config().replace(
+            n_nodes=300, codes_per_node=20, share_count=15, n_compromised=10
+        )
+        distributor = PreDistributor(300, 20, 15)
+        successes = trials = 0
+        for round_ in range(4):
+            assignment = distributor.assign(rng)
+            compromise = CompromiseModel(assignment).compromise_random(
+                10, rng
+            )
+            jamming = JammingModel.from_compromise(
+                JammerStrategy.REACTIVE, compromise, 8, 1.0
+            )
+            sampler = DNDPSampler(config, jamming)
+            for a in range(0, 300, 3):
+                for b in range(a + 1, 300, 7):
+                    shared = assignment.shared_codes(a, b)
+                    successes += sampler.sample_pair(shared, rng).success
+                    trials += 1
+        empirical = successes / trials
+        theory = dndp_lower_bound(config, 10)
+        assert empirical == pytest.approx(theory, abs=0.03)
+
+    def test_upper_bound_matches_sampler(self, rng):
+        config = default_config().replace(
+            n_nodes=300, codes_per_node=20, share_count=15, n_compromised=30
+        )
+        distributor = PreDistributor(300, 20, 15)
+        successes = trials = 0
+        for round_ in range(4):
+            assignment = distributor.assign(rng)
+            compromise = CompromiseModel(assignment).compromise_random(
+                30, rng
+            )
+            jamming = JammingModel.from_compromise(
+                JammerStrategy.RANDOM, compromise, 8, 1.0
+            )
+            sampler = DNDPSampler(config, jamming)
+            for a in range(0, 300, 3):
+                for b in range(a + 1, 300, 7):
+                    shared = assignment.shared_codes(a, b)
+                    successes += sampler.sample_pair(shared, rng).success
+                    trials += 1
+        empirical = successes / trials
+        theory = dndp_upper_bound(config, 30)
+        assert empirical == pytest.approx(theory, abs=0.035)
+
+
+class TestTheorem2:
+    def test_paper_value_at_defaults(self):
+        """T_D ~ 1.70 s at Table I parameters (Fig. 2(b): < 2 s)."""
+        latency = dndp_expected_latency(default_config())
+        assert 1.5 < latency < 2.0
+
+    def test_components(self):
+        config = default_config()
+        c = config
+        schedule = (
+            c.rho * 100 * 304 * 512**2 * 42 / 2
+        )
+        auth = 2 * 512 * 160 / 22e6
+        assert dndp_expected_latency(config) == pytest.approx(
+            schedule + auth + 2 * 11e-3
+        )

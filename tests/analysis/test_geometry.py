@@ -1,0 +1,87 @@
+"""Unit tests for the Theorem 3 geometry."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.geometry import (
+    expected_common_neighbors,
+    expected_overlap_area,
+    lens_area,
+)
+from repro.errors import ConfigurationError
+from repro.sim.field import lens_overlap_fraction
+
+
+class TestLensArea:
+    def test_coincident_circles(self):
+        assert lens_area(0.0, 2.0) == pytest.approx(math.pi * 4.0)
+
+    def test_no_overlap(self):
+        assert lens_area(2.0, 1.0) == 0.0
+        assert lens_area(5.0, 1.0) == 0.0
+
+    def test_monotone_decreasing_in_distance(self):
+        values = [lens_area(d, 1.0) for d in (0.0, 0.5, 1.0, 1.5, 1.99)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_known_value_at_radius(self):
+        """At d = r the lens is 2r²cos⁻¹(1/2) − (r/2)√(3r²)."""
+        r = 3.0
+        expected = 2 * r**2 * math.acos(0.5) - (r / 2) * math.sqrt(3) * r
+        assert lens_area(r, r) == pytest.approx(expected)
+
+    def test_scales_with_radius_squared(self):
+        assert lens_area(2.0, 2.0) == pytest.approx(4.0 * lens_area(1.0, 1.0))
+
+    def test_monte_carlo_agreement(self, rng):
+        """Area by dart-throwing matches the closed form."""
+        d, r = 0.8, 1.0
+        points = rng.uniform(-1.0, 2.0, size=(200_000, 2))
+        inside_a = (points**2).sum(axis=1) <= r**2
+        inside_b = ((points - [d, 0.0]) ** 2).sum(axis=1) <= r**2
+        fraction = np.mean(inside_a & inside_b)
+        estimate = fraction * 9.0  # sample box area
+        assert estimate == pytest.approx(lens_area(d, r), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lens_area(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            lens_area(0.0, 0.0)
+
+
+class TestExpectedOverlap:
+    def test_matches_paper_closed_form(self):
+        """E[A] = (pi - 3*sqrt(3)/4) a^2 — the constant Theorem 3 uses."""
+        a = 300.0
+        expected = (math.pi - 3.0 * math.sqrt(3.0) / 4.0) * a**2
+        assert expected_overlap_area(a) == pytest.approx(expected, rel=1e-9)
+
+    def test_fraction_consistency(self):
+        """expected_overlap / disc area == lens_overlap_fraction()."""
+        a = 1.0
+        fraction = expected_overlap_area(a) / (math.pi * a**2)
+        assert fraction == pytest.approx(lens_overlap_fraction(), rel=1e-9)
+
+
+class TestCommonNeighbors:
+    def test_theorem3_form(self):
+        g = 22.6
+        assert expected_common_neighbors(g) == pytest.approx(
+            g * lens_overlap_fraction() - 1.0
+        )
+
+    def test_clamped_at_zero(self):
+        assert expected_common_neighbors(0.5) == 0.0
+
+    def test_include_endpoints(self):
+        g = 10.0
+        assert expected_common_neighbors(g, include_endpoints=True) == (
+            pytest.approx(g * lens_overlap_fraction())
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            expected_common_neighbors(0.0)

@@ -1,0 +1,77 @@
+"""Unit tests for Theorems 3 and 4."""
+
+import pytest
+
+from repro.analysis.mndp_theory import (
+    mndp_expected_latency,
+    mndp_two_hop_bound,
+)
+from repro.core.config import default_config
+from repro.errors import ConfigurationError
+from repro.sim.field import lens_overlap_fraction
+
+
+class TestTheorem3:
+    def test_form(self):
+        p_d, g = 0.2, 22.6
+        common = g * lens_overlap_fraction() - 1
+        expected = 1 - (1 - p_d**2) ** common
+        assert mndp_two_hop_bound(p_d, g) == pytest.approx(expected)
+
+    def test_monotone_in_p_d(self):
+        values = [mndp_two_hop_bound(p, 22.6) for p in (0.1, 0.3, 0.6, 0.9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_degree(self):
+        values = [mndp_two_hop_bound(0.3, g) for g in (5, 10, 20, 40)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_sparse_network_zero(self):
+        # With fewer than 1/overlap_fraction neighbors there is no
+        # common neighbor in expectation.
+        assert mndp_two_hop_bound(0.5, 1.0) == 0.0
+
+    def test_perfect_dndp(self):
+        assert mndp_two_hop_bound(1.0, 22.6) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mndp_two_hop_bound(1.5, 22.6)
+        with pytest.raises(ConfigurationError):
+            mndp_two_hop_bound(0.5, 0.0)
+
+
+class TestTheorem4:
+    def test_default_nu2_value(self):
+        """~0.8 s at Table I parameters and g ~ 22.6."""
+        latency = mndp_expected_latency(default_config())
+        assert 0.6 < latency < 1.1
+
+    def test_paper_nu6_about_four_seconds(self):
+        """Fig. 5(b): T ~ 4 s at nu = 6 (shape: same order)."""
+        latency = mndp_expected_latency(default_config(), nu=6)
+        assert 3.0 < latency < 7.0
+
+    def test_growth_in_nu(self):
+        config = default_config()
+        values = [mndp_expected_latency(config, nu=nu) for nu in range(1, 9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+        # Quadratic-ish growth: ratio of increments increases.
+        assert (values[7] - values[6]) > (values[1] - values[0])
+
+    def test_crypto_term(self):
+        config = default_config()
+        nu, g = 3, 20.0
+        from repro.core.timing import ProtocolTiming
+
+        t_nu = ProtocolTiming(config).theorem4_t_nu(nu, g)
+        expected = t_nu + 2 * nu * (nu + 1) * config.t_ver + 2 * nu * config.t_sig
+        assert mndp_expected_latency(config, nu=nu, degree=g) == pytest.approx(
+            expected
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mndp_expected_latency(default_config(), nu=0)
+        with pytest.raises(ConfigurationError):
+            mndp_expected_latency(default_config(), degree=-1.0)

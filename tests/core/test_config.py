@@ -1,0 +1,86 @@
+"""Unit tests for the configuration (Table I)."""
+
+import pytest
+
+from repro.core.config import JRSNDConfig, default_config
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        config = default_config()
+        assert config.n_nodes == 2000
+        assert config.codes_per_node == 100
+        assert config.share_count == 40
+        assert config.n_compromised == 20
+        assert config.code_length == 512
+        assert config.chip_rate == pytest.approx(22e6)
+        assert config.rho == pytest.approx(1e-11)
+        assert config.mu == 1.0
+        assert config.nu == 2
+        assert config.type_bits == 5
+        assert config.id_bits == 16
+        assert config.nonce_bits == 20
+        assert config.auth_frame_bits == 160
+        assert config.hop_field_bits == 4
+        assert config.signature_bits == 672
+        assert config.t_key == pytest.approx(11e-3)
+        assert config.t_sig == pytest.approx(5.7e-3)
+        assert config.t_ver == pytest.approx(35.5e-3)
+
+    def test_field_parameters(self):
+        config = default_config()
+        assert config.field_width == 5000.0
+        assert config.tx_range == 300.0
+
+
+class TestDerived:
+    def test_pool_size(self):
+        config = default_config()
+        assert config.subsets_per_round == 50
+        assert config.pool_size == 5000
+
+    def test_hello_coded_bits(self):
+        # l_h = (1 + mu)(l_t + l_id) = 2 * 21 = 42.
+        assert default_config().hello_coded_bits == 42
+
+    def test_mac_bits_from_l_f(self):
+        # l_f = (1+mu)(l_id + l_n + l_mac) = 160 -> l_mac = 44.
+        assert default_config().mac_bits == 44
+
+    def test_expected_degree(self):
+        g = default_config().expected_degree
+        assert 22 < g < 23  # ~22.6 at the paper's parameters
+
+    def test_replace(self):
+        config = default_config().replace(codes_per_node=50)
+        assert config.codes_per_node == 50
+        assert config.n_nodes == 2000  # untouched
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            default_config().replace(share_count=1)
+
+
+class TestValidation:
+    def test_q_cannot_exceed_n(self):
+        with pytest.raises(ConfigurationError):
+            JRSNDConfig(n_nodes=10, share_count=5, n_compromised=11)
+
+    def test_l_bounds(self):
+        with pytest.raises(ConfigurationError):
+            JRSNDConfig(share_count=1)
+
+    def test_tau_range(self):
+        with pytest.raises(ConfigurationError):
+            JRSNDConfig(tau=0.0)
+
+    def test_auth_frame_must_fit_mac(self):
+        config = JRSNDConfig(auth_frame_bits=60)
+        with pytest.raises(ConfigurationError):
+            _ = config.mac_bits
+
+    def test_frozen(self):
+        config = default_config()
+        with pytest.raises(Exception):
+            config.n_nodes = 5

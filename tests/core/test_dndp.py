@@ -1,0 +1,171 @@
+"""Unit tests for the D-NDP Monte Carlo sampler (Theorem 1's process)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.jammer import JammerStrategy, JammingModel
+from repro.core.config import default_config
+from repro.core.dndp import DNDPSampler, DNDPSession, SessionState
+from repro.crypto.identity import NodeId
+from repro.errors import ProtocolError
+
+
+def _sampler(strategy, compromised, config=None, z=8):
+    config = config or default_config()
+    jamming = JammingModel(strategy, frozenset(compromised), z, config.mu)
+    return DNDPSampler(config, jamming)
+
+
+class TestSamplePair:
+    def test_no_shared_codes_fails(self, rng):
+        sampler = _sampler(JammerStrategy.REACTIVE, [])
+        outcome = sampler.sample_pair([], rng)
+        assert not outcome.success
+        assert outcome.shared_codes == 0
+
+    def test_safe_code_always_succeeds_reactive(self, rng):
+        sampler = _sampler(JammerStrategy.REACTIVE, [1, 2, 3])
+        for _ in range(20):
+            outcome = sampler.sample_pair([9], rng)
+            assert outcome.success
+            assert outcome.surviving_codes == (9,)
+
+    def test_all_compromised_fails_reactive(self, rng):
+        sampler = _sampler(JammerStrategy.REACTIVE, [1, 2, 3])
+        for _ in range(20):
+            assert not sampler.sample_pair([1, 2], rng).success
+
+    def test_redundancy_design(self, rng):
+        """x >= 2 with one safe code: the safe sub-session carries it."""
+        sampler = _sampler(JammerStrategy.REACTIVE, [1])
+        outcome = sampler.sample_pair([1, 5], rng)
+        assert outcome.success
+        assert 5 in outcome.surviving_codes
+        assert 1 not in outcome.surviving_codes
+
+    def test_random_jamming_matches_theorem1_x1(self, rng):
+        """P(fail | x=1 compromised) = beta + beta' - beta beta'."""
+        c = 200
+        sampler = _sampler(JammerStrategy.RANDOM, range(c))
+        beta = 16 / c
+        beta_prime = 3 * beta
+        expected_fail = beta + beta_prime - beta * beta_prime
+        fails = sum(
+            not sampler.sample_pair([0], rng).success for _ in range(5000)
+        )
+        assert fails / 5000 == pytest.approx(expected_fail, abs=0.02)
+
+    def test_random_jamming_x2_joint_failure(self, rng):
+        c = 50
+        sampler = _sampler(JammerStrategy.RANDOM, range(c))
+        beta = min(16 / c, 1.0)
+        kill = beta + min(3 * beta, 1.0) - beta * min(3 * beta, 1.0)
+        fails = sum(
+            not sampler.sample_pair([0, 1], rng).success
+            for _ in range(5000)
+        )
+        assert fails / 5000 == pytest.approx(kill**2, abs=0.02)
+
+    def test_latency_sampled_on_success(self, rng):
+        sampler = _sampler(JammerStrategy.REACTIVE, [])
+        outcome = sampler.sample_pair([3], rng, with_latency=True)
+        assert outcome.latency is not None
+        assert outcome.latency > 0
+
+
+class TestLatency:
+    def test_mean_matches_theorem2(self, rng):
+        sampler = _sampler(JammerStrategy.REACTIVE, [])
+        samples = [sampler.sample_latency(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(
+            sampler.expected_latency(), rel=0.02
+        )
+
+    def test_expected_latency_closed_form(self):
+        """Theorem 2: rho m (3m+4) N^2 l_h / 2 + 2 N l_f / R + 2 t_key."""
+        config = default_config()
+        sampler = _sampler(JammerStrategy.REACTIVE, [], config)
+        c = config
+        expected = (
+            c.rho * c.codes_per_node * (3 * c.codes_per_node + 4)
+            * c.code_length**2 * c.hello_coded_bits / 2
+            + 2 * c.code_length * c.auth_frame_bits / c.chip_rate
+            + 2 * c.t_key
+        )
+        assert sampler.expected_latency() == pytest.approx(expected)
+
+    def test_paper_headline_under_two_seconds(self):
+        """Fig. 2(b): at m = 100 the default latency is below 2 s."""
+        sampler = _sampler(JammerStrategy.REACTIVE, [])
+        assert sampler.expected_latency() < 2.0
+
+    def test_quadratic_growth_in_m(self):
+        config = default_config()
+        latencies = [
+            _sampler(
+                JammerStrategy.REACTIVE, [],
+                config.replace(codes_per_node=m),
+            ).expected_latency()
+            for m in (50, 100, 200)
+        ]
+        # Doubling m should roughly quadruple the schedule term.
+        assert latencies[2] / latencies[1] > 3.0
+        assert latencies[1] / latencies[0] > 3.0
+
+
+class TestSessionState:
+    def test_add_code(self):
+        session = DNDPSession(peer=NodeId(5), initiator=True)
+        session.add_code(3)
+        session.add_code(3)
+        assert session.codes == {3}
+
+    def test_require_state(self):
+        session = DNDPSession(peer=NodeId(5), initiator=True)
+        session.require_state(SessionState.IDLE)
+        with pytest.raises(ProtocolError):
+            session.require_state(SessionState.ESTABLISHED)
+
+    def test_latency(self):
+        session = DNDPSession(
+            peer=NodeId(5), initiator=True, started_at=1.0
+        )
+        assert session.latency is None
+        session.established_at = 3.5
+        assert session.latency == pytest.approx(2.5)
+
+
+class TestIntelligentStrategy:
+    def test_spares_hellos(self, rng):
+        from repro.adversary.jammer import JammerStrategy, JammingModel
+
+        model = JammingModel(
+            JammerStrategy.INTELLIGENT, frozenset([1, 2]), 8, 1.0
+        )
+        # HELLOs always pass, even under compromised codes...
+        assert not any(model.message_jammed(1, rng) for _ in range(20))
+        # ...but the later burst always dies on compromised codes.
+        assert all(model.burst_jammed(1, 3, rng) for _ in range(20))
+        assert not model.burst_jammed(9, 3, rng)
+
+    def test_defeats_single_code_but_not_redundancy(self, rng):
+        """The Section V-B argument, at the sampler level."""
+        from repro.adversary.jammer import JammerStrategy, JammingModel
+
+        model = JammingModel(
+            JammerStrategy.INTELLIGENT, frozenset([1]), 8, 1.0
+        )
+        sampler = DNDPSampler(default_config(), model)
+        shared = [1, 5]  # one compromised, one safe
+        with_redundancy = [
+            sampler.sample_pair(shared, rng, redundancy=True).success
+            for _ in range(200)
+        ]
+        without = [
+            sampler.sample_pair(shared, rng, redundancy=False).success
+            for _ in range(200)
+        ]
+        assert all(with_redundancy)  # the safe sub-session always wins
+        # The strawman fails whenever it picks the compromised code.
+        failure_rate = 1 - sum(without) / len(without)
+        assert failure_rate == pytest.approx(0.5, abs=0.1)

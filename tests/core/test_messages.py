@@ -1,0 +1,189 @@
+"""Unit tests for protocol message encodings."""
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.messages import (
+    AuthRequest,
+    Confirm,
+    Hello,
+    MNDPExtension,
+    MNDPRequest,
+    MNDPResponse,
+    nonce_bytes,
+)
+from repro.crypto.identity import TrustedAuthority
+from repro.crypto.signatures import SignatureScheme
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def ids():
+    authority = TrustedAuthority(b"m")
+    return authority, [authority.make_id(i) for i in range(1, 6)]
+
+
+class TestSimpleMessages:
+    def test_hello_wire_bits(self, ids):
+        _, nodes = ids
+        assert Hello(nodes[0]).wire_bits(default_config()) == 21
+
+    def test_confirm_wire_bits(self, ids):
+        _, nodes = ids
+        assert Confirm(nodes[0]).wire_bits(default_config()) == 21
+
+    def test_auth_request_wire_bits(self, ids):
+        _, nodes = ids
+        config = default_config()
+        message = AuthRequest(nodes[0], nonce=5, mac_tag=b"x")
+        assert message.wire_bits(config) == 16 + 20 + 44
+
+    def test_auth_mac_input_stable(self, ids):
+        _, nodes = ids
+        message = AuthRequest(nodes[0], nonce=5, mac_tag=b"x")
+        assert message.mac_input() == (
+            nodes[0].to_bytes(),
+            nonce_bytes(5),
+        )
+
+    def test_nonce_bytes_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            nonce_bytes(-1)
+
+
+def _signed_request(authority, nodes, nu=2):
+    scheme = SignatureScheme(authority.public_parameters())
+    key = authority.issue_private_key(nodes[0])
+    request = MNDPRequest(
+        source=nodes[0],
+        source_neighbors=(nodes[1], nodes[2]),
+        nonce=7,
+        hop_budget=nu,
+        source_signature=None,
+    )
+    signature = scheme.sign(key, request.source_signed_bytes())
+    return MNDPRequest(
+        source=request.source,
+        source_neighbors=request.source_neighbors,
+        nonce=request.nonce,
+        hop_budget=request.hop_budget,
+        source_signature=signature,
+    ), scheme
+
+
+class TestMNDPRequest:
+    def test_hops_traversed(self, ids):
+        authority, nodes = ids
+        request, scheme = _signed_request(authority, nodes)
+        assert request.hops_traversed == 1
+
+    def test_extension_chain(self, ids):
+        authority, nodes = ids
+        request, scheme = _signed_request(authority, nodes)
+        key_c = authority.issue_private_key(nodes[1])
+        unsigned = MNDPExtension(nodes[1], (nodes[0], nodes[3]), None)
+        signature = scheme.sign(
+            key_c, unsigned.signed_bytes(request.source_signed_bytes())
+        )
+        extended = request.extended(
+            MNDPExtension(nodes[1], (nodes[0], nodes[3]), signature)
+        )
+        assert extended.hops_traversed == 2
+        assert extended.path_nodes() == (nodes[0], nodes[1])
+        # The signed-bytes chain reproduces what was signed.
+        assert scheme.verify(
+            nodes[1],
+            extended.extension_signed_bytes(0),
+            extended.extensions[0].signature,
+        )
+
+    def test_wire_bits_accounting(self, ids):
+        authority, nodes = ids
+        config = default_config()
+        request, _ = _signed_request(authority, nodes)
+        expected = (
+            config.nonce_bits
+            + config.hop_field_bits
+            + 3 * config.id_bits  # source + 2 neighbors
+            + config.signature_bits
+        )
+        assert request.wire_bits(config) == expected
+
+    def test_rejects_zero_hop_budget(self, ids):
+        _, nodes = ids
+        with pytest.raises(ConfigurationError):
+            MNDPRequest(nodes[0], (), 1, 0, None)
+
+    def test_signed_bytes_bind_all_fields(self, ids):
+        authority, nodes = ids
+        request, _ = _signed_request(authority, nodes)
+        other = MNDPRequest(
+            source=request.source,
+            source_neighbors=request.source_neighbors,
+            nonce=request.nonce + 1,
+            hop_budget=request.hop_budget,
+            source_signature=request.source_signature,
+        )
+        assert request.source_signed_bytes() != other.source_signed_bytes()
+
+
+class TestMNDPResponse:
+    def test_signed_bytes_and_extension(self, ids):
+        authority, nodes = ids
+        scheme = SignatureScheme(authority.public_parameters())
+        key_b = authority.issue_private_key(nodes[2])
+        response = MNDPResponse(
+            source=nodes[0],
+            via=nodes[1],
+            responder=nodes[2],
+            responder_neighbors=(nodes[1],),
+            nonce=9,
+            hop_budget=2,
+            responder_signature=None,
+        )
+        signature = scheme.sign(key_b, response.responder_signed_bytes())
+        response = MNDPResponse(
+            source=response.source,
+            via=response.via,
+            responder=response.responder,
+            responder_neighbors=response.responder_neighbors,
+            nonce=response.nonce,
+            hop_budget=response.hop_budget,
+            responder_signature=signature,
+        )
+        assert scheme.verify(
+            nodes[2], response.responder_signed_bytes(), signature
+        )
+        key_c = authority.issue_private_key(nodes[1])
+        unsigned = MNDPExtension(nodes[1], (nodes[0],), None)
+        ext_sig = scheme.sign(
+            key_c, unsigned.signed_bytes(response.responder_signed_bytes())
+        )
+        extended = response.extended(
+            MNDPExtension(nodes[1], (nodes[0],), ext_sig)
+        )
+        assert scheme.verify(
+            nodes[1],
+            extended.extension_signed_bytes(0),
+            ext_sig,
+        )
+
+    def test_wire_bits(self, ids):
+        _, nodes = ids
+        config = default_config()
+        response = MNDPResponse(
+            source=nodes[0],
+            via=nodes[1],
+            responder=nodes[2],
+            responder_neighbors=(nodes[1], nodes[3]),
+            nonce=9,
+            hop_budget=2,
+            responder_signature=None,
+        )
+        expected = (
+            config.nonce_bits
+            + config.hop_field_bits
+            + 5 * config.id_bits
+            + config.signature_bits
+        )
+        assert response.wire_bits(config) == expected

@@ -1,0 +1,83 @@
+"""Unit tests for the Section V-B timing model."""
+
+import math
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.timing import ProtocolTiming
+
+
+@pytest.fixture
+def timing():
+    return ProtocolTiming(default_config())
+
+
+class TestDerivedTimes:
+    def test_t_hello(self, timing):
+        # t_h = l_h N / R = 42 * 512 / 22e6.
+        assert timing.t_hello == pytest.approx(42 * 512 / 22e6)
+
+    def test_t_buffer(self, timing):
+        assert timing.t_buffer == pytest.approx(101 * timing.t_hello)
+
+    def test_gap_ratio(self, timing):
+        # lambda = rho N m R = 1e-11 * 512 * 100 * 22e6 ~ 11.26.
+        assert timing.gap_ratio == pytest.approx(11.264)
+
+    def test_t_process(self, timing):
+        assert timing.t_process == pytest.approx(
+            timing.gap_ratio * timing.t_buffer
+        )
+
+    def test_hello_rounds_formula(self, timing):
+        config = default_config()
+        expected = math.ceil(
+            (timing.gap_ratio + 1) * (config.codes_per_node + 1)
+            / config.codes_per_node
+        )
+        assert timing.hello_rounds == expected
+
+    def test_broadcast_covers_schedule(self, timing):
+        """r m t_h >= (lambda + 1) t_b — the coverage requirement."""
+        assert timing.hello_broadcast_duration >= (
+            (timing.gap_ratio + 1.0) * timing.t_buffer
+        ) - 1e-12
+
+    def test_paper_example_lambda(self):
+        """The paper's example: rho=8.3e-12, N=512, m=1000, R=22e6
+        gives lambda ~ 94."""
+        config = default_config().replace(rho=8.3e-12, codes_per_node=1000)
+        timing = ProtocolTiming(config)
+        assert timing.gap_ratio == pytest.approx(93.5, rel=0.01)
+
+    def test_t_auth_message(self, timing):
+        assert timing.t_auth_message == pytest.approx(160 * 512 / 22e6)
+
+    def test_schedule_clamps_small_lambda(self):
+        config = default_config().replace(codes_per_node=1, rho=1e-13)
+        timing = ProtocolTiming(config)
+        assert timing.gap_ratio < 1
+        schedule = timing.schedule()
+        assert schedule.t_process >= schedule.t_buffer
+
+
+class TestMndpSizes:
+    def test_request_bits_grow_per_hop(self, timing):
+        first = timing.mndp_request_bits(0, neighbor_count=20)
+        second = timing.mndp_request_bits(1, neighbor_count=20)
+        config = default_config()
+        per_node = 21 * config.id_bits + config.signature_bits
+        assert second - first == per_node
+
+    def test_theorem4_t_nu_form(self, timing):
+        config = default_config()
+        g = 22.6
+        nu = 2
+        per_hop = (g + 1) * config.id_bits + 2 * config.signature_bits
+        expected = (
+            config.code_length
+            / config.chip_rate
+            * (3 * nu * (nu + 1) / 2 * per_hop + 2 * nu * (20 + 4))
+        )
+        assert timing.theorem4_t_nu(2, g) == pytest.approx(expected)

@@ -1,0 +1,232 @@
+"""Unit tests for bit-level message serialization."""
+
+import pytest
+
+from repro.core.config import default_config
+from repro.core.messages import (
+    AuthRequest,
+    AuthResponse,
+    Confirm,
+    Hello,
+    MNDPExtension,
+    MNDPRequest,
+    MNDPResponse,
+)
+from repro.core.wire import WireCodec
+from repro.crypto.identity import TrustedAuthority
+from repro.crypto.mac import MessageAuthenticator
+from repro.crypto.signatures import SignatureScheme
+from repro.dsss.frame import MessageType
+from repro.errors import DecodeError
+
+
+@pytest.fixture
+def setup():
+    config = default_config()
+    authority = TrustedAuthority(b"m", id_bits=config.id_bits)
+    scheme = SignatureScheme(authority.public_parameters())
+    ids = [authority.make_id(i) for i in range(1, 8)]
+    keys = [authority.issue_private_key(node) for node in ids]
+    return config, authority, scheme, ids, keys
+
+
+class TestBeacons:
+    def test_hello_roundtrip(self, setup):
+        config, _, _, ids, _ = setup
+        codec = WireCodec(config)
+        frame = codec.encode(Hello(ids[0]))
+        assert frame.message_type is MessageType.HELLO
+        assert frame.payload.size == config.id_bits
+        assert codec.decode(frame) == Hello(ids[0])
+
+    def test_confirm_roundtrip(self, setup):
+        config, _, _, ids, _ = setup
+        codec = WireCodec(config)
+        assert codec.decode(codec.encode(Confirm(ids[3]))) == Confirm(
+            ids[3]
+        )
+
+
+class TestAuthMessages:
+    def test_roundtrip_and_mac_still_verifies(self, setup):
+        config, _, _, ids, keys = setup
+        codec = WireCodec(config)
+        shared = keys[0].shared_key(ids[1])
+        mac = MessageAuthenticator(shared, config.mac_bits)
+        from repro.core.messages import nonce_bytes
+
+        nonce = 123456
+        message = AuthRequest(
+            sender=ids[0],
+            nonce=nonce,
+            mac_tag=mac.tag(ids[0].to_bytes(), nonce_bytes(nonce)),
+        )
+        decoded = codec.decode(codec.encode(message))
+        assert decoded == message
+        assert mac.verify(decoded.mac_tag, *decoded.mac_input())
+
+    def test_response_roundtrip(self, setup):
+        config, _, _, ids, keys = setup
+        codec = WireCodec(config)
+        mac = MessageAuthenticator(
+            keys[1].shared_key(ids[0]), config.mac_bits
+        )
+        from repro.core.messages import nonce_bytes
+
+        message = AuthResponse(
+            sender=ids[1], nonce=7,
+            mac_tag=mac.tag(ids[1].to_bytes(), nonce_bytes(7)),
+        )
+        assert codec.decode(codec.encode(message)) == message
+
+    def test_payload_width_matches_paper(self, setup):
+        config, _, _, ids, _ = setup
+        codec = WireCodec(config)
+        frame = codec.encode(
+            AuthRequest(sender=ids[0], nonce=1, mac_tag=b"\x00" * 6)
+        )
+        # l_id + l_n + l_mac = 16 + 20 + 44 = 80 plain payload bits.
+        assert frame.payload.size == 80
+
+
+def _signed_request(config, scheme, ids, keys, position=None, extend=False):
+    request = MNDPRequest(
+        source=ids[0],
+        source_neighbors=(ids[1], ids[2], ids[3]),
+        nonce=99,
+        hop_budget=3,
+        source_signature=None,
+        source_position=position,
+    )
+    signature = scheme.sign(keys[0], request.source_signed_bytes())
+    request = MNDPRequest(
+        source=request.source,
+        source_neighbors=request.source_neighbors,
+        nonce=request.nonce,
+        hop_budget=request.hop_budget,
+        source_signature=signature,
+        source_position=position,
+    )
+    if extend:
+        unsigned = MNDPExtension(ids[1], (ids[0], ids[4]), None)
+        ext_sig = scheme.sign(
+            keys[1], unsigned.signed_bytes(request.source_signed_bytes())
+        )
+        request = request.extended(
+            MNDPExtension(ids[1], (ids[0], ids[4]), ext_sig)
+        )
+    return request
+
+
+class TestMNDPMessages:
+    def test_request_roundtrip(self, setup):
+        config, _, scheme, ids, keys = setup
+        codec = WireCodec(config)
+        request = _signed_request(config, scheme, ids, keys, extend=True)
+        decoded = codec.decode(codec.encode(request))
+        assert decoded == request
+
+    def test_request_signature_verifies_after_roundtrip(self, setup):
+        config, _, scheme, ids, keys = setup
+        from repro.core.mndp import validate_request_chain
+
+        codec = WireCodec(config)
+        request = _signed_request(config, scheme, ids, keys, extend=True)
+        decoded = codec.decode(codec.encode(request))
+        assert validate_request_chain(decoded, scheme)
+
+    def test_position_roundtrip(self, setup):
+        config, _, scheme, ids, keys = setup
+        codec = WireCodec(config)
+        request = _signed_request(
+            config, scheme, ids, keys, position=(123.45, 67.89)
+        )
+        decoded = codec.decode(codec.encode(request))
+        assert decoded.source_position == pytest.approx((123.45, 67.89))
+
+    def test_response_roundtrip(self, setup):
+        config, _, scheme, ids, keys = setup
+        codec = WireCodec(config)
+        response = MNDPResponse(
+            source=ids[0], via=ids[1], responder=ids[2],
+            responder_neighbors=(ids[1], ids[5]),
+            nonce=41, hop_budget=3, responder_signature=None,
+        )
+        signature = scheme.sign(keys[2], response.responder_signed_bytes())
+        response = MNDPResponse(
+            source=response.source, via=response.via,
+            responder=response.responder,
+            responder_neighbors=response.responder_neighbors,
+            nonce=response.nonce, hop_budget=response.hop_budget,
+            responder_signature=signature,
+        )
+        decoded = codec.decode(codec.encode(response))
+        assert decoded == response
+
+    def test_tampered_signature_padding_detected(self, setup):
+        config, _, scheme, ids, keys = setup
+        codec = WireCodec(config)
+        request = _signed_request(config, scheme, ids, keys)
+        frame = codec.encode(request)
+        payload = frame.payload.copy()
+        # Flip a bit inside the signature padding region (past the
+        # 256-bit tag, before the end of l_sig).
+        sig_start = (
+            config.id_bits          # source
+            + 8 + 3 * config.id_bits  # neighbor list
+            + config.nonce_bits
+            + config.hop_field_bits
+            + 1                      # position flag
+        )
+        pad_bit = sig_start + 300    # inside the padding
+        payload[pad_bit] ^= 1
+        from repro.dsss.frame import Frame
+
+        with pytest.raises(DecodeError):
+            codec.decode(Frame(frame.message_type, payload))
+
+    def test_truncated_payload_rejected(self, setup):
+        config, _, scheme, ids, keys = setup
+        codec = WireCodec(config)
+        frame = codec.encode(_signed_request(config, scheme, ids, keys))
+        from repro.dsss.frame import Frame
+
+        clipped = Frame(frame.message_type, frame.payload[:-40])
+        with pytest.raises(DecodeError):
+            codec.decode(clipped)
+
+
+class TestOverChips:
+    def test_mndp_request_survives_the_air(self, setup, rng):
+        """A signed M-NDP request: bits -> ECC -> chips -> noisy
+        channel -> synchronizer -> ECC -> bits -> verified message."""
+        from repro.core.mndp import validate_request_chain
+        from repro.dsss.channel import ChipChannel
+        from repro.dsss.frame import FrameCodec
+        from repro.dsss.spread_code import SpreadCode
+        from repro.dsss.synchronizer import SlidingWindowSynchronizer
+
+        config, _, scheme, ids, keys = setup
+        wire = WireCodec(config)
+        frame = wire.encode(
+            _signed_request(config, scheme, ids, keys, extend=True)
+        )
+        frame_codec = FrameCodec(mu=config.mu)
+        coded = frame_codec.encode(frame)
+        code = SpreadCode.random(config.code_length, rng)
+        channel = ChipChannel(noise_std=0.2)
+        channel.add_message(coded, code, offset=321)
+        buffer = channel.render(rng=rng)
+        sync = SlidingWindowSynchronizer(
+            [code], tau=config.tau, message_bits=int(coded.size)
+        )
+        decoded_frame = sync.scan_validated(
+            buffer,
+            lambda res: frame_codec.decode(
+                res.bits, payload_bits=int(frame.payload.size)
+            ),
+        )
+        assert decoded_frame is not None
+        message = wire.decode(decoded_frame)
+        assert validate_request_chain(message, scheme)
+        assert message.source == ids[0]

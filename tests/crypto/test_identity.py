@@ -1,0 +1,91 @@
+"""Unit tests for the simulated IBC infrastructure."""
+
+import pytest
+
+from repro.crypto.identity import NodeId, TrustedAuthority
+from repro.errors import AuthenticationError, ConfigurationError
+
+
+@pytest.fixture
+def authority():
+    return TrustedAuthority(b"master", id_bits=16)
+
+
+class TestNodeId:
+    def test_value_and_bits(self):
+        node = NodeId(300, id_bits=16)
+        assert node.value == 300
+        assert node.id_bits == 16
+
+    def test_to_bytes_width(self):
+        assert len(NodeId(1, id_bits=16).to_bytes()) == 2
+        assert len(NodeId(1, id_bits=20).to_bytes()) == 3
+
+    def test_ordering(self):
+        assert NodeId(1) < NodeId(2)
+
+    def test_equality_includes_width(self):
+        assert NodeId(1, 16) != NodeId(1, 24)
+
+    def test_hashable(self):
+        assert len({NodeId(1), NodeId(1), NodeId(2)}) == 2
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigurationError):
+            NodeId(1 << 16, id_bits=16)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            NodeId(-1)
+
+
+class TestPairwiseKeys:
+    def test_agreement(self, authority):
+        a, b = authority.make_id(1), authority.make_id(2)
+        ka = authority.issue_private_key(a)
+        kb = authority.issue_private_key(b)
+        assert ka.shared_key(b) == kb.shared_key(a)
+
+    def test_pair_uniqueness(self, authority):
+        a, b, c = (authority.make_id(i) for i in (1, 2, 3))
+        ka = authority.issue_private_key(a)
+        assert ka.shared_key(b) != ka.shared_key(c)
+
+    def test_authority_computes_same_key(self, authority):
+        a, b = authority.make_id(1), authority.make_id(2)
+        ka = authority.issue_private_key(a)
+        assert ka.shared_key(b) == authority.pairwise_key(a, b)
+
+    def test_no_self_key(self, authority):
+        a = authority.make_id(1)
+        ka = authority.issue_private_key(a)
+        with pytest.raises(ConfigurationError):
+            ka.shared_key(a)
+
+    def test_different_authorities_differ(self):
+        auth1 = TrustedAuthority(b"m1")
+        auth2 = TrustedAuthority(b"m2")
+        a1 = auth1.issue_private_key(auth1.make_id(1))
+        a2 = auth2.issue_private_key(auth2.make_id(1))
+        assert a1.shared_key(auth1.make_id(2)) != a2.shared_key(
+            auth2.make_id(2)
+        )
+
+    def test_id_width_mismatch_rejected(self, authority):
+        wrong = NodeId(1, id_bits=24)
+        with pytest.raises(AuthenticationError):
+            authority.issue_private_key(wrong)
+
+
+class TestAuthority:
+    def test_rejects_empty_master(self):
+        with pytest.raises(ConfigurationError):
+            TrustedAuthority(b"")
+
+    def test_public_parameters_id_bits(self, authority):
+        assert authority.public_parameters().id_bits == 16
+
+    def test_pairwise_key_identical_ids_rejected(self, authority):
+        a = authority.make_id(1)
+        with pytest.raises(ConfigurationError):
+            authority.pairwise_key(a, a)

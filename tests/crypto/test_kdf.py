@@ -1,0 +1,61 @@
+"""Unit tests for key derivation."""
+
+import pytest
+
+from repro.crypto.kdf import derive_bytes, expand_bytes
+from repro.errors import ConfigurationError
+
+
+class TestDeriveBytes:
+    def test_deterministic(self):
+        assert derive_bytes(b"k", "l", 1) == derive_bytes(b"k", "l", 1)
+
+    def test_label_separation(self):
+        assert derive_bytes(b"k", "a") != derive_bytes(b"k", "b")
+
+    def test_context_separation(self):
+        assert derive_bytes(b"k", "l", 1) != derive_bytes(b"k", "l", 2)
+
+    def test_context_types(self):
+        a = derive_bytes(b"k", "l", b"xy", "s", 7)
+        assert len(a) == 32
+
+    def test_no_concatenation_ambiguity(self):
+        """Length-prefixed encoding: ("ab","c") != ("a","bc")."""
+        assert derive_bytes(b"k", "l", "ab", "c") != derive_bytes(
+            b"k", "l", "a", "bc"
+        )
+
+    def test_key_separation(self):
+        assert derive_bytes(b"k1", "l") != derive_bytes(b"k2", "l")
+
+    def test_rejects_negative_int(self):
+        with pytest.raises(ConfigurationError):
+            derive_bytes(b"k", "l", -1)
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(ConfigurationError):
+            derive_bytes("key", "l")
+
+    def test_rejects_unsupported_context(self):
+        with pytest.raises(ConfigurationError):
+            derive_bytes(b"k", "l", 1.5)
+
+
+class TestExpandBytes:
+    @pytest.mark.parametrize("length", [1, 31, 32, 33, 100])
+    def test_length(self, length):
+        assert len(expand_bytes(b"seed", length)) == length
+
+    def test_deterministic(self):
+        assert expand_bytes(b"s", 64) == expand_bytes(b"s", 64)
+
+    def test_prefix_property(self):
+        assert expand_bytes(b"s", 64)[:16] == expand_bytes(b"s", 16)
+
+    def test_label_separation(self):
+        assert expand_bytes(b"s", 32, "a") != expand_bytes(b"s", 32, "b")
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            expand_bytes(b"s", 0)

@@ -1,0 +1,53 @@
+"""Unit tests for truncated MACs."""
+
+import pytest
+
+from repro.crypto.mac import MessageAuthenticator
+from repro.errors import ConfigurationError
+
+
+class TestTagging:
+    def test_roundtrip(self):
+        mac = MessageAuthenticator(b"key" * 11)
+        tag = mac.tag(b"id", b"nonce")
+        assert mac.verify(tag, b"id", b"nonce")
+
+    def test_tamper_detected(self):
+        mac = MessageAuthenticator(b"key" * 11)
+        tag = mac.tag(b"id", b"nonce")
+        assert not mac.verify(tag, b"id", b"nonc3")
+
+    def test_key_separation(self):
+        a = MessageAuthenticator(b"key-a")
+        b = MessageAuthenticator(b"key-b")
+        assert a.tag(b"m") != b.tag(b"m")
+
+    def test_length_delimited_inputs(self):
+        mac = MessageAuthenticator(b"key")
+        assert mac.tag(b"ab", b"c") != mac.tag(b"a", b"bc")
+
+    def test_tag_width_44_bits(self):
+        mac = MessageAuthenticator(b"key", tag_bits=44)
+        tag = mac.tag(b"m")
+        assert len(tag) == 6  # ceil(44/8)
+        assert tag[-1] & 0x0F == 0  # trailing 4 bits masked
+
+    def test_tag_width_full_bytes(self):
+        mac = MessageAuthenticator(b"key", tag_bits=64)
+        assert len(mac.tag(b"m")) == 8
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ConfigurationError):
+            MessageAuthenticator(b"")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            MessageAuthenticator(b"k", tag_bits=4)
+
+    def test_rejects_non_bytes_part(self):
+        mac = MessageAuthenticator(b"key")
+        with pytest.raises(ConfigurationError):
+            mac.tag("text")
+
+    def test_tag_bits_property(self):
+        assert MessageAuthenticator(b"k", tag_bits=44).tag_bits == 44

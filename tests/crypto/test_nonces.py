@@ -1,0 +1,73 @@
+"""Unit tests for nonces and replay protection."""
+
+import pytest
+
+from repro.crypto.nonces import NonceGenerator, ReplayCache
+from repro.errors import ConfigurationError
+
+
+class TestNonceGenerator:
+    def test_range(self, rng):
+        gen = NonceGenerator(rng, nonce_bits=20)
+        for _ in range(200):
+            nonce = gen.next()
+            assert 0 <= nonce < 1 << 20
+
+    def test_to_bytes_width(self, rng):
+        gen = NonceGenerator(rng, nonce_bits=20)
+        assert len(gen.to_bytes(5)) == 3
+
+    def test_to_bytes_rejects_overflow(self, rng):
+        gen = NonceGenerator(rng, nonce_bits=8)
+        with pytest.raises(ConfigurationError):
+            gen.to_bytes(256)
+
+    def test_rejects_bad_width(self, rng):
+        with pytest.raises(ConfigurationError):
+            NonceGenerator(rng, nonce_bits=4)
+
+    def test_mostly_unique(self, rng):
+        gen = NonceGenerator(rng, nonce_bits=32)
+        values = [gen.next() for _ in range(1000)]
+        assert len(set(values)) == 1000
+
+
+class TestReplayCache:
+    def test_first_time_false(self):
+        cache = ReplayCache()
+        assert not cache.seen_before("peer", 1)
+
+    def test_second_time_true(self):
+        cache = ReplayCache()
+        cache.seen_before("peer", 1)
+        assert cache.seen_before("peer", 1)
+
+    def test_scoped_by_peer(self):
+        cache = ReplayCache()
+        cache.seen_before("a", 1)
+        assert not cache.seen_before("b", 1)
+
+    def test_eviction(self):
+        cache = ReplayCache(capacity=2)
+        cache.seen_before("a")
+        cache.seen_before("b")
+        cache.seen_before("c")  # evicts "a"
+        assert not cache.seen_before("a")
+
+    def test_lru_refresh(self):
+        cache = ReplayCache(capacity=2)
+        cache.seen_before("a")
+        cache.seen_before("b")
+        cache.seen_before("a")  # refresh "a"
+        cache.seen_before("c")  # evicts "b"
+        assert cache.seen_before("a")
+        assert not cache.seen_before("b")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplayCache().seen_before()
+
+    def test_len(self):
+        cache = ReplayCache()
+        cache.seen_before("x")
+        assert len(cache) == 1

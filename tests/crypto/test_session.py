@@ -1,0 +1,55 @@
+"""Unit tests for session spread-code derivation."""
+
+import pytest
+
+from repro.crypto.session import derive_session_code
+from repro.errors import ConfigurationError
+
+
+class TestDerivation:
+    def test_symmetric_in_nonces(self):
+        a = derive_session_code(b"key" * 11, 12345, 678, 512)
+        b = derive_session_code(b"key" * 11, 678, 12345, 512)
+        assert a == b
+
+    def test_length(self):
+        code = derive_session_code(b"key", 1, 2, 512)
+        assert code.length == 512
+
+    def test_odd_length(self):
+        assert derive_session_code(b"key", 1, 2, 100).length == 100
+
+    def test_key_separation(self):
+        a = derive_session_code(b"key-a", 1, 2, 128)
+        b = derive_session_code(b"key-b", 1, 2, 128)
+        assert a != b
+
+    def test_nonce_separation(self):
+        a = derive_session_code(b"key", 1, 2, 128)
+        b = derive_session_code(b"key", 1, 3, 128)
+        assert a != b
+
+    def test_xor_collision(self):
+        """Only the XOR of the nonces matters (the paper's h_K(nA ^ nB))."""
+        a = derive_session_code(b"key", 0b1100, 0b1010, 128)
+        b = derive_session_code(b"key", 0b0110, 0b0000, 128)
+        assert a == b  # 1100^1010 == 0110^0000
+
+    def test_label(self):
+        code = derive_session_code(b"key", 1, 2, 64, label=("s", 1, 2))
+        assert code.code_id == ("s", 1, 2)
+
+    def test_default_label(self):
+        assert derive_session_code(b"key", 1, 2, 64).code_id == "session"
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ConfigurationError):
+            derive_session_code(b"", 1, 2, 64)
+
+    def test_rejects_negative_nonce(self):
+        with pytest.raises(ConfigurationError):
+            derive_session_code(b"key", -1, 2, 64)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            derive_session_code(b"key", 1, 2, 0)

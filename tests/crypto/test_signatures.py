@@ -1,0 +1,88 @@
+"""Unit tests for ID-based signatures."""
+
+import pytest
+
+from repro.crypto.identity import TrustedAuthority
+from repro.crypto.signatures import IdentitySignature, SignatureScheme
+from repro.errors import AuthenticationError, ConfigurationError
+
+
+@pytest.fixture
+def setup():
+    authority = TrustedAuthority(b"master")
+    scheme = SignatureScheme(authority.public_parameters())
+    a = authority.make_id(1)
+    b = authority.make_id(2)
+    return authority, scheme, a, b
+
+
+class TestSignVerify:
+    def test_valid_signature(self, setup):
+        authority, scheme, a, _ = setup
+        key = authority.issue_private_key(a)
+        sig = scheme.sign(key, b"hello")
+        assert scheme.verify(a, b"hello", sig)
+
+    def test_wrong_message(self, setup):
+        authority, scheme, a, _ = setup
+        key = authority.issue_private_key(a)
+        sig = scheme.sign(key, b"hello")
+        assert not scheme.verify(a, b"hellx", sig)
+
+    def test_wrong_signer(self, setup):
+        authority, scheme, a, b = setup
+        key = authority.issue_private_key(a)
+        sig = scheme.sign(key, b"hello")
+        assert not scheme.verify(b, b"hello", sig)
+
+    def test_forged_tag(self, setup):
+        authority, scheme, a, _ = setup
+        fake = IdentitySignature(a, bytes(32))
+        assert not scheme.verify(a, b"hello", fake)
+
+    def test_signature_not_transferable(self, setup):
+        """A's signature does not verify under B even for same message."""
+        authority, scheme, a, b = setup
+        key_a = authority.issue_private_key(a)
+        sig = scheme.sign(key_a, b"msg")
+        relabeled = IdentitySignature(b, sig.tag)
+        assert not scheme.verify(b, b"msg", relabeled)
+
+    def test_require_valid_raises(self, setup):
+        authority, scheme, a, _ = setup
+        fake = IdentitySignature(a, bytes(32))
+        with pytest.raises(AuthenticationError):
+            scheme.require_valid(a, b"m", fake)
+
+    def test_sign_rejects_non_bytes(self, setup):
+        authority, scheme, a, _ = setup
+        key = authority.issue_private_key(a)
+        with pytest.raises(ConfigurationError):
+            scheme.sign(key, "text")
+
+
+class TestWireFormat:
+    def test_padded_to_l_sig(self, setup):
+        authority, scheme, a, _ = setup
+        key = authority.issue_private_key(a)
+        sig = scheme.sign(key, b"m")
+        wire = sig.wire_bytes(672)
+        assert len(wire) == 84  # ceil(672 / 8)
+        assert wire[:32] == sig.tag
+
+    def test_padding_deterministic(self, setup):
+        authority, scheme, a, _ = setup
+        key = authority.issue_private_key(a)
+        sig = scheme.sign(key, b"m")
+        assert sig.wire_bytes(672) == sig.wire_bytes(672)
+
+    def test_too_small_l_sig(self, setup):
+        authority, scheme, a, _ = setup
+        sig = scheme.sign(authority.issue_private_key(a), b"m")
+        with pytest.raises(ConfigurationError):
+            sig.wire_bytes(64)
+
+    def test_tag_length_checked(self, setup):
+        _, _, a, _ = setup
+        with pytest.raises(ConfigurationError):
+            IdentitySignature(a, b"short")

@@ -1,0 +1,33 @@
+"""Unit tests for the crypto timing model."""
+
+import pytest
+
+from repro.crypto.timing import CryptoTimingModel
+from repro.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_table1_values(self):
+        model = CryptoTimingModel()
+        assert model.t_key == pytest.approx(11e-3)
+        assert model.t_sig == pytest.approx(5.7e-3)
+        assert model.t_ver == pytest.approx(35.5e-3)
+
+    def test_handshake_cost(self):
+        assert CryptoTimingModel().handshake_key_cost() == pytest.approx(
+            22e-3
+        )
+
+    def test_mndp_hop_cost(self):
+        model = CryptoTimingModel()
+        assert model.mndp_hop_cost(2) == pytest.approx(
+            2 * 35.5e-3 + 5.7e-3
+        )
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            CryptoTimingModel(t_key=-1e-3)
+
+    def test_rejects_negative_verification_count(self):
+        with pytest.raises(ConfigurationError):
+            CryptoTimingModel().mndp_hop_cost(-1)

@@ -1,0 +1,110 @@
+"""Unit tests for the chip-level superposition channel."""
+
+import numpy as np
+import pytest
+
+from repro.dsss.channel import ChannelTransmission, ChipChannel
+from repro.dsss.spread_code import SpreadCode
+from repro.dsss.spreader import despread
+from repro.errors import SpreadCodeError
+
+
+class TestChannelTransmission:
+    def test_end(self):
+        tx = ChannelTransmission(np.ones(10, dtype=np.int8), offset=5)
+        assert tx.end == 15
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(SpreadCodeError):
+            ChannelTransmission(np.ones(4, dtype=np.int8), offset=-1)
+
+    def test_rejects_non_positive_amplitude(self):
+        with pytest.raises(SpreadCodeError):
+            ChannelTransmission(np.ones(4, dtype=np.int8), 0, amplitude=0)
+
+
+class TestChipChannel:
+    def test_single_message_roundtrip(self, rng):
+        code = SpreadCode.random(256, rng)
+        bits = rng.integers(0, 2, size=8, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, code, offset=0)
+        decoded = despread(channel.render(), code, tau=0.15)
+        assert decoded == bits.tolist()
+
+    def test_superposition_is_additive(self, rng):
+        code_a = SpreadCode.random(64, rng)
+        code_b = SpreadCode.random(64, rng)
+        channel = ChipChannel()
+        channel.add_message(np.array([1]), code_a, offset=0)
+        channel.add_message(np.array([1]), code_b, offset=0)
+        signal = channel.render()
+        assert np.array_equal(
+            signal, code_a.chips.astype(float) + code_b.chips
+        )
+
+    def test_concurrent_different_codes_decode(self, rng):
+        """The paper's negligible-interference assumption at N = 512."""
+        code_a = SpreadCode.random(512, rng)
+        code_b = SpreadCode.random(512, rng)
+        bits_a = rng.integers(0, 2, size=10, dtype=np.int8)
+        bits_b = rng.integers(0, 2, size=10, dtype=np.int8)
+        channel = ChipChannel(noise_std=0.1)
+        channel.add_message(bits_a, code_a, offset=0)
+        channel.add_message(bits_b, code_b, offset=0)
+        signal = channel.render(rng=rng)
+        assert despread(signal, code_a, tau=0.15) == bits_a.tolist()
+        assert despread(signal, code_b, tau=0.15) == bits_b.tolist()
+
+    def test_same_code_jamming_destroys_bits(self, rng):
+        code = SpreadCode.random(512, rng)
+        bits = rng.integers(0, 2, size=20, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, code, offset=0)
+        channel.add_jamming(code, offset=0, n_bits=20, rng=rng)
+        decoded = despread(channel.render(), code, tau=0.15)
+        wrong_or_erased = sum(
+            1 for got, want in zip(decoded, bits.tolist()) if got != want
+        )
+        # Random-data jamming flips/erases about half the bits.
+        assert wrong_or_erased >= 5
+
+    def test_render_length_extension(self, rng):
+        code = SpreadCode.random(16, rng)
+        channel = ChipChannel()
+        channel.add_message(np.array([1]), code, offset=4)
+        signal = channel.render(length=100)
+        assert signal.size == 100
+        assert np.all(signal[:4] == 0)
+
+    def test_render_too_short_rejected(self, rng):
+        code = SpreadCode.random(16, rng)
+        channel = ChipChannel()
+        channel.add_message(np.array([1]), code, offset=0)
+        with pytest.raises(SpreadCodeError):
+            channel.render(length=8)
+
+    def test_noise_requires_rng(self):
+        channel = ChipChannel(noise_std=0.1)
+        channel.add_transmission(
+            ChannelTransmission(np.ones(4, dtype=np.int8), 0)
+        )
+        with pytest.raises(SpreadCodeError):
+            channel.render()
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(SpreadCodeError):
+            ChipChannel(noise_std=-0.1)
+
+    def test_clear(self, rng):
+        channel = ChipChannel()
+        channel.add_message(np.array([1]), SpreadCode.random(8, rng), 0)
+        channel.clear()
+        assert channel.render().size == 0
+
+    def test_jamming_rejects_zero_bits(self, rng):
+        channel = ChipChannel()
+        with pytest.raises(SpreadCodeError):
+            channel.add_jamming(
+                SpreadCode.random(8, rng), offset=0, n_bits=0, rng=rng
+            )

@@ -1,0 +1,75 @@
+"""Unit tests for protocol frame encoding."""
+
+import numpy as np
+import pytest
+
+from repro.dsss.frame import Frame, FrameCodec, MessageType
+from repro.errors import ConfigurationError, DecodeError
+
+
+class TestFrame:
+    def test_plain_bits(self):
+        frame = Frame(MessageType.HELLO, np.ones(16, dtype=np.int8))
+        assert frame.plain_bits == FrameCodec.TYPE_BITS + 16
+
+    def test_equality(self):
+        a = Frame(MessageType.HELLO, np.array([1, 0], dtype=np.int8))
+        b = Frame(MessageType.HELLO, np.array([1, 0], dtype=np.int8))
+        c = Frame(MessageType.CONFIRM, np.array([1, 0], dtype=np.int8))
+        assert a == b
+        assert a != c
+
+    def test_rejects_non_binary_payload(self):
+        with pytest.raises(ConfigurationError):
+            Frame(MessageType.HELLO, np.array([2], dtype=np.int8))
+
+
+class TestFrameCodec:
+    def test_roundtrip_all_types(self, rng):
+        codec = FrameCodec(mu=1.0)
+        for message_type in MessageType:
+            payload = rng.integers(0, 2, size=16).astype(np.int8)
+            frame = Frame(message_type, payload)
+            coded = codec.encode(frame)
+            decoded = codec.decode([int(b) for b in coded], payload_bits=16)
+            assert decoded == frame
+
+    def test_expansion_factor(self):
+        codec = FrameCodec(mu=1.0)
+        coded_bits = codec.coded_bits(payload_bits=16)
+        plain = FrameCodec.TYPE_BITS + 16
+        assert coded_bits >= 2 * plain  # at least (1 + mu) expansion
+        assert coded_bits <= 3 * plain  # bounded rounding overhead
+
+    def test_tolerates_erasures(self, rng):
+        codec = FrameCodec(mu=1.0)
+        frame = Frame(MessageType.CONFIRM, rng.integers(0, 2, 16).astype(np.int8))
+        coded = [int(b) for b in codec.encode(frame)]
+        coded[0] = None
+        coded[1] = None
+        assert codec.decode(coded, payload_bits=16) == frame
+
+    def test_fails_beyond_tolerance(self, rng):
+        codec = FrameCodec(mu=1.0)
+        frame = Frame(MessageType.HELLO, rng.integers(0, 2, 16).astype(np.int8))
+        coded = [None] * len(codec.encode(frame))
+        with pytest.raises(DecodeError):
+            codec.decode(coded, payload_bits=16)
+
+    def test_unknown_message_type(self, rng):
+        codec = FrameCodec(mu=1.0)
+        # Craft a frame with an invalid type value by re-encoding bits.
+        from repro.ecc.codec import ExpansionCodec
+        from repro.utils.bitstring import bits_from_int
+
+        plain = np.concatenate(
+            [bits_from_int(31, FrameCodec.TYPE_BITS),
+             rng.integers(0, 2, 16).astype(np.int8)]
+        )
+        coded = ExpansionCodec(1.0).encode(plain)
+        with pytest.raises(DecodeError):
+            codec.decode([int(b) for b in coded], payload_bits=16)
+
+    def test_rejects_narrow_type_field(self):
+        with pytest.raises(ConfigurationError):
+            FrameCodec(mu=1.0, type_bits=2)

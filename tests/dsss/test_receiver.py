@@ -1,0 +1,87 @@
+"""Unit tests for the buffer/process schedule."""
+
+import pytest
+
+from repro.dsss.receiver import BufferSchedule
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_gap_ratio(self):
+        schedule = BufferSchedule(t_buffer=1.0, t_process=10.0)
+        assert schedule.gap_ratio == pytest.approx(10.0)
+
+    def test_rejects_processing_faster_than_buffering(self):
+        with pytest.raises(ConfigurationError):
+            BufferSchedule(t_buffer=2.0, t_process=1.0)
+
+    def test_rejects_negative_phase(self):
+        with pytest.raises(ConfigurationError):
+            BufferSchedule(1.0, 10.0, phase=-0.1)
+
+    def test_rejects_non_positive_durations(self):
+        with pytest.raises(ConfigurationError):
+            BufferSchedule(0.0, 1.0)
+
+
+class TestWindows:
+    def test_window_geometry(self):
+        schedule = BufferSchedule(t_buffer=1.0, t_process=10.0, phase=0.0)
+        win = schedule.window(1)
+        assert win.buffer_start == pytest.approx(9.0)
+        assert win.buffer_end == pytest.approx(10.0)
+        assert win.processing_done == pytest.approx(20.0)
+        assert win.duration == pytest.approx(1.0)
+
+    def test_phase_shifts_windows(self):
+        schedule = BufferSchedule(1.0, 10.0, phase=3.0)
+        win = schedule.window(1)
+        assert win.buffer_end == pytest.approx(13.0)
+
+    def test_first_index_valid(self):
+        schedule = BufferSchedule(1.0, 10.0, phase=2.0)
+        first = schedule.first_index()
+        assert schedule.window(first).buffer_start >= 0.0
+        with pytest.raises(ConfigurationError):
+            schedule.window(first - 1)
+
+    def test_windows_between(self):
+        schedule = BufferSchedule(1.0, 10.0, phase=0.0)
+        windows = list(schedule.windows_between(0.0, 35.0))
+        ends = [w.buffer_end for w in windows]
+        assert ends == pytest.approx([10.0, 20.0, 30.0])
+
+    def test_windows_between_rejects_inverted(self):
+        schedule = BufferSchedule(1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            list(schedule.windows_between(5.0, 4.0))
+
+
+class TestCoverage:
+    def test_required_duration_covers_any_phase(self):
+        """The paper's claim behind r = ceil((lambda+1)(m+1)/m)."""
+        t_b, t_p = 0.5, 7.5
+        for k in range(40):
+            phase = k * t_p / 40
+            schedule = BufferSchedule(t_b, t_p, phase=phase)
+            duration = schedule.required_tx_duration()
+            for start in (0.0, 3.3, 12.1):
+                win = schedule.first_covered_window(start, duration)
+                assert win is not None, f"phase={phase} start={start}"
+                assert win.buffer_start >= start
+                assert win.buffer_end <= start + duration
+
+    def test_shorter_transmission_can_miss(self):
+        """A broadcast shorter than t_p + t_b misses some phases."""
+        t_b, t_p = 0.5, 7.5
+        missed = 0
+        for k in range(40):
+            schedule = BufferSchedule(t_b, t_p, phase=k * t_p / 40)
+            if schedule.first_covered_window(10.0, t_p / 2) is None:
+                missed += 1
+        assert missed > 0
+
+    def test_rejects_non_positive_duration(self):
+        schedule = BufferSchedule(1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            schedule.first_covered_window(0.0, 0.0)

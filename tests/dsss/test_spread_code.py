@@ -1,0 +1,113 @@
+"""Unit tests for spread codes and pools."""
+
+import numpy as np
+import pytest
+
+from repro.dsss.spread_code import CodePool, SpreadCode
+from repro.errors import SpreadCodeError
+
+
+class TestSpreadCode:
+    def test_random_length_and_values(self, rng):
+        code = SpreadCode.random(512, rng)
+        assert code.length == 512
+        assert set(np.unique(code.chips)) <= {-1, 1}
+
+    def test_chips_read_only(self, rng):
+        code = SpreadCode.random(16, rng)
+        with pytest.raises(ValueError):
+            code.chips[0] = -code.chips[0]
+
+    def test_equality_by_content(self):
+        a = SpreadCode([1, -1, 1, -1], code_id=1)
+        b = SpreadCode([1, -1, 1, -1], code_id=2)
+        assert a == b  # identity is content, not label
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert SpreadCode([1, -1]) != SpreadCode([-1, 1])
+
+    def test_from_bits(self):
+        code = SpreadCode.from_bits([1, 0, 1])
+        assert code.chips.tolist() == [1, -1, 1]
+
+    def test_rejects_invalid_chips(self):
+        with pytest.raises(SpreadCodeError):
+            SpreadCode([1, 0, -1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SpreadCodeError):
+            SpreadCode([])
+
+    def test_rejects_zero_length_random(self, rng):
+        with pytest.raises(SpreadCodeError):
+            SpreadCode.random(0, rng)
+
+    def test_self_correlation_is_one(self, rng):
+        code = SpreadCode.random(256, rng)
+        assert code.correlation(code.chips) == pytest.approx(1.0)
+
+    def test_negated_correlation_is_minus_one(self, rng):
+        code = SpreadCode.random(256, rng)
+        assert code.correlation(-code.chips.astype(float)) == pytest.approx(
+            -1.0
+        )
+
+    def test_cross_correlation_small(self, rng):
+        a = SpreadCode.random(512, rng)
+        b = SpreadCode.random(512, rng)
+        assert abs(a.correlation(b.chips)) < 0.15
+
+    def test_correlation_wrong_window_size(self, rng):
+        code = SpreadCode.random(64, rng)
+        with pytest.raises(SpreadCodeError):
+            code.correlation(np.ones(32))
+
+
+class TestCodePool:
+    def test_generate(self):
+        pool = CodePool.generate(10, 64, seed=1)
+        assert pool.size == 10
+        assert pool.code_length == 64
+        assert len({code for code in pool}) == 10
+
+    def test_deterministic(self):
+        a = CodePool.generate(5, 32, seed=9)
+        b = CodePool.generate(5, 32, seed=9)
+        assert all(x == y for x, y in zip(a, b))
+
+    def test_code_ids_are_slots(self):
+        pool = CodePool.generate(4, 32, seed=2)
+        assert [pool.code(i).code_id for i in range(4)] == [0, 1, 2, 3]
+
+    def test_subset(self):
+        pool = CodePool.generate(6, 32, seed=3)
+        subset = pool.subset([5, 0])
+        assert [c.code_id for c in subset] == [5, 0]
+
+    def test_index_of(self):
+        pool = CodePool.generate(4, 32, seed=4)
+        assert pool.index_of(pool.code(2)) == 2
+        other = SpreadCode.random(32, np.random.default_rng(0))
+        assert pool.index_of(other) is None
+
+    def test_out_of_range_code(self):
+        pool = CodePool.generate(3, 32, seed=5)
+        with pytest.raises(SpreadCodeError):
+            pool.code(3)
+
+    def test_rejects_mixed_lengths(self, rng):
+        with pytest.raises(SpreadCodeError):
+            CodePool(
+                [SpreadCode.random(8, rng, 0), SpreadCode.random(16, rng, 1)]
+            )
+
+    def test_rejects_duplicate_ids(self, rng):
+        with pytest.raises(SpreadCodeError):
+            CodePool(
+                [SpreadCode.random(8, rng, 0), SpreadCode.random(8, rng, 0)]
+            )
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(SpreadCodeError):
+            CodePool([])

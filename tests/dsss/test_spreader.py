@@ -1,0 +1,66 @@
+"""Unit tests for spreading and de-spreading."""
+
+import numpy as np
+import pytest
+
+from repro.dsss.spread_code import SpreadCode
+from repro.dsss.spreader import despread, spread
+from repro.errors import SpreadCodeError
+
+
+class TestSpread:
+    def test_paper_example(self):
+        # Section III: message "10" with code "+1-1-1+1".
+        code = SpreadCode([1, -1, -1, 1])
+        chips = spread(np.array([1, 0]), code)
+        assert chips.tolist() == [1, -1, -1, 1, -1, 1, 1, -1]
+
+    def test_length(self, rng):
+        code = SpreadCode.random(512, rng)
+        assert spread(np.zeros(3, dtype=np.int8), code).size == 3 * 512
+
+    def test_empty_message(self, rng):
+        code = SpreadCode.random(8, rng)
+        assert spread(np.zeros(0, dtype=np.int8), code).size == 0
+
+
+class TestDespread:
+    def test_roundtrip_clean(self, rng):
+        code = SpreadCode.random(512, rng)
+        bits = rng.integers(0, 2, size=20, dtype=np.int8)
+        decoded = despread(spread(bits, code), code, tau=0.15)
+        assert decoded == bits.tolist()
+
+    def test_roundtrip_with_noise(self, rng):
+        code = SpreadCode.random(512, rng)
+        bits = rng.integers(0, 2, size=20, dtype=np.int8)
+        signal = spread(bits, code).astype(float)
+        signal += rng.normal(0, 0.5, size=signal.size)
+        decoded = despread(signal, code, tau=0.15)
+        assert decoded == bits.tolist()
+
+    def test_erasure_on_cancellation(self, rng):
+        code = SpreadCode.random(512, rng)
+        signal = spread(np.array([1]), code).astype(float)
+        # Perfectly cancel the first block: correlation 0 -> erasure.
+        signal -= code.chips
+        assert despread(signal, code, tau=0.15) == [None]
+
+    def test_wrong_code_mostly_erasures(self, rng):
+        code = SpreadCode.random(512, rng)
+        other = SpreadCode.random(512, rng)
+        bits = rng.integers(0, 2, size=50, dtype=np.int8)
+        decoded = despread(spread(bits, code).astype(float), other, tau=0.15)
+        erasures = sum(1 for d in decoded if d is None)
+        assert erasures >= 45  # wrong code decodes almost nothing
+
+    def test_rejects_unaligned_chips(self, rng):
+        code = SpreadCode.random(16, rng)
+        with pytest.raises(SpreadCodeError):
+            despread(np.zeros(17), code, tau=0.15)
+
+    @pytest.mark.parametrize("tau", [0.0, 1.0, -0.2])
+    def test_rejects_bad_tau(self, rng, tau):
+        code = SpreadCode.random(16, rng)
+        with pytest.raises(SpreadCodeError):
+            despread(np.zeros(16), code, tau=tau)

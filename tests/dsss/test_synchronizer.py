@@ -1,0 +1,146 @@
+"""Unit tests for the sliding-window synchronizer."""
+
+import numpy as np
+import pytest
+
+from repro.dsss.channel import ChipChannel
+from repro.dsss.spread_code import SpreadCode
+from repro.dsss.synchronizer import SlidingWindowSynchronizer
+from repro.errors import SpreadCodeError
+
+
+def _make_codes(rng, n=4, length=512):
+    return [SpreadCode.random(length, rng, code_id=i) for i in range(n)]
+
+
+class TestScan:
+    def test_finds_message_at_offset(self, rng):
+        codes = _make_codes(rng)
+        bits = rng.integers(0, 2, size=12, dtype=np.int8)
+        channel = ChipChannel(noise_std=0.2)
+        channel.add_message(bits, codes[2], offset=777)
+        buffer = channel.render(rng=rng)
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=12)
+        result = sync.scan(buffer)
+        assert result is not None
+        assert result.position == 777
+        assert result.code.code_id == 2
+        assert result.bits == bits.tolist()
+
+    def test_none_when_no_known_code(self, rng):
+        codes = _make_codes(rng, n=3)
+        foreign = SpreadCode.random(512, rng)
+        channel = ChipChannel()
+        channel.add_message(
+            rng.integers(0, 2, size=12, dtype=np.int8), foreign, offset=100
+        )
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=12)
+        assert sync.scan(channel.render(length=100 + 13 * 512)) is None
+
+    def test_partial_message_not_locked(self, rng):
+        codes = _make_codes(rng, n=1)
+        bits = rng.integers(0, 2, size=12, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, codes[0], offset=0)
+        # Truncate the buffer so the message cannot fully fit.
+        buffer = channel.render()[: 11 * 512]
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=12)
+        assert sync.scan(buffer) is None
+
+    def test_counts_correlations(self, rng):
+        codes = _make_codes(rng, n=3, length=64)
+        bits = np.ones(4, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, codes[0], offset=0)
+        sync = SlidingWindowSynchronizer(
+            codes, tau=0.15, message_bits=4, confirm_blocks=1
+        )
+        result = sync.scan(channel.render())
+        assert result.correlations_computed == 3  # locked at position 0
+
+    def test_scan_from_start_offset(self, rng):
+        codes = _make_codes(rng, n=2)
+        bits = rng.integers(0, 2, size=8, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, codes[0], offset=0)
+        channel.add_message(bits, codes[1], offset=10 * 512)
+        buffer = channel.render()
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=8)
+        second = sync.scan(buffer, start=8 * 512)
+        assert second is not None
+        assert second.code.code_id == 1
+
+
+class TestScanAll:
+    def test_finds_multiple_messages(self, rng):
+        codes = _make_codes(rng, n=3)
+        channel = ChipChannel(noise_std=0.1)
+        bits = rng.integers(0, 2, size=6, dtype=np.int8)
+        channel.add_message(bits, codes[0], offset=0)
+        channel.add_message(bits, codes[1], offset=6 * 512 + 97)
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=6)
+        results = sync.scan_all(channel.render(rng=rng))
+        assert [r.code.code_id for r in results] == [0, 1]
+
+    def test_empty_buffer(self, rng):
+        codes = _make_codes(rng, n=1, length=64)
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=4)
+        assert sync.scan_all(np.zeros(10)) == []
+
+
+class TestValidation:
+    def test_needs_codes(self):
+        with pytest.raises(SpreadCodeError):
+            SlidingWindowSynchronizer([], tau=0.15, message_bits=4)
+
+    def test_mixed_lengths(self, rng):
+        codes = [SpreadCode.random(8, rng, 0), SpreadCode.random(16, rng, 1)]
+        with pytest.raises(SpreadCodeError):
+            SlidingWindowSynchronizer(codes, tau=0.15, message_bits=4)
+
+    def test_bad_confirm_blocks(self, rng):
+        codes = [SpreadCode.random(8, rng)]
+        with pytest.raises(SpreadCodeError):
+            SlidingWindowSynchronizer(
+                codes, tau=0.15, message_bits=4, confirm_blocks=5
+            )
+
+    def test_correlations_per_buffer(self, rng):
+        codes = _make_codes(rng, n=5, length=64)
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=4)
+        # positions = chips - 4*64 + 1
+        assert sync.correlations_per_buffer(1000) == (1000 - 256 + 1) * 5
+
+    def test_correlations_per_buffer_too_small(self, rng):
+        codes = _make_codes(rng, n=2, length=64)
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=4)
+        assert sync.correlations_per_buffer(10) == 0
+
+
+class TestFalseLockSuppression:
+    def test_confirm_blocks_suppress_false_locks(self, rng):
+        """Multi-block confirmation monotonically removes spurious locks.
+
+        A noisy buffer carrying only unrelated traffic produces several
+        single-block threshold crossings; each extra confirmation block
+        strikes more of them, and a handful of blocks removes all.
+        """
+        codes = _make_codes(rng, n=8)
+        foreign = SpreadCode.random(512, rng)
+        channel = ChipChannel(noise_std=0.3)
+        channel.add_message(
+            rng.integers(0, 2, size=40, dtype=np.int8), foreign, offset=0
+        )
+        buffer = channel.render(rng=rng)
+        locks = []
+        for confirm_blocks in (1, 3, 5):
+            sync = SlidingWindowSynchronizer(
+                codes,
+                tau=0.15,
+                message_bits=10,
+                confirm_blocks=confirm_blocks,
+            )
+            locks.append(len(sync.scan_all(buffer)))
+        assert locks[0] > 0, "single-block locking should be fooled"
+        assert locks[0] >= locks[1] >= locks[2]
+        assert locks[2] == 0, "five confirm blocks should reject all"

@@ -1,0 +1,135 @@
+"""Unit tests for GF(2^8) arithmetic."""
+
+import pytest
+
+from repro.ecc.gf256 import GF256
+from repro.errors import ConfigurationError
+
+
+class TestFieldAxioms:
+    def test_addition_is_xor(self):
+        assert GF256.add(0b1010, 0b0110) == 0b1100
+
+    def test_additive_inverse_is_self(self):
+        for a in (1, 77, 255):
+            assert GF256.add(a, a) == 0
+
+    def test_multiplication_identity(self):
+        for a in range(256):
+            assert GF256.multiply(a, 1) == a
+
+    def test_multiplication_zero(self):
+        for a in (0, 1, 128, 255):
+            assert GF256.multiply(a, 0) == 0
+
+    def test_multiplication_commutative(self, rng):
+        for _ in range(100):
+            a, b = rng.integers(0, 256, size=2)
+            assert GF256.multiply(int(a), int(b)) == GF256.multiply(
+                int(b), int(a)
+            )
+
+    def test_multiplication_associative(self, rng):
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, size=3))
+            left = GF256.multiply(GF256.multiply(a, b), c)
+            right = GF256.multiply(a, GF256.multiply(b, c))
+            assert left == right
+
+    def test_distributive(self, rng):
+        for _ in range(100):
+            a, b, c = (int(x) for x in rng.integers(0, 256, size=3))
+            left = GF256.multiply(a, GF256.add(b, c))
+            right = GF256.add(GF256.multiply(a, b), GF256.multiply(a, c))
+            assert left == right
+
+    def test_inverse(self):
+        for a in range(1, 256):
+            assert GF256.multiply(a, GF256.inverse(a)) == 1
+
+    def test_inverse_of_zero(self):
+        with pytest.raises(ConfigurationError):
+            GF256.inverse(0)
+
+    def test_divide(self, rng):
+        for _ in range(100):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(1, 256))
+            assert GF256.multiply(GF256.divide(a, b), b) == a
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ConfigurationError):
+            GF256.divide(5, 0)
+
+    def test_power(self):
+        assert GF256.power(2, 0) == 1
+        assert GF256.power(2, 1) == 2
+        assert GF256.power(2, 8) == 0x1D  # from the primitive polynomial
+
+    def test_power_negative(self):
+        for a in (1, 3, 200):
+            assert GF256.multiply(
+                GF256.power(a, -1), a
+            ) == 1
+
+    def test_power_zero_base(self):
+        assert GF256.power(0, 3) == 0
+        with pytest.raises(ConfigurationError):
+            GF256.power(0, 0)
+
+    def test_generator_order(self):
+        """alpha = 2 generates the full multiplicative group."""
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = GF256.multiply(value, 2)
+        assert len(seen) == 255
+        assert value == 1  # full cycle
+
+
+class TestPolynomials:
+    def test_poly_add_unequal_lengths(self):
+        # (x^2 + 1) + (x) = x^2 + x + 1
+        assert GF256.poly_add([1, 0, 1], [1, 0]) == [1, 1, 1]
+
+    def test_poly_multiply_simple(self):
+        # (x + 1)(x + 1) = x^2 + 1 in characteristic 2
+        assert GF256.poly_multiply([1, 1], [1, 1]) == [1, 0, 1]
+
+    def test_poly_eval_horner(self):
+        # p(x) = 2x^2 + 3x + 5 at x = 1 -> 2 ^ 3 ^ 5 = 4
+        assert GF256.poly_eval([2, 3, 5], 1) == 2 ^ 3 ^ 5
+
+    def test_poly_eval_at_zero_gives_constant(self):
+        assert GF256.poly_eval([7, 9, 42], 0) == 42
+
+    def test_poly_divmod_roundtrip(self, rng):
+        for _ in range(50):
+            dividend = [int(x) for x in rng.integers(0, 256, size=10)]
+            divisor = [1] + [int(x) for x in rng.integers(0, 256, size=3)]
+            quotient, remainder = GF256.poly_divmod(dividend, divisor)
+            recombined = GF256.poly_add(
+                GF256.poly_multiply(quotient, divisor), remainder
+            )
+            # strip leading zeros before comparing
+            def strip(p):
+                i = 0
+                while i < len(p) - 1 and p[i] == 0:
+                    i += 1
+                return p[i:]
+            assert strip(recombined) == strip(dividend)
+
+    def test_poly_divmod_by_zero(self):
+        with pytest.raises(ConfigurationError):
+            GF256.poly_divmod([1, 2], [0])
+
+    def test_poly_scale(self):
+        assert GF256.poly_scale([1, 2], 3) == [3, 6]
+
+    def test_derivative_char2(self):
+        # d/dx (x^3 + x^2 + x + 1) = 3x^2 + 2x + 1 -> x^2 + 1 in GF(2^m)
+        assert GF256.poly_derivative([1, 1, 1, 1]) == [1, 0, 1]
+
+    def test_derivative_constant(self):
+        assert GF256.poly_derivative([5]) == [0]

@@ -1,0 +1,70 @@
+"""Unit tests for the block interleaver."""
+
+import pytest
+
+from repro.ecc.interleaver import BlockInterleaver
+from repro.errors import ConfigurationError
+
+
+class TestRoundtrip:
+    def test_inverse(self, rng):
+        interleaver = BlockInterleaver(4, 6)
+        symbols = [int(x) for x in rng.integers(0, 100, size=24)]
+        assert interleaver.deinterleave(
+            interleaver.interleave(symbols)
+        ) == symbols
+
+    def test_known_permutation(self):
+        interleaver = BlockInterleaver(2, 3)
+        # rows: [0 1 2] / [3 4 5]; read columns -> 0 3 1 4 2 5
+        assert interleaver.interleave([0, 1, 2, 3, 4, 5]) == [
+            0, 3, 1, 4, 2, 5,
+        ]
+
+    def test_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(2, 3).interleave([1, 2, 3])
+
+
+class TestBurstSpreading:
+    def test_burst_hits_each_row_once(self):
+        """A burst of `rows` consecutive post-interleave symbols spans
+        one column: exactly one symbol per original row."""
+        rows, columns = 8, 16
+        interleaver = BlockInterleaver(rows, columns)
+        symbols = list(range(rows * columns))
+        mixed = interleaver.interleave(symbols)
+        burst = set(mixed[24 : 24 + rows])
+        row_hits = [0] * rows
+        for symbol in burst:
+            row_hits[symbol // columns] += 1
+        assert max(row_hits) == 1
+
+    def test_max_burst_per_row_bound(self):
+        interleaver = BlockInterleaver(8, 16)
+        assert interleaver.max_burst_per_row(8) == 1
+        assert interleaver.max_burst_per_row(9) == 2
+        assert interleaver.max_burst_per_row(0) == 0
+        assert interleaver.max_burst_per_row(10_000) == 16
+
+    def test_bound_holds_empirically(self):
+        rows, columns = 5, 7
+        interleaver = BlockInterleaver(rows, columns)
+        symbols = list(range(rows * columns))
+        mixed = interleaver.interleave(symbols)
+        for burst_len in (3, 5, 8, 12):
+            bound = interleaver.max_burst_per_row(burst_len)
+            for start in range(len(mixed) - burst_len + 1):
+                burst = mixed[start : start + burst_len]
+                hits = [0] * rows
+                for symbol in burst:
+                    hits[symbol // columns] += 1
+                assert max(hits) <= bound
+
+    def test_rejects_negative_burst(self):
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(2, 2).max_burst_per_row(-1)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            BlockInterleaver(0, 3)

@@ -1,0 +1,58 @@
+"""Unit tests for the repetition code."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.repetition import RepetitionCodec
+from repro.errors import ConfigurationError, DecodeError
+
+
+class TestEncode:
+    def test_repeats(self):
+        codec = RepetitionCodec(3)
+        assert codec.encode([1, 0]).tolist() == [1, 1, 1, 0, 0, 0]
+
+    def test_factor_one_is_identity(self, rng):
+        bits = rng.integers(0, 2, size=16, dtype=np.int8)
+        assert np.array_equal(RepetitionCodec(1).encode(bits), bits)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ConfigurationError):
+            RepetitionCodec(3).encode([0, 2])
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            RepetitionCodec(0)
+
+
+class TestDecode:
+    def test_clean_roundtrip(self, rng):
+        codec = RepetitionCodec(5)
+        bits = rng.integers(0, 2, size=40, dtype=np.int8)
+        assert np.array_equal(codec.decode(codec.encode(bits)), bits)
+
+    def test_majority_beats_errors(self):
+        codec = RepetitionCodec(3)
+        # one flipped copy per bit still decodes
+        assert codec.decode([1, 1, 0, 0, 1, 0]).tolist() == [1, 0]
+
+    def test_erasures_do_not_vote(self):
+        codec = RepetitionCodec(3)
+        assert codec.decode([None, None, 1, 0, None, 0]).tolist() == [1, 0]
+
+    def test_tie_raises(self):
+        codec = RepetitionCodec(2)
+        with pytest.raises(DecodeError):
+            codec.decode([1, 0])
+
+    def test_total_erasure_raises(self):
+        codec = RepetitionCodec(3)
+        with pytest.raises(DecodeError):
+            codec.decode([None, None, None])
+
+    def test_unaligned_length(self):
+        with pytest.raises(ConfigurationError):
+            RepetitionCodec(3).decode([1, 1])
+
+    def test_tolerated_erasures(self):
+        assert RepetitionCodec(5).tolerated_erasures_per_bit() == 4

@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.runs == 5
+        assert args.seed == 2011
+
+    def test_figure5_options(self):
+        args = build_parser().parse_args(
+            ["figure5", "--q", "60", "--link-model", "codes"]
+        )
+        assert args.q == 60
+        assert args.link_model == "codes"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure9"])
+
+
+class TestCommands:
+    def test_theory_runs(self, capsys):
+        assert main(["theory", "--q", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorems 1-4" in out
+        assert "P_minus" in out
+
+    def test_theory_latency_values(self, capsys):
+        main(["theory"])
+        out = capsys.readouterr().out
+        # T_D at defaults ~ 1.70 s appears in the table.
+        assert "1.70" in out
+
+    def test_figure4_small(self, capsys):
+        # One tiny run exercises the whole pipeline end to end.
+        assert main(
+            ["--runs", "1", "--seed", "1", "figure4", "--share-count", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "p_jrsnd" in out
+
+
+class TestChartFlag:
+    def test_chart_flag_parsed(self):
+        args = build_parser().parse_args(["--chart", "figure2"])
+        assert args.chart
+
+    def test_chart_default_off(self):
+        assert not build_parser().parse_args(["figure2"]).chart

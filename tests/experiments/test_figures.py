@@ -1,0 +1,86 @@
+"""Unit tests for the figure sweep definitions (fast, tiny versions)."""
+
+import pytest
+
+from repro.core.config import JRSNDConfig
+from repro.experiments.figures import (
+    figure2_sweep,
+    figure3a_sweep,
+    figure3b_sweep,
+    figure4_sweep,
+    figure5_sweep,
+)
+
+TINY = JRSNDConfig(
+    n_nodes=300,
+    codes_per_node=20,
+    share_count=15,
+    n_compromised=5,
+    field_width=2000.0,
+    field_height=2000.0,
+    tx_range=300.0,
+)
+
+
+class TestFigure2:
+    def test_rows_and_columns(self):
+        rows = figure2_sweep(m_values=(10, 20), runs=1, base=TINY)
+        assert len(rows) == 2
+        for row in rows:
+            for key in ("m", "p_dndp", "p_mndp", "p_jrsnd",
+                        "t_dndp", "t_mndp", "t_jrsnd"):
+                assert key in row
+
+    def test_latency_quadratic_in_m(self):
+        rows = figure2_sweep(m_values=(20, 40, 80), runs=1, base=TINY)
+        t = [row["t_dndp"] for row in rows]
+        assert t[2] / t[1] > 3.0
+
+    def test_probability_increases_with_m(self):
+        rows = figure2_sweep(m_values=(5, 40), runs=2, base=TINY)
+        assert rows[1]["p_dndp"] > rows[0]["p_dndp"]
+
+
+class TestFigure3:
+    def test_3a_shape(self):
+        rows = figure3a_sweep(l_values=(5, 20), runs=1, base=TINY)
+        assert rows[1]["p_dndp"] > rows[0]["p_dndp"]
+
+    def test_3b_columns(self):
+        rows = figure3b_sweep(n_values=(200, 400), runs=1, base=TINY)
+        assert [row["n"] for row in rows] == [200, 400]
+
+
+class TestFigure4:
+    def test_decreasing_in_q(self):
+        rows = figure4_sweep(
+            share_count=15, q_values=(0, 60), runs=2, base=TINY
+        )
+        assert rows[0]["p_dndp"] > rows[1]["p_dndp"]
+
+    def test_carries_l(self):
+        rows = figure4_sweep(
+            share_count=15, q_values=(0,), runs=1, base=TINY
+        )
+        assert rows[0]["l"] == 15
+
+
+class TestFigure5:
+    def test_nu_improves_mndp(self):
+        rows = figure5_sweep(
+            nu_values=(1, 4), q=40, runs=2, base=TINY
+        )
+        assert rows[1]["p_mndp"] >= rows[0]["p_mndp"]
+
+    def test_latency_grows_with_nu(self):
+        rows = figure5_sweep(nu_values=(1, 4), q=40, runs=1, base=TINY)
+        assert rows[1]["t_mndp"] > rows[0]["t_mndp"]
+
+    def test_combined_check_consistent(self):
+        """P = P_D + (1-P_D) P_M holds per run; across-run averaging
+        of the conditional P_M introduces only a small discrepancy."""
+        rows = figure5_sweep(nu_values=(2,), q=40, runs=2, base=TINY)
+        row = rows[0]
+        assert row["p_jrsnd"] == pytest.approx(
+            row["p_combined_check"], abs=0.02
+        )

@@ -1,0 +1,38 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import format_row, format_series_table
+
+
+class TestFormatRow:
+    def test_alignment(self):
+        row = format_row(["a", 1.23456], [5, 9])
+        assert row == "    a     1.2346"
+
+    def test_large_floats(self):
+        assert "1234.5" in format_row([1234.54], [9])
+
+
+class TestFormatTable:
+    def test_basic(self):
+        rows = [{"x": 1.0, "y": 0.5}, {"x": 2.0, "y": 0.25}]
+        table = format_series_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "x" in lines[1] and "y" in lines[1]
+        assert len(lines) == 5
+
+    def test_column_selection(self):
+        rows = [{"x": 1.0, "y": 0.5}]
+        table = format_series_table(rows, columns=["y"])
+        assert "x" not in table.splitlines()[0]
+
+    def test_unknown_column(self):
+        with pytest.raises(ConfigurationError):
+            format_series_table([{"x": 1.0}], columns=["z"])
+
+    def test_empty_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_series_table([])

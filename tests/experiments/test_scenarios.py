@@ -1,0 +1,87 @@
+"""Unit tests for the pre-wired event scenarios."""
+
+import pytest
+
+from repro.adversary.jammer import JammerStrategy
+from repro.experiments.scenarios import build_event_network
+
+
+class TestBuildEventNetwork:
+    def test_wiring(self, small_config):
+        net = build_event_network(small_config, seed=1)
+        assert len(net.nodes) == small_config.n_nodes
+        assert net.pool.size == small_config.pool_size
+        assert net.pool.code_length == small_config.code_length
+        # Every node's codes are real pool codes at the assigned slots.
+        for index, node in enumerate(net.nodes):
+            assigned = net.assignment.node_codes[index]
+            assert sorted(node._codes.keys()) == sorted(assigned)
+
+    def test_positions_respected(self, small_config):
+        config = small_config.replace(n_nodes=2, share_count=2)
+        positions = [(1.0, 2.0), (3.0, 4.0)]
+        net = build_event_network(config, seed=1, positions=positions)
+        assert net.nodes[0].position == (1.0, 2.0)
+
+    def test_position_count_checked(self, small_config):
+        with pytest.raises(ValueError):
+            build_event_network(small_config, seed=1, positions=[(0, 0)])
+
+    def test_jammer_attachment(self, small_config):
+        config = small_config.replace(n_compromised=2)
+        net = build_event_network(
+            config, seed=1, jammer_strategy=JammerStrategy.REACTIVE
+        )
+        assert net.jammer is not None
+        assert net.compromise.n_nodes == 2
+
+    def test_no_jammer_by_default(self, small_config):
+        assert build_event_network(small_config, seed=1).jammer is None
+
+    def test_deterministic(self, small_config):
+        a = build_event_network(small_config, seed=9)
+        b = build_event_network(small_config, seed=9)
+        assert a.assignment.node_codes == b.assignment.node_codes
+        assert [n.position for n in a.nodes] == [n.position for n in b.nodes]
+
+
+class TestAdmitNode:
+    def test_joiner_gets_codes_and_discovers(self, small_config):
+        from repro.experiments.scenarios import admit_node
+
+        net = build_event_network(small_config, seed=7)
+        for node in net.nodes:
+            node.initiate_dndp()
+        net.simulator.run(until=30.0)
+        established_before = set(net.logical_pairs())
+
+        joiner = admit_node(net, position=net.nodes[0].position)
+        assert joiner.index == small_config.n_nodes
+        assert len(net.assignment.node_codes[joiner.index]) == (
+            small_config.codes_per_node
+        )
+        # The joiner runs discovery and finds code-sharing neighbors.
+        joiner.initiate_dndp()
+        net.simulator.run(until=net.simulator.now + 30.0)
+        logical = net.logical_pairs()
+        assert established_before <= logical
+        sharing = [
+            other.index
+            for other in net.nodes
+            if other.index != joiner.index
+            and net.assignment.shared_codes(joiner.index, other.index)
+            and net.field.in_range(joiner.position, other.position)
+        ]
+        for other_index in sharing:
+            assert (other_index, joiner.index) in logical
+
+    def test_share_counts_stay_bounded(self, small_config):
+        from repro.experiments.scenarios import admit_node
+
+        net = build_event_network(small_config, seed=7)
+        admit_node(net, position=(10.0, 10.0), seed_label="j1")
+        admit_node(net, position=(20.0, 20.0), seed_label="j2")
+        # l plus at most one extra batch round.
+        assert net.assignment.max_share_count() <= (
+            small_config.share_count + 1
+        )

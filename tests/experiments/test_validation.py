@@ -1,0 +1,53 @@
+"""Tests for the analysis-vs-simulation validation grid."""
+
+import pytest
+
+from repro.core.config import JRSNDConfig
+from repro.errors import ConfigurationError
+from repro.experiments.validation import (
+    ValidationPoint,
+    validate_theorem1_grid,
+    worst_deviation,
+)
+
+SMALL = JRSNDConfig(
+    n_nodes=400,
+    codes_per_node=20,
+    share_count=15,
+    field_width=2000.0,
+    field_height=2000.0,
+    tx_range=300.0,
+)
+
+
+class TestGrid:
+    def test_grid_agrees_with_theory(self):
+        points = validate_theorem1_grid(
+            q_values=(0, 20), l_values=(10, 15), runs=2, base=SMALL
+        )
+        assert len(points) == 8  # 2 q x 2 l x 2 strategies
+        gap, worst = worst_deviation(points)
+        assert gap < 0.06, f"worst point: {worst}"
+
+    def test_zero_compromise_exact(self):
+        points = validate_theorem1_grid(
+            q_values=(0,), l_values=(10,), runs=2, base=SMALL
+        )
+        for point in points:
+            # With q = 0 both strategies reduce to the sharing
+            # probability; agreement is tight.
+            assert point.deviation < 0.03
+
+    def test_point_fields(self):
+        point = ValidationPoint(
+            q=20, share_count=40, strategy="reactive",
+            simulated=0.72, predicted=0.73,
+        )
+        assert point.deviation == pytest.approx(0.01)
+
+    def test_worst_of_empty(self):
+        assert worst_deviation([]) == (0.0, None)
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(ConfigurationError):
+            validate_theorem1_grid(runs=0, base=SMALL)

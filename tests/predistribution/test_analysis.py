@@ -1,0 +1,127 @@
+"""Unit tests for Eqs. (1) and (2) against Monte Carlo."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predistribution.analysis import (
+    code_compromise_probability,
+    expected_compromised_codes,
+    expected_shared_codes,
+    probability_at_least_one_shared,
+    shared_code_pmf,
+    shared_codes_probability,
+)
+from repro.predistribution.authority import PreDistributor
+
+
+class TestEquation1:
+    def test_pmf_sums_to_one(self):
+        pmf = shared_code_pmf(2000, 100, 40)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_binomial_form(self):
+        # Pr[x] = C(m,x) p^x (1-p)^(m-x) with p = (l-1)/(n-1).
+        n, m, l = 100, 10, 20
+        p = (l - 1) / (n - 1)
+        for x in (0, 3, 10):
+            expected = math.comb(m, x) * p**x * (1 - p) ** (m - x)
+            assert shared_codes_probability(x, n, m, l) == pytest.approx(
+                expected
+            )
+
+    def test_out_of_support(self):
+        assert shared_codes_probability(11, 100, 10, 20) == 0.0
+        assert shared_codes_probability(-1, 100, 10, 20) == 0.0
+
+    def test_expected_value(self):
+        assert expected_shared_codes(2000, 100, 40) == pytest.approx(
+            100 * 39 / 1999
+        )
+
+    def test_at_least_one(self):
+        n, m, l = 2000, 100, 40
+        assert probability_at_least_one_shared(n, m, l) == pytest.approx(
+            1.0 - shared_codes_probability(0, n, m, l)
+        )
+
+    def test_matches_simulation(self, rng):
+        """Eq. (1) against the actual assignment procedure."""
+        n, m, l = 120, 8, 12
+        distributor = PreDistributor(n, m, l)
+        counts = np.zeros(m + 1)
+        pairs = 0
+        for _ in range(30):
+            assignment = distributor.assign(rng)
+            for a in range(0, n, 7):
+                for b in range(a + 1, n, 13):
+                    counts[len(assignment.shared_codes(a, b))] += 1
+                    pairs += 1
+        empirical = counts / pairs
+        theory = shared_code_pmf(n, m, l)
+        # Total variation distance small.
+        assert np.abs(empirical - theory).sum() < 0.08
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shared_codes_probability(1, 1, 5, 2)
+        with pytest.raises(ConfigurationError):
+            shared_codes_probability(1, 10, 0, 2)
+
+
+class TestEquation2:
+    def test_zero_compromise(self):
+        assert code_compromise_probability(2000, 40, 0) == 0.0
+
+    def test_certain_compromise(self):
+        # q > n - l guarantees a holder is captured.
+        assert code_compromise_probability(50, 40, 11) == 1.0
+
+    def test_closed_form(self):
+        n, l, q = 100, 10, 5
+        expected = 1.0 - (
+            math.comb(n - l, q) / math.comb(n, q)
+        )
+        assert code_compromise_probability(n, l, q) == pytest.approx(
+            expected
+        )
+
+    def test_monotone_in_q(self):
+        values = [
+            code_compromise_probability(2000, 40, q) for q in range(0, 101, 10)
+        ]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_l(self):
+        values = [
+            code_compromise_probability(2000, l, 20) for l in (5, 20, 40, 100)
+        ]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_matches_simulation(self, rng):
+        n, m, l, q = 100, 6, 10, 8
+        distributor = PreDistributor(n, m, l)
+        total, compromised = 0, 0
+        for _ in range(40):
+            assignment = distributor.assign(rng)
+            nodes = rng.choice(n, size=q, replace=False)
+            captured = assignment.compromised_codes(nodes.tolist())
+            total += distributor.pool_size
+            compromised += len(captured)
+        empirical = compromised / total
+        theory = code_compromise_probability(n, l, q)
+        assert empirical == pytest.approx(theory, abs=0.03)
+
+    def test_expected_codes(self):
+        s = 5000
+        assert expected_compromised_codes(
+            s, 2000, 40, 20
+        ) == pytest.approx(s * code_compromise_probability(2000, 40, 20))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            code_compromise_probability(2000, 40, -1)
+        with pytest.raises(ConfigurationError):
+            expected_compromised_codes(0, 2000, 40, 5)

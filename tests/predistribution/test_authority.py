@@ -1,0 +1,116 @@
+"""Unit tests for the code pre-distribution scheme."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predistribution.authority import PreDistributor
+
+
+class TestAssign:
+    def test_every_node_gets_m_codes(self, rng):
+        distributor = PreDistributor(60, codes_per_node=5, share_count=10)
+        assignment = distributor.assign(rng)
+        assert all(len(codes) == 5 for codes in assignment.node_codes)
+
+    def test_each_code_shared_by_exactly_l_when_divisible(self, rng):
+        distributor = PreDistributor(60, codes_per_node=5, share_count=10)
+        assignment = distributor.assign(rng)
+        counts = [
+            len(assignment.holders_of(c)) for c in range(distributor.pool_size)
+        ]
+        assert all(count == 10 for count in counts)
+
+    def test_one_code_per_round(self, rng):
+        """Node codes come one per round: code // w == round index."""
+        distributor = PreDistributor(40, codes_per_node=4, share_count=8)
+        assignment = distributor.assign(rng)
+        w = distributor.subsets_per_round
+        for codes in assignment.node_codes:
+            rounds = [code // w for code in codes]
+            assert rounds == list(range(4))
+
+    def test_virtual_nodes_when_not_divisible(self, rng):
+        distributor = PreDistributor(57, codes_per_node=3, share_count=10)
+        assert distributor.n_virtual == 3
+        assignment = distributor.assign(rng)
+        counts = [
+            len(assignment.holders_of(c)) for c in range(distributor.pool_size)
+        ]
+        assert max(counts) <= 10
+        assert min(counts) >= 10 - 3  # only l' codes short per round
+
+    def test_pool_size(self):
+        distributor = PreDistributor(60, codes_per_node=5, share_count=10)
+        assert distributor.pool_size == 6 * 5
+
+    def test_shared_codes_symmetric(self, rng):
+        distributor = PreDistributor(30, codes_per_node=4, share_count=6)
+        assignment = distributor.assign(rng)
+        assert assignment.shared_codes(3, 7) == assignment.shared_codes(7, 3)
+
+    def test_compromised_codes_union(self, rng):
+        distributor = PreDistributor(30, codes_per_node=4, share_count=6)
+        assignment = distributor.assign(rng)
+        codes = assignment.compromised_codes([0, 1])
+        assert codes == set(assignment.node_codes[0]) | set(
+            assignment.node_codes[1]
+        )
+
+    def test_compromised_codes_bad_index(self, rng):
+        distributor = PreDistributor(10, codes_per_node=2, share_count=5)
+        assignment = distributor.assign(rng)
+        with pytest.raises(ConfigurationError):
+            assignment.compromised_codes([99])
+
+    def test_deterministic_given_rng(self):
+        distributor = PreDistributor(30, codes_per_node=4, share_count=6)
+        a = distributor.assign(np.random.default_rng(5))
+        b = distributor.assign(np.random.default_rng(5))
+        assert a.node_codes == b.node_codes
+
+
+class TestValidation:
+    def test_rejects_l_below_two(self):
+        with pytest.raises(ConfigurationError):
+            PreDistributor(10, 2, share_count=1)
+
+    def test_rejects_l_above_n(self):
+        with pytest.raises(ConfigurationError):
+            PreDistributor(10, 2, share_count=11)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            PreDistributor(0, 2, 2)
+
+
+class TestNodeJoin:
+    def test_join_within_virtual_budget(self, rng):
+        distributor = PreDistributor(57, codes_per_node=3, share_count=10)
+        assignment = distributor.assign(rng)
+        extended, new = distributor.admit_new_nodes(assignment, 2, rng)
+        assert new == [57, 58]
+        assert all(len(extended.node_codes[i]) == 3 for i in new)
+        # Share counts stay bounded by l.
+        assert extended.max_share_count() <= 10
+
+    def test_join_beyond_virtual_budget(self, rng):
+        distributor = PreDistributor(60, codes_per_node=3, share_count=10)
+        assignment = distributor.assign(rng)
+        extended, new = distributor.admit_new_nodes(assignment, 4, rng)
+        assert len(new) == 4
+        # Extra distribution round: some codes now shared by l + 1.
+        assert extended.max_share_count() <= 11
+
+    def test_join_preserves_existing(self, rng):
+        distributor = PreDistributor(20, codes_per_node=3, share_count=5)
+        assignment = distributor.assign(rng)
+        before = [list(codes) for codes in assignment.node_codes]
+        extended, _ = distributor.admit_new_nodes(assignment, 3, rng)
+        assert extended.node_codes[:20] == before
+
+    def test_join_rejects_zero(self, rng):
+        distributor = PreDistributor(20, codes_per_node=3, share_count=5)
+        assignment = distributor.assign(rng)
+        with pytest.raises(ConfigurationError):
+            distributor.admit_new_nodes(assignment, 0, rng)

@@ -1,0 +1,60 @@
+"""Unit tests for gamma-counter local revocation."""
+
+import pytest
+
+from repro.errors import ConfigurationError, RevokedCodeError
+from repro.predistribution.revocation import RevocationList
+
+
+class TestRevocation:
+    def test_initial_state(self):
+        rev = RevocationList([1, 2, 3], gamma=2)
+        assert rev.active_codes() == {1, 2, 3}
+        assert rev.counter(1) == 0
+        assert not rev.revoked
+
+    def test_revokes_after_gamma_exceeded(self):
+        rev = RevocationList([1], gamma=2)
+        assert not rev.record_invalid_request(1)  # counter 1
+        assert not rev.record_invalid_request(1)  # counter 2 == gamma
+        assert rev.record_invalid_request(1)  # counter 3 > gamma -> revoke
+        assert rev.revoked == {1}
+        assert not rev.is_active(1)
+
+    def test_exactly_gamma_plus_one_requests(self):
+        gamma = 5
+        rev = RevocationList([7], gamma=gamma)
+        tipped = [rev.record_invalid_request(7) for _ in range(gamma + 1)]
+        assert tipped == [False] * gamma + [True]
+
+    def test_revoked_code_rejects_further_requests(self):
+        rev = RevocationList([1], gamma=1)
+        rev.record_invalid_request(1)
+        rev.record_invalid_request(1)
+        with pytest.raises(RevokedCodeError):
+            rev.record_invalid_request(1)
+
+    def test_codes_independent(self):
+        rev = RevocationList([1, 2], gamma=1)
+        rev.record_invalid_request(1)
+        rev.record_invalid_request(1)
+        assert rev.active_codes() == {2}
+        assert rev.counter(2) == 0
+
+    def test_unknown_code(self):
+        rev = RevocationList([1], gamma=1)
+        with pytest.raises(ConfigurationError):
+            rev.record_invalid_request(9)
+        with pytest.raises(ConfigurationError):
+            rev.counter(9)
+
+    def test_rejects_empty_code_set(self):
+        with pytest.raises(ConfigurationError):
+            RevocationList([], gamma=1)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ConfigurationError):
+            RevocationList([1], gamma=0)
+
+    def test_gamma_property(self):
+        assert RevocationList([1], gamma=3).gamma == 3

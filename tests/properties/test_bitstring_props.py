@@ -1,0 +1,65 @@
+"""Property-based tests for bit utilities and session codes."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.session import derive_session_code
+from repro.utils.bitstring import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_int,
+    nrz_from_bits,
+    nrz_to_bits,
+    xor_bits,
+)
+
+
+class TestBitstringProps:
+    @given(st.binary(min_size=0, max_size=64))
+    def test_bytes_roundtrip(self, data):
+        assert bits_to_bytes(bits_from_bytes(data)) == data
+
+    @given(st.integers(min_value=1, max_value=60), st.data())
+    def test_int_roundtrip(self, width, data):
+        value = data.draw(
+            st.integers(min_value=0, max_value=(1 << width) - 1)
+        )
+        assert bits_to_int(bits_from_int(value, width)) == value
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=100))
+    def test_nrz_roundtrip(self, raw):
+        bits = np.asarray(raw, dtype=np.int8)
+        assert np.array_equal(nrz_to_bits(nrz_from_bits(bits)), bits)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                    max_size=64))
+    def test_xor_self_is_zero(self, raw):
+        bits = np.asarray(raw, dtype=np.int8)
+        assert not xor_bits(bits, bits).any()
+
+
+class TestSessionCodeProps:
+    @given(
+        st.binary(min_size=1, max_size=48),
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+        st.integers(min_value=8, max_value=600),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, key, nonce_a, nonce_b, length):
+        a = derive_session_code(key, nonce_a, nonce_b, length)
+        b = derive_session_code(key, nonce_b, nonce_a, length)
+        assert a == b
+        assert a.length == length
+
+    @given(
+        st.binary(min_size=1, max_size=16),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_balanced_chips(self, key, nonce):
+        """Derived codes look pseudorandom: chips roughly balanced."""
+        code = derive_session_code(key, nonce, nonce + 1, 512)
+        ones = int((code.chips == 1).sum())
+        assert 180 < ones < 332  # ~6 sigma around 256

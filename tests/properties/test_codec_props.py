@@ -1,0 +1,60 @@
+"""Property-based tests for the expansion codec and frames."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dsss.frame import Frame, FrameCodec, MessageType
+from repro.ecc.codec import ExpansionCodec
+
+bits = st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=400)
+
+
+class TestExpansionCodecProps:
+    @given(bits, st.sampled_from([0.5, 1.0, 2.0]))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, message, mu):
+        codec = ExpansionCodec(mu)
+        arr = np.asarray(message, dtype=np.int8)
+        coded = codec.encode(arr)
+        decoded = codec.decode([int(b) for b in coded], arr.size)
+        assert np.array_equal(decoded, arr)
+
+    @given(bits)
+    @settings(max_examples=60, deadline=None)
+    def test_encoded_length_consistent(self, message):
+        codec = ExpansionCodec(1.0)
+        arr = np.asarray(message, dtype=np.int8)
+        assert codec.encode(arr).size == codec.encoded_bits(arr.size)
+
+    @given(
+        bits,
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tolerated_burst_always_decodes(self, message, start_seed):
+        codec = ExpansionCodec(1.0)
+        arr = np.asarray(message, dtype=np.int8)
+        coded = [int(b) for b in codec.encode(arr)]
+        burst = codec.tolerated_burst_bits(arr.size)
+        if burst == 0:
+            return
+        start = start_seed % max(1, len(coded) - burst)
+        for i in range(start, start + burst):
+            coded[i] = None
+        decoded = codec.decode(coded, arr.size)
+        assert np.array_equal(decoded, arr)
+
+
+class TestFrameProps:
+    @given(
+        st.sampled_from(list(MessageType)),
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1,
+                 max_size=120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_frame_roundtrip(self, message_type, payload):
+        codec = FrameCodec(mu=1.0)
+        frame = Frame(message_type, np.asarray(payload, dtype=np.int8))
+        coded = codec.encode(frame)
+        decoded = codec.decode([int(b) for b in coded], len(payload))
+        assert decoded == frame

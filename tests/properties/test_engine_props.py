@@ -1,0 +1,72 @@
+"""Property-based tests for the discrete-event kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator, Timeout
+
+
+class TestKernelProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_callbacks_fire_in_sorted_order(self, times):
+        sim = Simulator()
+        fired = []
+        for when in times:
+            sim.call_at(when, fired.append, when)
+        sim.run()
+        assert fired == sorted(times)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_process_timeouts_accumulate(self, delays):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            for delay in delays:
+                yield Timeout(delay)
+                marks.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        expected = []
+        total = 0.0
+        for delay in delays:
+            total += delay
+            expected.append(total)
+        assert len(marks) == len(expected)
+        for got, want in zip(marks, expected):
+            assert abs(got - want) < 1e-6 * max(1.0, want)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_run_until_partitions_execution(self, entries):
+        """Running to T then to completion executes everything once."""
+        sim = Simulator()
+        fired = []
+        for when, tag in entries:
+            sim.call_at(when, fired.append, (when, tag))
+        sim.run(until=50.0)
+        early = len(fired)
+        assert all(when <= 50.0 for when, _ in fired)
+        sim.run()
+        assert len(fired) == len(entries)
+        assert early == sum(1 for when, _ in entries if when <= 50.0)

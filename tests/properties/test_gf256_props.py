@@ -1,0 +1,80 @@
+"""Property-based tests for GF(2^8) arithmetic."""
+
+from hypothesis import given, strategies as st
+
+from repro.ecc.gf256 import GF256
+
+element = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldProperties:
+    @given(element, element)
+    def test_add_commutative(self, a, b):
+        assert GF256.add(a, b) == GF256.add(b, a)
+
+    @given(element, element, element)
+    def test_add_associative(self, a, b, c):
+        assert GF256.add(GF256.add(a, b), c) == GF256.add(
+            a, GF256.add(b, c)
+        )
+
+    @given(element, element)
+    def test_multiply_commutative(self, a, b):
+        assert GF256.multiply(a, b) == GF256.multiply(b, a)
+
+    @given(element, element, element)
+    def test_multiply_associative(self, a, b, c):
+        assert GF256.multiply(GF256.multiply(a, b), c) == GF256.multiply(
+            a, GF256.multiply(b, c)
+        )
+
+    @given(element, element, element)
+    def test_distributive(self, a, b, c):
+        assert GF256.multiply(a, GF256.add(b, c)) == GF256.add(
+            GF256.multiply(a, b), GF256.multiply(a, c)
+        )
+
+    @given(nonzero)
+    def test_inverse_roundtrip(self, a):
+        assert GF256.multiply(a, GF256.inverse(a)) == 1
+
+    @given(element, nonzero)
+    def test_divide_roundtrip(self, a, b):
+        assert GF256.multiply(GF256.divide(a, b), b) == a
+
+    @given(nonzero, st.integers(min_value=-500, max_value=500))
+    def test_power_additivity(self, a, k):
+        left = GF256.multiply(GF256.power(a, k), GF256.power(a, 1))
+        assert left == GF256.power(a, k + 1)
+
+
+class TestPolynomialProperties:
+    polys = st.lists(element, min_size=1, max_size=12)
+
+    @given(polys, polys, element)
+    def test_multiply_matches_eval(self, p, q, x):
+        product = GF256.poly_multiply(p, q)
+        assert GF256.poly_eval(product, x) == GF256.multiply(
+            GF256.poly_eval(p, x), GF256.poly_eval(q, x)
+        )
+
+    @given(polys, polys, element)
+    def test_add_matches_eval(self, p, q, x):
+        total = GF256.poly_add(p, q)
+        assert GF256.poly_eval(total, x) == GF256.add(
+            GF256.poly_eval(p, x), GF256.poly_eval(q, x)
+        )
+
+    @given(polys, st.lists(element, min_size=2, max_size=6), element)
+    def test_divmod_identity(self, dividend, divisor_tail, x):
+        divisor = [1] + divisor_tail  # monic, nonzero
+        quotient, remainder = GF256.poly_divmod(dividend, divisor)
+        lhs = GF256.poly_eval(dividend, x)
+        rhs = GF256.add(
+            GF256.multiply(
+                GF256.poly_eval(quotient, x), GF256.poly_eval(divisor, x)
+            ),
+            GF256.poly_eval(remainder, x),
+        )
+        assert lhs == rhs

@@ -1,0 +1,71 @@
+"""Property-based tests for pre-distribution invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.predistribution.authority import PreDistributor
+
+
+@st.composite
+def distribution_params(draw):
+    l = draw(st.integers(min_value=2, max_value=12))
+    w = draw(st.integers(min_value=2, max_value=8))
+    slack = draw(st.integers(min_value=0, max_value=l - 1))
+    n = l * w - slack
+    if n < l:
+        n = l
+    m = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return n, m, l, seed
+
+
+class TestAssignmentInvariants:
+    @given(distribution_params())
+    @settings(max_examples=60, deadline=None)
+    def test_every_node_has_m_distinct_codes(self, params):
+        n, m, l, seed = params
+        assignment = PreDistributor(n, m, l).assign(
+            np.random.default_rng(seed)
+        )
+        for codes in assignment.node_codes:
+            assert len(codes) == m
+            assert len(set(codes)) == m
+
+    @given(distribution_params())
+    @settings(max_examples=60, deadline=None)
+    def test_share_count_bounded_by_l(self, params):
+        n, m, l, seed = params
+        assignment = PreDistributor(n, m, l).assign(
+            np.random.default_rng(seed)
+        )
+        assert assignment.max_share_count() <= l
+
+    @given(distribution_params())
+    @settings(max_examples=60, deadline=None)
+    def test_holders_consistent_with_node_codes(self, params):
+        n, m, l, seed = params
+        assignment = PreDistributor(n, m, l).assign(
+            np.random.default_rng(seed)
+        )
+        for node, codes in enumerate(assignment.node_codes):
+            for code in codes:
+                assert node in assignment.holders_of(code)
+
+    @given(distribution_params(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_join_gives_full_code_sets(self, params, n_new):
+        n, m, l, seed = params
+        distributor = PreDistributor(n, m, l)
+        rng = np.random.default_rng(seed)
+        assignment = distributor.assign(rng)
+        extended, new_nodes = distributor.admit_new_nodes(
+            assignment, n_new, rng
+        )
+        assert len(new_nodes) == n_new
+        for node in new_nodes:
+            assert len(extended.node_codes[node]) == m
+        # Virtual slots absorb joiners for free; beyond that each batch
+        # of w new nodes adds one share per code (Section V-A).
+        beyond_virtual = max(0, n_new - distributor.n_virtual)
+        batches = -(-beyond_virtual // distributor.subsets_per_round)
+        assert extended.max_share_count() <= l + batches

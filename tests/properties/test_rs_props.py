@@ -1,0 +1,66 @@
+"""Property-based tests for the Reed-Solomon codec."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.reed_solomon import ReedSolomonCodec
+
+symbol = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def corruption_case(draw):
+    """A message plus an errors+erasures pattern within capability."""
+    n_parity = draw(st.integers(min_value=2, max_value=20))
+    k = draw(st.integers(min_value=1, max_value=255 - n_parity))
+    message = draw(
+        st.lists(symbol, min_size=k, max_size=k)
+    )
+    n = k + n_parity
+    e = draw(st.integers(min_value=0, max_value=n_parity // 2))
+    f = draw(st.integers(min_value=0, max_value=n_parity - 2 * e))
+    positions = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=e + f,
+            max_size=e + f,
+            unique=True,
+        )
+    )
+    flips = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=255),
+            min_size=e + f,
+            max_size=e + f,
+        )
+    )
+    return n_parity, message, positions[:e], positions[e:], flips
+
+
+class TestRSRoundtrip:
+    @given(corruption_case())
+    @settings(max_examples=120, deadline=None)
+    def test_decode_within_capability(self, case):
+        n_parity, message, error_pos, erasure_pos, flips = case
+        rs = ReedSolomonCodec(n_parity)
+        codeword = rs.encode(message)
+        for position, flip in zip(error_pos + erasure_pos, flips):
+            codeword[position] ^= flip
+        assert rs.decode(codeword, erasure_pos) == message
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.lists(symbol, min_size=1, max_size=60),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_clean_roundtrip(self, n_parity, message):
+        rs = ReedSolomonCodec(n_parity)
+        assert rs.decode(rs.encode(message)) == message
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.lists(symbol, min_size=1, max_size=60),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_codeword_length(self, n_parity, message):
+        rs = ReedSolomonCodec(n_parity)
+        assert len(rs.encode(message)) == len(message) + n_parity

@@ -1,0 +1,56 @@
+"""Property-based tests for the buffer/process schedule coverage claim.
+
+The choice of r in Section V-B rests on one claim: a transmission of
+duration t_p + t_b fully covers some buffered window *at every schedule
+phase and start time*.  Hypothesis sweeps the space.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dsss.receiver import BufferSchedule
+
+
+@st.composite
+def schedules(draw):
+    t_b = draw(st.floats(min_value=1e-4, max_value=10.0,
+                         allow_nan=False, allow_infinity=False))
+    gap = draw(st.floats(min_value=1.0, max_value=200.0,
+                         allow_nan=False, allow_infinity=False))
+    phase_fraction = draw(st.floats(min_value=0.0, max_value=0.999))
+    t_p = t_b * gap
+    return BufferSchedule(t_b, t_p, phase=phase_fraction * t_p)
+
+
+class TestCoverageProperty:
+    @given(
+        schedules(),
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_required_duration_always_covers(self, schedule, start):
+        duration = schedule.required_tx_duration()
+        window = schedule.first_covered_window(start, duration)
+        assert window is not None
+        assert window.buffer_start >= start - 1e-9 * max(1.0, start)
+        assert window.buffer_end <= start + duration + 1e-9 * max(
+            1.0, start + duration
+        )
+
+    @given(schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_windows_never_overlap(self, schedule):
+        first = schedule.first_index()
+        previous = schedule.window(first)
+        for index in range(first + 1, first + 6):
+            window = schedule.window(index)
+            assert window.buffer_start >= previous.buffer_end - 1e-12
+            previous = window
+
+    @given(schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_processing_follows_buffering(self, schedule):
+        first = schedule.first_index()
+        for index in range(first, first + 4):
+            window = schedule.window(index)
+            assert window.processing_done > window.buffer_end
+            assert window.duration > 0

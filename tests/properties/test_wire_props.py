@@ -1,0 +1,120 @@
+"""Property-based tests: wire serialization roundtrips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import default_config
+from repro.core.messages import (
+    AuthRequest,
+    Confirm,
+    Hello,
+    MNDPExtension,
+    MNDPRequest,
+)
+from repro.core.wire import WireCodec
+from repro.crypto.identity import NodeId, TrustedAuthority
+from repro.crypto.signatures import SignatureScheme
+
+CONFIG = default_config()
+AUTHORITY = TrustedAuthority(b"prop", id_bits=CONFIG.id_bits)
+SCHEME = SignatureScheme(AUTHORITY.public_parameters())
+CODEC = WireCodec(CONFIG)
+
+node_value = st.integers(min_value=0, max_value=(1 << CONFIG.id_bits) - 1)
+nonce = st.integers(min_value=0, max_value=(1 << CONFIG.nonce_bits) - 1)
+
+
+def _node(value: int) -> NodeId:
+    return NodeId(value, CONFIG.id_bits)
+
+
+class TestBeaconProps:
+    @given(node_value)
+    def test_hello_roundtrip(self, value):
+        message = Hello(_node(value))
+        assert CODEC.decode(CODEC.encode(message)) == message
+
+    @given(node_value)
+    def test_confirm_roundtrip(self, value):
+        message = Confirm(_node(value))
+        assert CODEC.decode(CODEC.encode(message)) == message
+
+
+class TestAuthProps:
+    @given(node_value, nonce, st.binary(min_size=6, max_size=6))
+    @settings(max_examples=60)
+    def test_auth_roundtrip(self, value, n, raw_tag):
+        # Mask trailing bits beyond l_mac (44) like the MAC layer does.
+        tag = bytearray(raw_tag)
+        tag[-1] &= 0xF0
+        message = AuthRequest(
+            sender=_node(value), nonce=n, mac_tag=bytes(tag)
+        )
+        assert CODEC.decode(CODEC.encode(message)) == message
+
+
+@st.composite
+def signed_requests(draw):
+    source_value = draw(node_value)
+    neighbor_values = draw(
+        st.lists(node_value, max_size=6, unique=True)
+    )
+    n = draw(nonce)
+    hops = draw(st.integers(min_value=1, max_value=7))
+    with_position = draw(st.booleans())
+    position = (
+        (
+            draw(st.integers(min_value=0, max_value=500000)) / 100.0,
+            draw(st.integers(min_value=0, max_value=500000)) / 100.0,
+        )
+        if with_position
+        else None
+    )
+    source = _node(source_value)
+    key = AUTHORITY.issue_private_key(source)
+    request = MNDPRequest(
+        source=source,
+        source_neighbors=tuple(_node(v) for v in neighbor_values),
+        nonce=n,
+        hop_budget=hops,
+        source_signature=None,
+        source_position=position,
+    )
+    signature = SCHEME.sign(key, request.source_signed_bytes())
+    request = MNDPRequest(
+        source=request.source,
+        source_neighbors=request.source_neighbors,
+        nonce=request.nonce,
+        hop_budget=request.hop_budget,
+        source_signature=signature,
+        source_position=position,
+    )
+    if draw(st.booleans()):
+        relay = _node(draw(node_value))
+        relay_key = AUTHORITY.issue_private_key(relay)
+        unsigned = MNDPExtension(relay, (request.source,), None)
+        ext_sig = SCHEME.sign(
+            relay_key,
+            unsigned.signed_bytes(request.source_signed_bytes()),
+        )
+        request = request.extended(
+            MNDPExtension(relay, (request.source,), ext_sig)
+        )
+    return request
+
+
+class TestMNDPProps:
+    @given(signed_requests())
+    @settings(max_examples=40, deadline=None)
+    def test_request_roundtrip(self, request):
+        decoded = CODEC.decode(CODEC.encode(request))
+        assert decoded == request
+
+    @given(signed_requests())
+    @settings(max_examples=30, deadline=None)
+    def test_signature_survives(self, request):
+        from repro.core.mndp import validate_request_chain
+
+        decoded = CODEC.decode(CODEC.encode(request))
+        assert validate_request_chain(decoded, SCHEME) == (
+            validate_request_chain(request, SCHEME)
+        )

@@ -1,0 +1,186 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator, Timeout
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_at(2.0, order.append, "b")
+        sim.call_at(1.0, order.append, "a")
+        sim.call_at(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_same_time(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.call_at(1.0, order.append, tag)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.call_at(1.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, fired.append, 1)
+        sim.call_at(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(5.0, fired.append, 5)
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [5]
+
+    def test_call_after(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: sim.call_after(0.5, lambda: None))
+        sim.run()
+        assert sim.now == 1.5
+
+    def test_rejects_past_scheduling(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1.0, lambda: None)
+
+    def test_peek(self):
+        sim = Simulator()
+        assert sim.peek() is None
+        sim.call_at(3.0, lambda: None)
+        assert sim.peek() == 3.0
+
+
+class TestEvents:
+    def test_callbacks_fire_with_value(self):
+        sim = Simulator()
+        event = sim.event("e")
+        got = []
+        event.on_fire(got.append)
+        event.succeed(42)
+        assert got == [42]
+        assert event.fired
+        assert event.value == 42
+
+    def test_late_callback_fires_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("x")
+        got = []
+        event.on_fire(got.append)
+        assert got == ["x"]
+
+    def test_double_fire_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+
+class TestProcesses:
+    def test_timeout_sequencing(self):
+        sim = Simulator()
+        trail = []
+
+        def proc():
+            trail.append(sim.now)
+            yield Timeout(1.0)
+            trail.append(sim.now)
+            yield Timeout(2.0)
+            trail.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert trail == [0.0, 1.0, 3.0]
+
+    def test_wait_on_event(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append((sim.now, value))
+
+        sim.process(waiter())
+        sim.call_at(2.0, event.succeed, "ping")
+        sim.run()
+        assert got == [(2.0, "ping")]
+
+    def test_wait_on_process(self):
+        sim = Simulator()
+        trail = []
+
+        def inner():
+            yield Timeout(1.0)
+            trail.append("inner-done")
+            return "result"
+
+        def outer():
+            process = sim.process(inner(), "inner")
+            yield process
+            trail.append(("outer", process.done.value))
+
+        sim.process(outer(), "outer")
+        sim.run()
+        assert trail == ["inner-done", ("outer", "result")]
+
+    def test_done_event_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(0.5)
+            return 99
+
+        process = sim.process(proc())
+        sim.run()
+        assert process.done.fired
+        assert process.done.value == 99
+
+    def test_invalid_yield_rejected(self):
+        sim = Simulator()
+
+        def bad():
+            yield "not a timeout"
+
+        with pytest.raises(SimulationError):
+            sim.process(bad())
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_immediate_process_completion(self):
+        sim = Simulator()
+
+        def instant():
+            return 7
+            yield  # pragma: no cover
+
+        process = sim.process(instant())
+        assert process.done.fired
+        assert process.done.value == 7

@@ -1,0 +1,116 @@
+"""Unit tests for link models and their medium integration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.field import RectangularField
+from repro.sim.links import DiskLinkModel, LogNormalShadowingModel
+from repro.sim.medium import RadioMedium
+
+
+class TestDiskModel:
+    def test_inside_outside(self, rng):
+        model = DiskLinkModel(300.0)
+        assert model.delivered(299.0, rng)
+        assert model.delivered(300.0, rng)
+        assert not model.delivered(301.0, rng)
+
+    def test_probability_step(self):
+        model = DiskLinkModel(300.0)
+        assert model.reception_probability(100.0) == 1.0
+        assert model.reception_probability(400.0) == 0.0
+
+    def test_negative_distance(self):
+        with pytest.raises(ConfigurationError):
+            DiskLinkModel(10.0).reception_probability(-1.0)
+
+
+class TestShadowingModel:
+    def test_median_range_is_half(self):
+        model = LogNormalShadowingModel(300.0, 3.0, 4.0)
+        assert model.reception_probability(300.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        model = LogNormalShadowingModel(300.0, 3.0, 4.0)
+        values = [
+            model.reception_probability(d)
+            for d in (50.0, 150.0, 300.0, 450.0, 900.0)
+        ]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_zero_distance_certain(self):
+        model = LogNormalShadowingModel(300.0)
+        assert model.reception_probability(0.0) == 1.0
+
+    def test_sigma_zero_reduces_to_disk(self, rng):
+        model = LogNormalShadowingModel(300.0, 3.0, sigma_db=0.0)
+        assert model.reception_probability(299.0) == 1.0
+        assert model.reception_probability(301.0) == 0.0
+
+    def test_sharper_with_higher_exponent(self):
+        shallow = LogNormalShadowingModel(300.0, 2.0, 4.0)
+        steep = LogNormalShadowingModel(300.0, 5.0, 4.0)
+        # At 1.5x the range the steep model has a lower probability.
+        assert steep.reception_probability(450.0) < (
+            shallow.reception_probability(450.0)
+        )
+
+    def test_sampling_matches_probability(self, rng):
+        model = LogNormalShadowingModel(300.0, 3.0, 6.0)
+        for distance in (200.0, 300.0, 420.0):
+            p = model.reception_probability(distance)
+            hits = sum(
+                model.delivered(distance, rng) for _ in range(4000)
+            )
+            assert hits / 4000 == pytest.approx(p, abs=0.03)
+
+    def test_closed_form(self):
+        """P(d) = Phi(-10 n log10(d/R) / sigma)."""
+        model = LogNormalShadowingModel(300.0, 3.0, 4.0)
+        d = 400.0
+        margin = -30.0 * math.log10(d / 300.0)
+        expected = 0.5 * (1 + math.erf(margin / (4.0 * math.sqrt(2))))
+        assert model.reception_probability(d) == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowingModel(0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalShadowingModel(300.0, sigma_db=-1.0)
+
+
+class TestMediumIntegration:
+    def _setup(self, link_model, rng):
+        simulator = Simulator()
+        field = RectangularField(2000, 2000, 300)
+        medium = RadioMedium(
+            simulator, field, mu=1.0, link_model=link_model, link_rng=rng
+        )
+        medium.register_node(0, lambda: (0.0, 0.0))
+        medium.register_node(1, lambda: (360.0, 0.0))  # beyond the disk
+        return simulator, medium
+
+    def test_disk_never_reaches_beyond_range(self, rng):
+        simulator, medium = self._setup(DiskLinkModel(300.0), rng)
+        got = []
+        medium.listen(1, 7, got.append)
+        for _ in range(50):
+            medium.transmit(0, 7, "frame", duration=0.01)
+        simulator.run()
+        assert got == []
+
+    def test_shadowing_sometimes_reaches_beyond_range(self, rng):
+        model = LogNormalShadowingModel(300.0, 3.0, 6.0)
+        simulator, medium = self._setup(model, rng)
+        got = []
+        medium.listen(1, 7, got.append)
+        for _ in range(300):
+            medium.transmit(0, 7, "frame", duration=0.01)
+        simulator.run()
+        expected = model.reception_probability(360.0)
+        assert len(got) / 300 == pytest.approx(expected, abs=0.08)
+        assert got  # fading delivers some frames past the disk edge

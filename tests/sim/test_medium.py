@@ -1,0 +1,188 @@
+"""Unit tests for the message-level radio medium."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.field import RectangularField
+from repro.sim.medium import RadioMedium, Transmission
+
+
+@pytest.fixture
+def setup():
+    simulator = Simulator()
+    field = RectangularField(1000, 1000, 300)
+    medium = RadioMedium(simulator, field, mu=1.0)
+    return simulator, field, medium
+
+
+def _register(medium, node, position):
+    medium.register_node(node, lambda: position)
+
+
+class TestDelivery:
+    def test_delivers_to_listener_in_range(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (100, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        medium.transmit(0, 7, "frame", duration=1.0)
+        simulator.run()
+        assert len(got) == 1
+        assert got[0].frame == "frame"
+        assert medium.delivered_count == 1
+
+    def test_no_delivery_out_of_range(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (500, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        medium.transmit(0, 7, "frame", duration=1.0)
+        simulator.run()
+        assert got == []
+
+    def test_no_delivery_wrong_code(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        got = []
+        medium.listen(1, 8, got.append)
+        medium.transmit(0, 7, "frame", duration=1.0)
+        simulator.run()
+        assert got == []
+
+    def test_sender_does_not_hear_itself(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        got = []
+        medium.listen(0, 7, got.append)
+        medium.transmit(0, 7, "frame", duration=1.0)
+        simulator.run()
+        assert got == []
+
+    def test_delivery_at_transmission_end(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        times = []
+        medium.listen(1, 7, lambda tx: times.append(simulator.now))
+        medium.transmit(0, 7, "frame", duration=2.5)
+        simulator.run()
+        assert times == [2.5]
+
+    def test_stop_listening(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        medium.stop_listening(1, 7)
+        medium.transmit(0, 7, "frame", duration=1.0)
+        simulator.run()
+        assert got == []
+        assert not medium.is_listening(1, 7)
+
+    def test_multiple_listeners(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        _register(medium, 2, (20, 0))
+        got = []
+        medium.listen(1, 7, lambda tx: got.append(1))
+        medium.listen(2, 7, lambda tx: got.append(2))
+        medium.transmit(0, 7, "frame", duration=1.0)
+        simulator.run()
+        assert sorted(got) == [1, 2]
+
+
+class TestJamming:
+    def test_matching_code_jam_destroys(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        tx = medium.transmit(0, 7, "frame", duration=1.0)
+        assert medium.jam(tx, 7, fraction=0.8)
+        simulator.run()
+        assert got == []
+        assert medium.jammed_count == 1
+
+    def test_wrong_code_jam_ignored(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        tx = medium.transmit(0, 7, "frame", duration=1.0)
+        assert not medium.jam(tx, 9, fraction=1.0)
+        simulator.run()
+        assert len(got) == 1
+
+    def test_jam_below_tolerance_survives(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        tx = medium.transmit(0, 7, "frame", duration=1.0)
+        medium.jam(tx, 7, fraction=0.4)  # tolerance is 0.5 at mu=1
+        simulator.run()
+        assert len(got) == 1
+
+    def test_jam_fractions_accumulate(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        tx = medium.transmit(0, 7, "frame", duration=1.0)
+        medium.jam(tx, 7, fraction=0.3)
+        medium.jam(tx, 7, fraction=0.3)
+        simulator.run()
+        assert got == []
+
+    def test_effectiveness_scales(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        _register(medium, 1, (10, 0))
+        got = []
+        medium.listen(1, 7, got.append)
+        tx = medium.transmit(0, 7, "frame", duration=1.0)
+        medium.jam(tx, 7, fraction=0.8, effectiveness=0.5)  # 0.4 < 0.5
+        simulator.run()
+        assert len(got) == 1
+
+    def test_jammer_observer_notified(self, setup):
+        simulator, _, medium = setup
+        _register(medium, 0, (0, 0))
+        seen = []
+
+        class Observer:
+            def on_transmission(self, tx, medium_):
+                seen.append(tx.code_key)
+
+        medium.add_jammer(Observer())
+        medium.transmit(0, 42, "frame", duration=1.0)
+        simulator.run()
+        assert seen == [42]
+
+
+class TestValidation:
+    def test_double_registration(self, setup):
+        _, _, medium = setup
+        _register(medium, 0, (0, 0))
+        with pytest.raises(SimulationError):
+            _register(medium, 0, (0, 0))
+
+    def test_unregistered_listener(self, setup):
+        _, _, medium = setup
+        with pytest.raises(SimulationError):
+            medium.listen(9, 7, lambda tx: None)
+
+    def test_transmission_end(self):
+        tx = Transmission(0, (0, 0), 7, "f", start=1.0, duration=2.0)
+        assert tx.end == 3.0
+        assert tx.jammed_fraction() == 0.0

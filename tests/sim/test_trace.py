@@ -1,0 +1,71 @@
+"""Unit tests for tracing and statistics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceRecorder
+
+
+class TestCounters:
+    def test_increment(self):
+        trace = TraceRecorder()
+        trace.increment("x")
+        trace.increment("x", 4)
+        assert trace.counter("x") == 5
+
+    def test_missing_counter_is_zero(self):
+        assert TraceRecorder().counter("nope") == 0
+
+    def test_counters_snapshot(self):
+        trace = TraceRecorder()
+        trace.increment("a")
+        assert trace.counters() == {"a": 1}
+
+
+class TestSamples:
+    def test_mean(self):
+        trace = TraceRecorder()
+        for value in (1.0, 2.0, 3.0):
+            trace.sample("t", value)
+        assert trace.mean("t") == pytest.approx(2.0)
+
+    def test_mean_of_empty_is_none(self):
+        assert TraceRecorder().mean("t") is None
+
+    def test_percentile(self):
+        trace = TraceRecorder()
+        for value in range(1, 101):
+            trace.sample("t", float(value))
+        assert trace.percentile("t", 50) == pytest.approx(50.5)
+        assert trace.percentile("t", 0) == 1.0
+        assert trace.percentile("t", 100) == 100.0
+
+    def test_percentile_validation(self):
+        trace = TraceRecorder()
+        with pytest.raises(ConfigurationError):
+            trace.percentile("t", 101)
+
+    def test_rejects_non_finite(self):
+        trace = TraceRecorder()
+        with pytest.raises(ConfigurationError):
+            trace.sample("t", float("nan"))
+
+    def test_summary(self):
+        trace = TraceRecorder()
+        trace.sample("a", 2.0)
+        trace.sample("a", 4.0)
+        assert trace.summary() == {"a": (2, 3.0)}
+
+
+class TestEvents:
+    def test_log_and_filter(self):
+        trace = TraceRecorder()
+        trace.log(1.0, "x", node=1)
+        trace.log(2.0, "y", node=2)
+        assert len(trace.events()) == 2
+        assert trace.events("x")[0].detail == {"node": 1}
+
+    def test_disabled_events(self):
+        trace = TraceRecorder(keep_events=False)
+        trace.log(1.0, "x")
+        assert trace.events() == []

@@ -1,0 +1,123 @@
+"""Unit tests for bit-sequence utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.bitstring import (
+    bits_from_bytes,
+    bits_from_int,
+    bits_to_bytes,
+    bits_to_int,
+    hamming_distance,
+    nrz_from_bits,
+    nrz_to_bits,
+    random_bits,
+    xor_bits,
+)
+
+
+class TestBytesConversion:
+    def test_single_byte_msb_first(self):
+        assert bits_from_bytes(b"\x80").tolist() == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_roundtrip(self, rng):
+        data = bytes(rng.integers(0, 256, size=32, dtype=np.uint8))
+        assert bits_to_bytes(bits_from_bytes(data)) == data
+
+    def test_empty(self):
+        assert bits_from_bytes(b"").size == 0
+        assert bits_to_bytes(np.zeros(0, dtype=np.int8)) == b""
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(ConfigurationError):
+            bits_from_bytes("not bytes")
+
+    def test_rejects_unaligned_length(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes(np.array([1, 0, 1]))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_bytes(np.array([2] * 8))
+
+
+class TestIntConversion:
+    def test_fixed_width(self):
+        assert bits_from_int(5, 4).tolist() == [0, 1, 0, 1]
+
+    def test_roundtrip(self, rng):
+        for _ in range(50):
+            width = int(rng.integers(1, 32))
+            value = int(rng.integers(0, 1 << width))
+            assert bits_to_int(bits_from_int(value, width)) == value
+
+    def test_value_too_big(self):
+        with pytest.raises(ConfigurationError):
+            bits_from_int(16, 4)
+
+    def test_negative_value(self):
+        with pytest.raises(ConfigurationError):
+            bits_from_int(-1, 4)
+
+    def test_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            bits_from_int(0, 0)
+
+    def test_bits_to_int_rejects_bad_bit(self):
+        with pytest.raises(ConfigurationError):
+            bits_to_int(np.array([1, 3]))
+
+
+class TestNrz:
+    def test_mapping(self):
+        assert nrz_from_bits(np.array([0, 1])).tolist() == [-1, 1]
+
+    def test_roundtrip(self, rng):
+        bits = random_bits(100, rng)
+        assert np.array_equal(nrz_to_bits(nrz_from_bits(bits)), bits)
+
+    def test_rejects_invalid_bits(self):
+        with pytest.raises(ConfigurationError):
+            nrz_from_bits(np.array([0, 2]))
+
+    def test_rejects_invalid_nrz(self):
+        with pytest.raises(ConfigurationError):
+            nrz_to_bits(np.array([0, 1]))
+
+
+class TestXorAndDistance:
+    def test_xor(self):
+        a = np.array([1, 1, 0, 0], dtype=np.int8)
+        b = np.array([1, 0, 1, 0], dtype=np.int8)
+        assert xor_bits(a, b).tolist() == [0, 1, 1, 0]
+
+    def test_xor_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            xor_bits(np.array([1]), np.array([1, 0]))
+
+    def test_hamming_distance(self):
+        a = np.array([1, 1, 0, 0], dtype=np.int8)
+        b = np.array([1, 0, 1, 0], dtype=np.int8)
+        assert hamming_distance(a, b) == 2
+
+    def test_hamming_zero_on_equal(self, rng):
+        bits = random_bits(64, rng)
+        assert hamming_distance(bits, bits) == 0
+
+
+class TestRandomBits:
+    def test_length(self, rng):
+        assert random_bits(17, rng).size == 17
+
+    def test_binary(self, rng):
+        bits = random_bits(1000, rng)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_negative_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_bits(-1, rng)
+
+    def test_roughly_balanced(self, rng):
+        bits = random_bits(10000, rng)
+        assert 4500 < bits.sum() < 5500

@@ -1,0 +1,77 @@
+"""Unit tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import SeedSequencer, derive_rng, fraction_indices
+
+
+class TestDeriveRng:
+    def test_same_label_same_stream(self):
+        a = derive_rng(7, "x")
+        b = derive_rng(7, "x")
+        assert np.array_equal(a.integers(0, 100, 10), b.integers(0, 100, 10))
+
+    def test_different_labels_differ(self):
+        a = derive_rng(7, "x").integers(0, 1 << 30, 10)
+        b = derive_rng(7, "y").integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(7, "x").integers(0, 1 << 30, 10)
+        b = derive_rng(8, "x").integers(0, 1 << 30, 10)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedSequencer:
+    def test_reproducible_children(self):
+        s = SeedSequencer(42)
+        a = s.rng("jammer").integers(0, 1000, 5)
+        b = SeedSequencer(42).rng("jammer").integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_child_namespacing(self):
+        s = SeedSequencer(42)
+        c1 = s.child("run-1").rng("placement").integers(0, 1 << 30, 5)
+        c2 = s.child("run-2").rng("placement").integers(0, 1 << 30, 5)
+        assert not np.array_equal(c1, c2)
+
+    def test_spawn_order(self):
+        s = SeedSequencer(42)
+        rngs = s.spawn(["a", "b"])
+        assert np.array_equal(
+            rngs[0].integers(0, 1000, 3),
+            s.rng("a").integers(0, 1000, 3),
+        )
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(ConfigurationError):
+            SeedSequencer("seed")
+
+    def test_seed_property(self):
+        assert SeedSequencer(9).seed == 9
+
+
+class TestFractionIndices:
+    def test_count(self, rng):
+        assert fraction_indices(100, 0.25, rng).size == 25
+
+    def test_distinct(self, rng):
+        idx = fraction_indices(50, 0.8, rng)
+        assert len(set(idx.tolist())) == idx.size
+
+    def test_bounds(self, rng):
+        idx = fraction_indices(10, 1.0, rng)
+        assert idx.min() >= 0 and idx.max() < 10
+
+    def test_zero_fraction(self, rng):
+        assert fraction_indices(10, 0.0, rng).size == 0
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ConfigurationError):
+            fraction_indices(10, 1.5, rng)
+
+    def test_negative_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            fraction_indices(-1, 0.5, rng)

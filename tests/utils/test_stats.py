@@ -1,0 +1,74 @@
+"""Unit tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.stats import mean_confidence_interval, wilson_interval
+
+
+class TestMeanCI:
+    def test_mean(self):
+        mean, low, high = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert low < mean < high
+
+    def test_single_sample_degenerate(self):
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0, 5.0)
+
+    def test_coverage(self, rng):
+        """~95% of intervals contain the true mean."""
+        covered = 0
+        for _ in range(300):
+            samples = rng.normal(10.0, 2.0, size=20)
+            _, low, high = mean_confidence_interval(samples.tolist())
+            covered += low <= 10.0 <= high
+        assert covered / 300 == pytest.approx(0.95, abs=0.05)
+
+    def test_narrower_with_more_samples(self, rng):
+        small = rng.normal(0, 1, size=10).tolist()
+        large = (small * 10)
+        _, lo1, hi1 = mean_confidence_interval(small)
+        _, lo2, hi2 = mean_confidence_interval(large)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([1.0], confidence=1.5)
+
+
+class TestWilson:
+    def test_estimate(self):
+        p, low, high = wilson_interval(80, 100)
+        assert p == pytest.approx(0.8)
+        assert low < 0.8 < high
+
+    def test_bounded(self):
+        _, low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        _, low2, high2 = wilson_interval(10, 10)
+        assert high2 == 1.0
+
+    def test_nondegenerate_at_extremes(self):
+        # Unlike the normal approximation, the interval has width at 0.
+        _, low, high = wilson_interval(0, 50)
+        assert high > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(11, 10)
+
+    def test_coverage(self, rng):
+        covered = 0
+        p_true = 0.3
+        for _ in range(300):
+            wins = int(rng.binomial(60, p_true))
+            _, low, high = wilson_interval(wins, 60)
+            covered += low <= p_true <= high
+        assert covered / 300 >= 0.9

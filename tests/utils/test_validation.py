@@ -1,0 +1,65 @@
+"""Unit tests for argument validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.1])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckFraction:
+    @pytest.mark.parametrize("value", [0, 0.5, 1])
+    def test_accepts(self, value):
+        assert check_fraction("f", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_fraction("f", value)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 1, 1, 5) == 1
+        assert check_in_range("x", 5, 1, 5) == 5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range("x", 6, 1, 5)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        assert check_type("x", 5, int) == 5
+
+    def test_accepts_tuple(self):
+        assert check_type("x", 5.0, (int, float)) == 5.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ConfigurationError, match="int"):
+            check_type("x", "s", int)
