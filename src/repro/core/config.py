@@ -79,6 +79,13 @@ class JRSNDConfig:
         delivery, instead of passing typed objects.  Slower, but any
         divergence between the object model and the wire encoding
         surfaces immediately.
+    correlation_backend:
+        How chip-level receivers evaluate the sliding-window correlation
+        search: ``"batched"`` (default; block matmul, FFT for large N),
+        ``"naive"`` (the per-position reference loop), or ``"fft"``
+        (force the FFT cross-correlation path).  All backends produce
+        identical lock decisions and work counts; only the wall-clock
+        cost differs.
     """
 
     n_nodes: int = 2000
@@ -108,6 +115,7 @@ class JRSNDConfig:
     use_gps: bool = False
     tx_antennas: int = 1
     wire_fidelity: bool = False
+    correlation_backend: str = "batched"
 
     def __post_init__(self) -> None:
         check_positive("n_nodes", self.n_nodes)
@@ -140,6 +148,13 @@ class JRSNDConfig:
         check_positive("field_height", self.field_height)
         check_positive("tx_range", self.tx_range)
         check_positive("tx_antennas", self.tx_antennas)
+        from repro.dsss.engine import CORRELATION_BACKENDS
+
+        if self.correlation_backend not in CORRELATION_BACKENDS:
+            raise ConfigurationError(
+                f"correlation_backend must be one of "
+                f"{CORRELATION_BACKENDS}, got {self.correlation_backend!r}"
+            )
         if self.tx_antennas > self.codes_per_node:
             raise ConfigurationError(
                 "tx_antennas cannot exceed codes_per_node: there are "

@@ -45,6 +45,7 @@ from repro.crypto.nonces import NonceGenerator, ReplayCache
 from repro.crypto.session import derive_session_code
 from repro.crypto.signatures import SignatureScheme
 from repro.dsss.spread_code import SpreadCode
+from repro.dsss.synchronizer import SlidingWindowSynchronizer
 from repro.errors import ConfigurationError, RevokedCodeError
 from repro.predistribution.revocation import RevocationList
 from repro.sim.engine import Simulator, Timeout
@@ -216,6 +217,43 @@ class JRSNDNode:
     def session_with(self, peer: NodeId) -> Optional[DNDPSession]:
         """The D-NDP session with ``peer``, if any."""
         return self._sessions.get(peer)
+
+    def build_synchronizer(
+        self,
+        message_bits: Optional[int] = None,
+        confirm_blocks: int = 3,
+    ) -> SlidingWindowSynchronizer:
+        """A chip-level synchronizer over this node's active pool codes.
+
+        This is the receiver the timing model charges ``t_p`` for: it
+        slides an ``N``-chip window over a buffered signal and correlates
+        against every non-revoked pre-distributed code, using the
+        correlation backend selected by
+        ``config.correlation_backend``.  ``message_bits`` defaults to
+        the coded HELLO length ``l_h``.
+        """
+        codes = [
+            self._codes[pool_index]
+            for pool_index in sorted(self._codes)
+            if self.revocation.is_active(pool_index)
+        ]
+        if not codes:
+            raise ConfigurationError(
+                "every pre-distributed code has been revoked; nothing "
+                "left to monitor"
+            )
+        bits = (
+            self.config.hello_coded_bits
+            if message_bits is None
+            else int(message_bits)
+        )
+        return SlidingWindowSynchronizer(
+            codes,
+            tau=self.config.tau,
+            message_bits=bits,
+            confirm_blocks=confirm_blocks,
+            backend=self.config.correlation_backend,
+        )
 
     # ------------------------------------------------------------------
     # D-NDP initiator

@@ -8,7 +8,19 @@ position inside a chip buffer.
 """
 
 from repro.dsss.channel import ChannelTransmission, ChipChannel
-from repro.dsss.correlator import correlate, correlate_many, decide_bit
+from repro.dsss.correlator import (
+    code_matrix,
+    correlate,
+    correlate_many,
+    decide_bit,
+)
+from repro.dsss.engine import (
+    CORRELATION_BACKENDS,
+    BatchedCorrelationEngine,
+    CorrelationEngine,
+    NaiveCorrelationEngine,
+    make_engine,
+)
 from repro.dsss.frame import Frame, FrameCodec, MessageType
 from repro.dsss.modulation import BPSKModulator
 from repro.dsss.receiver import BufferSchedule, ScheduleWindow
@@ -23,7 +35,13 @@ __all__ = [
     "despread",
     "correlate",
     "correlate_many",
+    "code_matrix",
     "decide_bit",
+    "CorrelationEngine",
+    "NaiveCorrelationEngine",
+    "BatchedCorrelationEngine",
+    "CORRELATION_BACKENDS",
+    "make_engine",
     "ChipChannel",
     "ChannelTransmission",
     "SlidingWindowSynchronizer",

@@ -15,12 +15,27 @@ import numpy as np
 from repro.dsss.spread_code import SpreadCode
 from repro.errors import SpreadCodeError
 
-__all__ = ["correlate", "correlate_many", "decide_bit"]
+__all__ = ["correlate", "correlate_many", "code_matrix", "decide_bit"]
 
 
 def correlate(window: np.ndarray, code: SpreadCode) -> float:
     """Normalized correlation of one N-chip window against one code."""
     return code.correlation(window)
+
+
+def code_matrix(codes: Sequence[SpreadCode]) -> np.ndarray:
+    """Stack several codes into one ``(m x N)`` float64 chip matrix.
+
+    All codes must share the same chip length.  The batched correlation
+    engines build this once per synchronizer; :func:`correlate_many`
+    rebuilds it per call (the naive reference behaviour).
+    """
+    if not codes:
+        raise SpreadCodeError("cannot stack an empty code set")
+    n = codes[0].length
+    if any(code.length != n for code in codes):
+        raise SpreadCodeError("codes must all share one chip length")
+    return np.stack([code.chips for code in codes]).astype(np.float64)
 
 
 def correlate_many(
@@ -33,9 +48,8 @@ def correlate_many(
     """
     if not codes:
         return np.zeros(0, dtype=np.float64)
-    n = codes[0].length
-    if any(code.length != n for code in codes):
-        raise SpreadCodeError("codes must all share one chip length")
+    matrix = code_matrix(codes)
+    n = matrix.shape[1]
     buffer = np.asarray(buffer, dtype=np.float64)
     if position < 0 or position + n > buffer.size:
         raise SpreadCodeError(
@@ -43,7 +57,6 @@ def correlate_many(
             f"of {buffer.size} chips"
         )
     window = buffer[position : position + n]
-    matrix = np.stack([code.chips for code in codes]).astype(np.float64)
     return matrix @ window / n
 
 

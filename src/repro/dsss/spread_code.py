@@ -13,7 +13,7 @@ session code derived at runtime).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -39,7 +39,10 @@ class SpreadCode:
     __slots__ = ("_chips", "_code_id", "_hash")
 
     def __init__(self, chips: Sequence[int], code_id: object = None) -> None:
-        arr = np.asarray(chips, dtype=np.int8)
+        # Always copy: np.asarray can return the caller's own array, and
+        # freezing that would make the caller's buffer read-only as a
+        # side effect.
+        arr = np.array(chips, dtype=np.int8, copy=True)
         if arr.ndim != 1 or arr.size == 0:
             raise SpreadCodeError("chips must be a non-empty 1-D sequence")
         if not np.isin(arr, (-1, 1)).all():
@@ -131,6 +134,13 @@ class CodePool:
         if len(set(ids)) != len(ids):
             raise SpreadCodeError("code ids in a pool must be unique")
         self._codes: List[SpreadCode] = list(codes)
+        # Content-keyed lookup table (codes hash by chip content), built
+        # once so index_of is O(1) instead of a linear scan over the
+        # pool.  setdefault keeps the first slot on duplicate content,
+        # matching the old first-match scan.
+        self._slots: Dict[SpreadCode, int] = {}
+        for i, code in enumerate(self._codes):
+            self._slots.setdefault(code, i)
 
     @classmethod
     def generate(
@@ -178,10 +188,7 @@ class CodePool:
 
     def index_of(self, code: SpreadCode) -> Optional[int]:
         """Return the pool slot holding ``code``, or ``None``."""
-        for i, candidate in enumerate(self._codes):
-            if candidate == code:
-                return i
-        return None
+        return self._slots.get(code)
 
     def __iter__(self) -> Iterator[SpreadCode]:
         return iter(self._codes)

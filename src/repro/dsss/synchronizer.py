@@ -10,19 +10,28 @@ code, which is then de-spread block by block.
 :class:`SlidingWindowSynchronizer` implements exactly that, and also counts
 the number of correlations computed so the protocol timing model
 (``t_p = rho * N * m * R * t_b``) can be validated against actual work.
+The counter charges every (window x code) correlation the paper's receiver
+would evaluate — including the extra confirmation-block correlations spent
+on candidate hits — regardless of which backend computed them.
+
+The correlation arithmetic itself lives in :mod:`repro.dsss.engine`: the
+default ``batched`` backend evaluates whole blocks of window positions
+with one matmul (or an FFT cross-correlation for large ``N``), while the
+``naive`` backend reproduces the original per-position loop as a
+reference.  Both produce identical :class:`SyncResult` sequences.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.dsss.correlator import correlate_many
+from repro.dsss.engine import CorrelationEngine, make_engine
 from repro.dsss.spread_code import SpreadCode
 from repro.dsss.spreader import despread
-from repro.errors import SpreadCodeError
+from repro.errors import DecodeError, SpreadCodeError
 
 __all__ = ["SyncResult", "SlidingWindowSynchronizer"]
 
@@ -41,7 +50,7 @@ class SyncResult:
         De-spread bit decisions; ``None`` entries are erasures.
     correlations_computed:
         Number of (window x code) correlations evaluated up to and
-        including the lock.
+        including the lock, confirmation blocks included.
     """
 
     code: SpreadCode
@@ -62,6 +71,13 @@ class SlidingWindowSynchronizer:
     message_bits:
         Expected message length in bits (the paper's ``l_h`` for HELLOs);
         de-spreading stops after this many blocks.
+    confirm_blocks:
+        Consecutive blocks that must all cross ``tau`` for a lock.
+    backend:
+        Correlation backend: ``"batched"`` (default), ``"naive"`` (the
+        per-position reference), ``"fft"`` (force the FFT path), or an
+        already-built :class:`~repro.dsss.engine.CorrelationEngine` over
+        the same codes.
     """
 
     def __init__(
@@ -70,6 +86,7 @@ class SlidingWindowSynchronizer:
         tau: float,
         message_bits: int,
         confirm_blocks: int = 3,
+        backend: Union[str, CorrelationEngine] = "batched",
     ) -> None:
         if not codes:
             raise SpreadCodeError("synchronizer needs at least one code")
@@ -94,11 +111,35 @@ class SlidingWindowSynchronizer:
         self._message_bits = int(message_bits)
         self._confirm_blocks = int(confirm_blocks)
         self._chip_length = self._codes[0].length
+        if isinstance(backend, CorrelationEngine):
+            if list(backend.codes) != self._codes:
+                raise SpreadCodeError(
+                    "engine monitors a different code set than the "
+                    "synchronizer"
+                )
+            self._engine = backend
+        else:
+            self._engine = make_engine(self._codes, backend)
 
     @property
     def chip_length(self) -> int:
         """Chip length ``N`` of the codes being monitored."""
         return self._chip_length
+
+    @property
+    def codes(self) -> List[SpreadCode]:
+        """The codes being monitored, in scan order."""
+        return list(self._codes)
+
+    @property
+    def message_bits(self) -> int:
+        """Message length (in bits) a lock must fully contain."""
+        return self._message_bits
+
+    @property
+    def engine(self) -> CorrelationEngine:
+        """The correlation engine evaluating this synchronizer's scans."""
+        return self._engine
 
     def scan(
         self, buffer: np.ndarray, start: int = 0
@@ -113,40 +154,61 @@ class SlidingWindowSynchronizer:
         """
         buffer = np.asarray(buffer, dtype=np.float64)
         n = self._chip_length
+        m = len(self._codes)
         total_chips = self._message_bits * n
         last_start = buffer.size - total_chips
+        block = max(1, self._engine.block_size)
         computed = 0
         position = int(start)
         while position <= last_start:
-            correlations = correlate_many(buffer, self._codes, position)
-            computed += len(self._codes)
-            hits = np.flatnonzero(np.abs(correlations) >= self._tau)
-            for hit in hits:
-                code = self._codes[int(hit)]
-                if not self._confirm(buffer, code, position):
-                    # A spurious single-block hit: at tau = 0.15 and
-                    # N = 512 the cross-correlation of an unrelated code
-                    # crosses the threshold once every ~1500 positions,
-                    # so a lock requires confirm_blocks consecutive
-                    # threshold crossings with the same code.
-                    continue
-                window = buffer[position : position + total_chips]
-                bits = despread(window, code, self._tau)
-                return SyncResult(code, position, bits, computed)
-            position += 1
+            stop = min(position + block, last_start + 1)
+            correlations = self._engine.correlate_block(
+                buffer, position, stop
+            )
+            hit_mask = np.abs(correlations) >= self._tau
+            if hit_mask.any():
+                for row in np.flatnonzero(hit_mask.any(axis=1)):
+                    candidate = position + int(row)
+                    for hit in np.flatnonzero(hit_mask[row]):
+                        code = self._codes[int(hit)]
+                        confirmed, extra = self._confirm(
+                            buffer, code, candidate
+                        )
+                        computed += extra
+                        if not confirmed:
+                            # A spurious single-block hit: at tau = 0.15
+                            # and N = 512 the cross-correlation of an
+                            # unrelated code crosses the threshold once
+                            # every ~1500 positions, so a lock requires
+                            # confirm_blocks consecutive threshold
+                            # crossings with the same code.
+                            continue
+                        computed += (int(row) + 1) * m
+                        window = buffer[candidate : candidate + total_chips]
+                        bits = despread(window, code, self._tau)
+                        return SyncResult(code, candidate, bits, computed)
+            computed += (stop - position) * m
+            position = stop
         return None
 
     def _confirm(
         self, buffer: np.ndarray, code: SpreadCode, position: int
-    ) -> bool:
-        """Require the first ``confirm_blocks`` blocks to all lock."""
+    ) -> Tuple[bool, int]:
+        """Require the first ``confirm_blocks`` blocks to all lock.
+
+        Returns ``(confirmed, correlations_performed)`` — the check
+        short-circuits on the first failed block, and every correlation
+        it did evaluate is charged to the work counter.
+        """
         n = self._chip_length
+        performed = 0
         for block in range(1, self._confirm_blocks):
             offset = position + block * n
             window = buffer[offset : offset + n]
+            performed += 1
             if abs(code.correlation(window)) < self._tau:
-                return False
-        return True
+                return False, performed
+        return True, performed
 
     def scan_validated(
         self,
@@ -156,10 +218,13 @@ class SlidingWindowSynchronizer:
         """Scan with upper-layer validation, retrying on false locks.
 
         ``validator`` receives each candidate lock and returns a decoded
-        object, or raises/returns ``None`` to reject it (typically an
-        ECC decode: a false lock produces an undecodable bit salad).
-        On rejection the scan resumes one chip past the false position —
-        the cheap, standard recovery the paper's receiver implies.
+        object, or raises :class:`~repro.errors.DecodeError` / returns
+        ``None`` to reject it (typically an ECC decode: a false lock
+        produces an undecodable bit salad).  Only decode failures are
+        absorbed — any other exception from the validator is a
+        programming error and propagates.  On rejection the scan resumes
+        one chip past the false position — the cheap, standard recovery
+        the paper's receiver implies.
         """
         position = 0
         while True:
@@ -168,7 +233,7 @@ class SlidingWindowSynchronizer:
                 return None
             try:
                 decoded = validator(result)
-            except Exception:
+            except DecodeError:
                 decoded = None
             if decoded is not None:
                 return decoded

@@ -28,13 +28,22 @@ __all__ = ["run_parallel"]
 
 def _one_run(args) -> RunResult:
     """Worker: rebuild the experiment and execute one snapshot."""
-    config, seed, strategy_value, mndp_rounds, link_model, index = args
+    (
+        config,
+        seed,
+        strategy_value,
+        mndp_rounds,
+        link_model,
+        correlation_backend,
+        index,
+    ) = args
     experiment = NetworkExperiment(
         config,
         seed=seed,
         strategy=JammerStrategy(strategy_value),
         mndp_rounds=mndp_rounds,
         link_model=link_model,
+        correlation_backend=correlation_backend,
     )
     return experiment.run_once(index)
 
@@ -47,11 +56,14 @@ def run_parallel(
     strategy: JammerStrategy = JammerStrategy.REACTIVE,
     mndp_rounds: int = 1,
     link_model: str = "codes",
+    correlation_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """Execute ``runs`` snapshots across ``processes`` workers.
 
     ``processes`` defaults to the CPU count (capped at ``runs``).
-    Results are identical to ``NetworkExperiment(...).run(runs)``.
+    Results are identical to ``NetworkExperiment(...).run(runs)``;
+    ``correlation_backend`` (when set) overrides the configured
+    chip-level backend in every worker, exactly as it does serially.
     """
     check_positive("runs", runs)
     if processes is not None:
@@ -60,7 +72,15 @@ def run_parallel(
         processes or multiprocessing.cpu_count(), int(runs)
     )
     tasks = [
-        (config, seed, strategy.value, mndp_rounds, link_model, index)
+        (
+            config,
+            seed,
+            strategy.value,
+            mndp_rounds,
+            link_model,
+            correlation_backend,
+            index,
+        )
         for index in range(int(runs))
     ]
     if workers <= 1:

@@ -158,6 +158,11 @@ class NetworkExperiment:
         authors' plotted M-NDP behaviour (notably Fig. 5(a)'s strong
         dependence on nu) and is almost certainly what their C++
         simulator did.  See EXPERIMENTS.md for the comparison.
+    correlation_backend:
+        When set, overrides ``config.correlation_backend`` for every
+        chip-level receiver built from this experiment's configuration
+        (event-driven validation runs, ``JRSNDNode.build_synchronizer``).
+        The message-level sampling itself is backend-independent.
     """
 
     def __init__(
@@ -168,6 +173,7 @@ class NetworkExperiment:
         mndp_rounds: int = 1,
         sample_latency: bool = False,
         link_model: str = "codes",
+        correlation_backend: Optional[str] = None,
     ) -> None:
         check_positive("mndp_rounds", mndp_rounds)
         if strategy not in (JammerStrategy.REACTIVE, JammerStrategy.RANDOM):
@@ -181,6 +187,10 @@ class NetworkExperiment:
                 f"link_model must be 'codes' or 'independent', "
                 f"got {link_model!r}"
             )
+        if correlation_backend is not None:
+            # replace() re-validates, so an unknown backend fails here
+            # rather than deep inside a worker process.
+            config = config.replace(correlation_backend=correlation_backend)
         self._config = config
         self._seeds = SeedSequencer(seed)
         self._strategy = strategy

@@ -84,3 +84,21 @@ class TestValidation:
         config = default_config()
         with pytest.raises(Exception):
             config.n_nodes = 5
+
+
+class TestCorrelationBackend:
+    def test_default_is_batched(self):
+        assert default_config().correlation_backend == "batched"
+
+    def test_all_backends_accepted(self):
+        for backend in ("naive", "batched", "fft"):
+            config = JRSNDConfig(correlation_backend=backend)
+            assert config.correlation_backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JRSNDConfig(correlation_backend="vectorised")
+
+    def test_replace_validates_backend(self):
+        with pytest.raises(ConfigurationError):
+            default_config().replace(correlation_backend="")

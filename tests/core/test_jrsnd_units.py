@@ -47,6 +47,36 @@ class TestMonitorRefcounting:
         assert node._is_realtime(code)
 
 
+class TestBuildSynchronizer:
+    def test_covers_active_codes_with_configured_backend(self, net):
+        node = net.nodes[0]
+        sync = node.build_synchronizer()
+        active = sorted(node.revocation.active_codes())
+        assert [c.code_id for c in sync.codes] == active
+        # Defaults follow the config: coded HELLO length, batched engine.
+        assert sync.message_bits == node.config.hello_coded_bits
+        assert sync.engine.block_size > 1
+
+    def test_naive_backend_threads_through(self, small_config):
+        from repro.experiments.scenarios import build_event_network
+
+        config = small_config.replace(correlation_backend="naive")
+        net = build_event_network(config, seed=11)
+        sync = net.nodes[0].build_synchronizer(message_bits=8)
+        assert sync.engine.block_size == 1
+        assert sync.message_bits == 8
+
+    def test_all_revoked_raises(self, net):
+        from repro.errors import ConfigurationError
+
+        node = net.nodes[0]
+        for pool_index in list(node.revocation.active_codes()):
+            for _ in range(node.revocation.gamma + 1):
+                node.revocation.record_invalid_request(pool_index)
+        with pytest.raises(ConfigurationError):
+            node.build_synchronizer()
+
+
 class TestBufferedWindowAcceptance:
     def test_copy_inside_window_accepted(self, net):
         node = net.nodes[0]

@@ -57,6 +57,66 @@ class TestWindows:
             list(schedule.windows_between(5.0, 4.0))
 
 
+class TestEdgePhases:
+    """Boundary alignments and large phases of the schedule."""
+
+    def test_tx_exactly_aligned_to_window_boundary(self):
+        """A transmission spanning exactly one buffering window — start
+        on buffer_start, end on buffer_end — is covered."""
+        schedule = BufferSchedule(t_buffer=1.0, t_process=10.0, phase=0.0)
+        win = schedule.first_covered_window(9.0, 1.0)
+        assert win is not None
+        assert win.buffer_start == pytest.approx(9.0)
+        assert win.buffer_end == pytest.approx(10.0)
+
+    def test_tx_one_hair_short_of_boundary_misses(self):
+        schedule = BufferSchedule(t_buffer=1.0, t_process=10.0, phase=0.0)
+        # Ends at 9.999: window [9, 10] is not fully inside, and the
+        # next window starts at 19.
+        assert schedule.first_covered_window(9.0, 0.999) is None
+
+    def test_windows_between_includes_touching_boundary(self):
+        """start exactly on a window's buffer_end still yields it."""
+        schedule = BufferSchedule(1.0, 10.0, phase=0.0)
+        windows = list(schedule.windows_between(10.0, 10.0))
+        assert [w.buffer_end for w in windows] == pytest.approx([10.0])
+
+    def test_phase_at_least_t_buffer(self):
+        """With phase >= t_buffer, window 0 already has a non-negative
+        buffering interval [phase - t_b, phase]."""
+        schedule = BufferSchedule(t_buffer=1.0, t_process=10.0, phase=3.0)
+        assert schedule.first_index() == 0
+        win = schedule.window(0)
+        assert win.buffer_start == pytest.approx(2.0)
+        assert win.buffer_end == pytest.approx(3.0)
+        assert win.processing_done == pytest.approx(13.0)
+
+    def test_phase_beyond_t_process(self):
+        """A phase larger than the period leaves an initial dead zone
+        with no buffering windows at all."""
+        schedule = BufferSchedule(t_buffer=1.0, t_process=10.0, phase=12.0)
+        assert schedule.first_index() == 0
+        assert list(schedule.windows_between(0.0, 5.0)) == []
+        first = schedule.window(0)
+        assert first.buffer_start == pytest.approx(11.0)
+
+    def test_phase_equal_to_t_buffer_window_starts_at_zero(self):
+        schedule = BufferSchedule(t_buffer=1.0, t_process=10.0, phase=1.0)
+        win = schedule.window(schedule.first_index())
+        assert win.buffer_start == pytest.approx(0.0)
+
+    def test_coverage_sweep_across_boundary_phases(self):
+        """required_tx_duration covers boundary-aligned phases too
+        (phase = 0, t_b, t_p, t_p + t_b)."""
+        t_b, t_p = 0.5, 7.5
+        for phase in (0.0, t_b, t_p, t_p + t_b):
+            schedule = BufferSchedule(t_b, t_p, phase=phase)
+            win = schedule.first_covered_window(
+                t_b, schedule.required_tx_duration()
+            )
+            assert win is not None, f"phase={phase}"
+
+
 class TestCoverage:
     def test_required_duration_covers_any_phase(self):
         """The paper's claim behind r = ceil((lambda+1)(m+1)/m)."""

@@ -18,6 +18,15 @@ class TestSpreadCode:
         with pytest.raises(ValueError):
             code.chips[0] = -code.chips[0]
 
+    def test_does_not_freeze_caller_array(self):
+        """Regression: constructing a code from an int8 array must not
+        make the caller's array read-only as a side effect."""
+        chips = np.array([1, -1, 1, -1], dtype=np.int8)
+        code = SpreadCode(chips)
+        chips[0] = -1  # caller's buffer stays writable
+        assert chips[0] == -1
+        assert code.chips[0] == 1  # and the code kept its own copy
+
     def test_equality_by_content(self):
         a = SpreadCode([1, -1, 1, -1], code_id=1)
         b = SpreadCode([1, -1, 1, -1], code_id=2)
@@ -90,6 +99,36 @@ class TestCodePool:
         assert pool.index_of(pool.code(2)) == 2
         other = SpreadCode.random(32, np.random.default_rng(0))
         assert pool.index_of(other) is None
+
+    def test_index_of_matches_linear_scan(self, rng):
+        """The dict-backed lookup agrees with the old linear scan for
+        pool codes, content-equal session codes, and foreign codes."""
+
+        def linear_index_of(pool, code):
+            for i, candidate in enumerate(pool):
+                if candidate == code:
+                    return i
+            return None
+
+        pool = CodePool.generate(12, 64, seed=6)
+        for i in range(pool.size):
+            assert pool.index_of(pool.code(i)) == linear_index_of(
+                pool, pool.code(i)
+            ) == i
+        # A session code labelled differently but sharing chip content
+        # with a pool slot still resolves to that slot (content equality).
+        session_alias = SpreadCode(
+            pool.code(7).chips, code_id="session:alias"
+        )
+        assert pool.index_of(session_alias) == linear_index_of(
+            pool, session_alias
+        ) == 7
+        # A genuinely fresh session code resolves nowhere, both ways.
+        from repro.crypto.session import derive_session_code
+
+        session = derive_session_code(b"K" * 32, 1, 2, 64)
+        assert pool.index_of(session) is None
+        assert linear_index_of(pool, session) is None
 
     def test_out_of_range_code(self):
         pool = CodePool.generate(3, 32, seed=5)

@@ -4,9 +4,15 @@ import numpy as np
 import pytest
 
 from repro.dsss.channel import ChipChannel
+from repro.dsss.engine import CORRELATION_BACKENDS
 from repro.dsss.spread_code import SpreadCode
 from repro.dsss.synchronizer import SlidingWindowSynchronizer
-from repro.errors import SpreadCodeError
+from repro.errors import EccDecodeError, SpreadCodeError
+
+# Barker-13: aperiodic autocorrelation sidelobes of magnitude 1/13, so
+# partially overlapping windows can never cross a mid-range threshold —
+# which makes scans over buffers built from it hand-countable.
+BARKER13 = [1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1]
 
 
 def _make_codes(rng, n=4, length=512):
@@ -69,6 +75,153 @@ class TestScan:
         second = sync.scan(buffer, start=8 * 512)
         assert second is not None
         assert second.code.code_id == 1
+
+
+def _reference_scan(codes, tau, message_bits, confirm_blocks, buffer, start=0):
+    """Independent reimplementation of the scan, counting by hand.
+
+    Walks the buffer one chip at a time with scalar correlations only —
+    no engine, no batching — and charges every (window x code)
+    correlation, confirmation blocks included.  The production scan must
+    agree with this count exactly.
+    """
+    buffer = np.asarray(buffer, dtype=np.float64)
+    n = codes[0].length
+    total = message_bits * n
+    computed = 0
+    for position in range(start, buffer.size - total + 1):
+        computed += len(codes)
+        for code in codes:
+            if abs(code.correlation(buffer[position : position + n])) < tau:
+                continue
+            confirmed = True
+            for block in range(1, confirm_blocks):
+                offset = position + block * n
+                computed += 1
+                if abs(
+                    code.correlation(buffer[offset : offset + n])
+                ) < tau:
+                    confirmed = False
+                    break
+            if confirmed:
+                return position, code, computed
+    return None, None, computed
+
+
+class TestAccounting:
+    """correlations_computed must equal the hand-counted work."""
+
+    @pytest.mark.parametrize("backend", CORRELATION_BACKENDS)
+    def test_hand_counted_with_failed_confirm(self, backend):
+        """A crafted buffer whose every correlation is known by hand.
+
+        Layout (N = 13, one code, message_bits = 2, confirm_blocks = 2,
+        tau = 0.5): ``[code][zeros][code][code]``.
+
+        - position 0: correlation 1 -> hit; confirm block at offset 13
+          sees zeros -> fails.  1 scan correlation + 1 confirm
+          correlation.
+        - positions 1..25: partial overlaps; Barker sidelobes keep every
+          |correlation| <= 1/13 < 0.5.  25 scan correlations.
+        - position 26: correlation 1 -> hit; confirm at offset 39 sees
+          the second copy -> locks.  1 scan + 1 confirm correlation.
+
+        Total: 27 scan + 2 confirm = 29.
+        """
+        code = SpreadCode(BARKER13, code_id=0)
+        chips = code.chips.astype(np.float64)
+        buffer = np.concatenate(
+            [chips, np.zeros(13), chips, chips]
+        )
+        sync = SlidingWindowSynchronizer(
+            [code], tau=0.5, message_bits=2, confirm_blocks=2,
+            backend=backend,
+        )
+        result = sync.scan(buffer)
+        assert result is not None
+        assert result.position == 26
+        assert result.bits == [1, 1]
+        assert result.correlations_computed == 29
+
+    @pytest.mark.parametrize("backend", CORRELATION_BACKENDS)
+    def test_clean_lock_counts_confirm_blocks(self, rng, backend):
+        """Lock at position 0: m scan correlations + (confirm_blocks - 1)
+        confirmation correlations."""
+        codes = _make_codes(rng, n=3, length=64)
+        bits = np.ones(5, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, codes[1], offset=0)
+        sync = SlidingWindowSynchronizer(
+            codes, tau=0.15, message_bits=5, confirm_blocks=3,
+            backend=backend,
+        )
+        result = sync.scan(channel.render())
+        assert result is not None
+        assert result.position == 0
+        assert result.correlations_computed == 3 + 2
+
+    @pytest.mark.parametrize("backend", CORRELATION_BACKENDS)
+    def test_matches_reference_on_noisy_buffer(self, rng, backend):
+        """On a buffer full of spurious crossings the production count
+        equals the independent chip-by-chip reference count."""
+        codes = _make_codes(rng, n=3, length=32)
+        channel = ChipChannel(noise_std=0.6)
+        channel.add_message(
+            rng.integers(0, 2, size=6, dtype=np.int8), codes[2],
+            offset=517,
+        )
+        foreign = SpreadCode.random(32, rng)
+        channel.add_message(
+            rng.integers(0, 2, size=40, dtype=np.int8), foreign, offset=0
+        )
+        buffer = channel.render(rng=rng)
+        tau, message_bits, confirm_blocks = 0.3, 6, 2
+        position, code, computed = _reference_scan(
+            codes, tau, message_bits, confirm_blocks, buffer
+        )
+        sync = SlidingWindowSynchronizer(
+            codes, tau=tau, message_bits=message_bits,
+            confirm_blocks=confirm_blocks, backend=backend,
+        )
+        result = sync.scan(buffer)
+        if position is None:
+            assert result is None
+        else:
+            assert result is not None
+            assert result.position == position
+            assert result.code == code
+            assert result.correlations_computed == computed
+
+
+class TestScanValidatedErrors:
+    def _locked_buffer(self, rng, codes):
+        channel = ChipChannel()
+        channel.add_message(
+            np.ones(4, dtype=np.int8), codes[0], offset=0
+        )
+        return channel.render()
+
+    def test_decode_errors_absorbed(self, rng):
+        codes = _make_codes(rng, n=1, length=64)
+        buffer = self._locked_buffer(rng, codes)
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=4)
+
+        def validator(result):
+            raise EccDecodeError("bit salad")
+
+        assert sync.scan_validated(buffer, validator) is None
+
+    def test_programming_errors_propagate(self, rng):
+        """A bug in the validator must not masquerade as a false lock."""
+        codes = _make_codes(rng, n=1, length=64)
+        buffer = self._locked_buffer(rng, codes)
+        sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=4)
+
+        def validator(result):
+            raise TypeError("validator bug")
+
+        with pytest.raises(TypeError):
+            sync.scan_validated(buffer, validator)
 
 
 class TestScanAll:
