@@ -1,0 +1,83 @@
+"""Observability overhead bench: null registry vs full collection.
+
+The ``repro.obs`` default is a :class:`~repro.obs.NullRegistry` whose
+``enabled`` flag lets every instrumentation site skip argument
+construction, so an uninstrumented experiment should pay (essentially)
+nothing for the hooks.  This bench times the same experiment with no
+registry installed and with per-run collection enabled, prints the
+ratio, and gates it loosely — the point is catching a hot-loop
+regression (e.g. a per-iteration ``current()`` call), not micro-timing.
+
+Environment knobs (on top of ``conftest``'s):
+
+- ``REPRO_BENCH_SMOKE``  set to 1 for CI smoke mode: fewer runs and a
+  relaxed overhead ceiling for noisy shared runners.
+"""
+
+import os
+import time
+
+from repro import obs
+from repro.core.config import JRSNDConfig
+from repro.experiments.reporting import format_series_table
+from repro.experiments.runner import NetworkExperiment
+
+CONFIG = JRSNDConfig(
+    n_nodes=400,
+    codes_per_node=20,
+    share_count=15,
+    n_compromised=10,
+    field_width=2000.0,
+    field_height=2000.0,
+    tx_range=300.0,
+)
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+
+
+def _time_run(seed: int, runs: int, collect: bool) -> float:
+    exp = NetworkExperiment(CONFIG, seed=seed, collect_metrics=collect)
+    start = time.perf_counter()
+    exp.run(runs)
+    return time.perf_counter() - start
+
+
+def test_null_registry_overhead(benchmark, seed):
+    runs = 2 if _smoke() else 6
+    ceiling = 2.0 if _smoke() else 1.5
+
+    def measure():
+        # Warm-up evens out allocator and cache effects.
+        _time_run(seed, 1, collect=False)
+        plain = _time_run(seed, runs, collect=False)
+        instrumented = _time_run(seed, runs, collect=True)
+        return plain, instrumented
+
+    plain, instrumented = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    ratio = instrumented / plain
+    print()
+    print(
+        format_series_table(
+            [{
+                "runs": float(runs),
+                "plain_s": plain,
+                "instrumented_s": instrumented,
+                "ratio": ratio,
+            }],
+            title="Observability overhead (instrumented / plain)",
+        )
+    )
+    # Nothing leaked into the process-global null registry.
+    assert obs.current() is obs.NULL
+    assert obs.NULL.snapshot().counters == {}
+    # Full per-run collection stays within a small constant factor of
+    # the uninstrumented path; the no-op path itself is what the unit
+    # tests pin (identical RunResults, empty NULL snapshot).
+    assert ratio < ceiling, (
+        f"instrumented run {ratio:.2f}x slower than plain "
+        f"(ceiling {ceiling}x)"
+    )

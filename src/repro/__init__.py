@@ -43,6 +43,11 @@ depends on:
     The Monte Carlo harness that regenerates every figure in the paper's
     evaluation section.
 
+``repro.obs``
+    Metrics and tracing: a process-installable registry of counters,
+    gauges, timers and histograms that every layer above reports into,
+    and JSON-round-trippable snapshots for machine-readable telemetry.
+
 Quickstart::
 
     from repro import JRSNDConfig, NetworkExperiment
@@ -56,6 +61,7 @@ Quickstart::
 from repro.core.config import JRSNDConfig, default_config
 from repro.core.jrsnd import JRSNDNode, JRSNDOutcome
 from repro.experiments.runner import ExperimentResult, NetworkExperiment
+from repro.obs import MetricsRegistry, MetricsSnapshot
 from repro.version import __version__
 
 __all__ = [
@@ -65,5 +71,7 @@ __all__ = [
     "JRSNDOutcome",
     "NetworkExperiment",
     "ExperimentResult",
+    "MetricsRegistry",
+    "MetricsSnapshot",
     "__version__",
 ]

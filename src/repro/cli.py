@@ -7,13 +7,18 @@ Regenerates each of the paper's evaluation artifacts from the terminal:
 - ``theory``   — the Theorem 1-4 closed forms at given parameters.
 
 Every command accepts ``--runs`` (Monte Carlo runs per point; the paper
-uses 100) and ``--seed``.
+uses 100), ``--seed``, and ``--metrics-out <path.json>`` — the latter
+installs a :class:`~repro.obs.MetricsRegistry` for the duration of the
+command and writes the resulting
+:class:`~repro.obs.MetricsSnapshot` as JSON, giving benchmark runs
+machine-readable telemetry to regress against.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.adversary.jammer import JammerStrategy
@@ -53,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--chart", action="store_true",
                         help="draw the sweep as a terminal chart "
                              "in addition to the table")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="collect metrics across the command and "
+                             "write the snapshot as JSON to PATH")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="defaults consistency check")
@@ -120,6 +128,25 @@ def _cmd_theory(args: argparse.Namespace) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, installed
+
+        registry = MetricsRegistry()
+        context = installed(registry)
+    else:
+        registry = None
+        context = nullcontext()
+    with context:
+        _dispatch(args)
+    if registry is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.snapshot().to_json())
+        print(f"metrics snapshot written to {args.metrics_out}")
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> None:
+    """Execute the selected sub-command."""
     if args.command == "table1":
         _cmd_table1(args)
     elif args.command == "figure2":
@@ -213,7 +240,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"\nworst deviation: {gap:.4f}"
               + (f" at q={worst.q} l={worst.share_count} "
                  f"{worst.strategy}" if worst else ""))
-    return 0
 
 
 if __name__ == "__main__":

@@ -29,6 +29,7 @@ from repro.core.timing import ProtocolTiming
 from repro.crypto.identity import NodeId
 from repro.dsss.spread_code import SpreadCode
 from repro.errors import ProtocolError
+from repro.obs import current as _metrics
 
 __all__ = ["PairOutcome", "DNDPSampler", "SessionState", "DNDPSession"]
 
@@ -112,6 +113,11 @@ class DNDPSampler:
             if not self._jamming.burst_jammed(code, 3, rng):
                 surviving.append(code)
         success = bool(surviving)
+        registry = _metrics()
+        if registry.enabled:
+            registry.inc("dndp.pairs_sampled")
+            registry.inc("dndp.successes" if success else "dndp.failures")
+            registry.observe("dndp.shared_codes", len(shared_codes))
         latency = (
             self.sample_latency(rng) if success and with_latency else None
         )

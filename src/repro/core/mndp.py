@@ -22,6 +22,7 @@ import networkx as nx
 from repro.core.messages import MNDPRequest, MNDPResponse
 from repro.crypto.signatures import SignatureScheme
 from repro.errors import ConfigurationError
+from repro.obs import current as _metrics
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -141,6 +142,7 @@ class MNDPSampler:
         Returns all pairs newly discovered across the rounds.
         """
         check_positive("rounds", rounds)
+        registry = _metrics()
         discovered: Set[Pair] = set()
         working = logical
         for _ in range(rounds):
@@ -150,20 +152,29 @@ class MNDPSampler:
                 if not working.has_link(a, b)
             ]
             new_links = self._one_round(pending, working)
+            if registry.enabled:
+                registry.inc("mndp.rounds")
+                registry.inc("mndp.pairs_attempted", len(pending))
+                for hops in new_links.values():
+                    registry.observe("mndp.recovery_hops", hops)
             if not new_links:
                 break
             working = working.copy() if working is logical else working
             for a, b in new_links:
                 working.add_link(a, b)
             discovered.update(new_links)
+        if registry.enabled:
+            registry.inc("mndp.pairs_recovered", len(discovered))
         return discovered
 
     def _one_round(
         self, pending: List[Pair], logical: LogicalGraph
-    ) -> Set[Pair]:
-        """Pairs connectable by a ``<= nu``-hop path in the current graph."""
+    ) -> Dict[Pair, int]:
+        """Pairs connectable by a ``<= nu``-hop path in the current
+        graph, mapped to the hop distance of that path (in ``pending``
+        order)."""
         if not pending:
-            return set()
+            return {}
         sources = {a for a, _ in pending}
         reach: Dict[int, Dict[int, int]] = {}
         graph = logical
@@ -175,7 +186,7 @@ class MNDPSampler:
                 continue
             reach[source] = graph.within_hops(source, self._nu)
         return {
-            (a, b)
+            (a, b): reach[a][b]
             for a, b in pending
             if b not in self._exclude and reach[a].get(b, 0) > 0
         }

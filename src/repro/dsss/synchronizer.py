@@ -32,6 +32,7 @@ from repro.dsss.engine import CorrelationEngine, make_engine
 from repro.dsss.spread_code import SpreadCode
 from repro.dsss.spreader import despread
 from repro.errors import DecodeError, SpreadCodeError
+from repro.obs import current as _metrics
 
 __all__ = ["SyncResult", "SlidingWindowSynchronizer"]
 
@@ -159,6 +160,7 @@ class SlidingWindowSynchronizer:
         last_start = buffer.size - total_chips
         block = max(1, self._engine.block_size)
         computed = 0
+        false_alarms = 0
         position = int(start)
         while position <= last_start:
             stop = min(position + block, last_start + 1)
@@ -182,14 +184,37 @@ class SlidingWindowSynchronizer:
                             # every ~1500 positions, so a lock requires
                             # confirm_blocks consecutive threshold
                             # crossings with the same code.
+                            false_alarms += 1
                             continue
                         computed += (int(row) + 1) * m
+                        self._report_scan(computed, false_alarms, locked=True)
                         window = buffer[candidate : candidate + total_chips]
                         bits = despread(window, code, self._tau)
                         return SyncResult(code, candidate, bits, computed)
             computed += (stop - position) * m
             position = stop
+        self._report_scan(computed, false_alarms, locked=False)
         return None
+
+    @staticmethod
+    def _report_scan(
+        computed: int, false_alarms: int, locked: bool
+    ) -> None:
+        """Publish one scan's work to the installed metrics registry.
+
+        This is what makes correlation work visible for scans that do
+        *not* lock — a :class:`SyncResult` only exists on success, so
+        without the registry those correlations were invisible.
+        """
+        registry = _metrics()
+        if not registry.enabled:
+            return
+        registry.inc("dsss.scans")
+        registry.inc("dsss.correlations_computed", computed)
+        if false_alarms:
+            registry.inc("dsss.false_alarms", false_alarms)
+        if locked:
+            registry.inc("dsss.locks")
 
     def _confirm(
         self, buffer: np.ndarray, code: SpreadCode, position: int

@@ -46,3 +46,18 @@ class SimulationError(ReproError):
 
 class RevokedCodeError(ReproError):
     """An operation was attempted with a locally revoked spread code."""
+
+
+class ParallelExecutionError(ReproError):
+    """One or more Monte Carlo worker runs failed.
+
+    Unlike a bare ``multiprocessing.Pool`` abort, the completed runs are
+    not lost: they are attached as ``completed`` (an
+    ``ExperimentResult``) alongside ``failures`` — a tuple of
+    ``(run_index, traceback_text)`` pairs, one per failed run.
+    """
+
+    def __init__(self, message, failures=(), completed=None):
+        super().__init__(message)
+        self.failures = tuple(failures)
+        self.completed = completed

@@ -7,15 +7,37 @@ same :class:`~repro.experiments.runner.ExperimentResult` a serial
 ``NetworkExperiment.run`` would.  Results are bit-identical to the
 serial path because each run's randomness depends only on
 ``(seed, run_index)``.
+
+Robustness and efficiency:
+
+- the experiment parameters (including the full ``JRSNDConfig``) are
+  shipped to each worker **once** via the pool initializer instead of
+  being re-pickled with every task — a task is just a run index;
+- workers never let an exception escape into ``pool.imap``: failures
+  come back tagged with their run index, and after all tasks drain the
+  completed runs are preserved on the raised
+  :class:`~repro.errors.ParallelExecutionError` instead of being lost
+  to a bare mid-map traceback;
+- tasks are consumed with ``imap_unordered`` (fastest drain) and
+  reordered deterministically by run index before aggregation, so the
+  returned result is independent of worker scheduling.
+
+With ``collect_metrics=True`` each worker attaches a per-run
+:class:`~repro.obs.MetricsSnapshot` to its ``RunResult`` (the
+process-global registry of the *parent* is not shared with workers);
+``ExperimentResult.merged_metrics()`` then yields counter totals
+identical to a serial instrumented run of the same seed.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Optional
+import traceback
+from typing import Any, List, Optional, Tuple
 
 from repro.adversary.jammer import JammerStrategy
 from repro.core.config import JRSNDConfig
+from repro.errors import ParallelExecutionError
 from repro.experiments.runner import (
     ExperimentResult,
     NetworkExperiment,
@@ -25,27 +47,46 @@ from repro.utils.validation import check_positive
 
 __all__ = ["run_parallel"]
 
+# Per-worker-process experiment, built once by _init_worker so that the
+# configuration is pickled once per worker instead of once per task.
+_worker_experiment: Optional[NetworkExperiment] = None
 
-def _one_run(args) -> RunResult:
-    """Worker: rebuild the experiment and execute one snapshot."""
-    (
-        config,
-        seed,
-        strategy_value,
-        mndp_rounds,
-        link_model,
-        correlation_backend,
-        index,
-    ) = args
-    experiment = NetworkExperiment(
+_Outcome = Tuple[int, Optional[RunResult], Optional[str]]
+
+
+def _init_worker(
+    config: JRSNDConfig,
+    seed: int,
+    strategy_value: Any,
+    mndp_rounds: int,
+    link_model: str,
+    correlation_backend: Optional[str],
+    collect_metrics: bool,
+) -> None:
+    """Pool initializer: rebuild the experiment once per worker."""
+    global _worker_experiment
+    _worker_experiment = NetworkExperiment(
         config,
         seed=seed,
         strategy=JammerStrategy(strategy_value),
         mndp_rounds=mndp_rounds,
         link_model=link_model,
         correlation_backend=correlation_backend,
+        collect_metrics=collect_metrics,
     )
-    return experiment.run_once(index)
+
+
+def _one_run(index: int) -> _Outcome:
+    """Worker: execute one snapshot, tagging any failure with its index.
+
+    Never raises — an exception inside a raw ``pool.map`` callable
+    aborts the whole map and discards every completed run, so failures
+    travel back as data instead.
+    """
+    try:
+        return index, _worker_experiment.run_once(index), None
+    except Exception:
+        return index, None, traceback.format_exc()
 
 
 def run_parallel(
@@ -57,6 +98,7 @@ def run_parallel(
     mndp_rounds: int = 1,
     link_model: str = "codes",
     correlation_backend: Optional[str] = None,
+    collect_metrics: bool = False,
 ) -> ExperimentResult:
     """Execute ``runs`` snapshots across ``processes`` workers.
 
@@ -64,6 +106,11 @@ def run_parallel(
     Results are identical to ``NetworkExperiment(...).run(runs)``;
     ``correlation_backend`` (when set) overrides the configured
     chip-level backend in every worker, exactly as it does serially.
+
+    Raises :class:`~repro.errors.ParallelExecutionError` if any run
+    fails, after all tasks have drained — the exception carries every
+    failure's index and traceback plus an ``ExperimentResult`` of the
+    runs that did complete.
     """
     check_positive("runs", runs)
     if processes is not None:
@@ -71,21 +118,40 @@ def run_parallel(
     workers = min(
         processes or multiprocessing.cpu_count(), int(runs)
     )
-    tasks = [
-        (
-            config,
-            seed,
-            strategy.value,
-            mndp_rounds,
-            link_model,
-            correlation_backend,
-            index,
-        )
-        for index in range(int(runs))
-    ]
+    init_args = (
+        config,
+        seed,
+        strategy.value,
+        mndp_rounds,
+        link_model,
+        correlation_backend,
+        collect_metrics,
+    )
+    indices = range(int(runs))
     if workers <= 1:
-        results = [_one_run(task) for task in tasks]
+        _init_worker(*init_args)
+        outcomes: List[_Outcome] = [_one_run(index) for index in indices]
     else:
-        with multiprocessing.Pool(workers) as pool:
-            results = pool.map(_one_run, tasks)
-    return ExperimentResult(runs=tuple(results))
+        with multiprocessing.Pool(
+            workers, initializer=_init_worker, initargs=init_args
+        ) as pool:
+            outcomes = list(pool.imap_unordered(_one_run, indices))
+    # Deterministic reordering: aggregation must not depend on which
+    # worker finished first.
+    outcomes.sort(key=lambda outcome: outcome[0])
+    failures = [
+        (index, tb) for index, _, tb in outcomes if tb is not None
+    ]
+    completed = tuple(
+        result for _, result, tb in outcomes if tb is None
+    )
+    if failures:
+        failed_indices = ", ".join(str(index) for index, _ in failures)
+        raise ParallelExecutionError(
+            f"{len(failures)} of {runs} runs failed "
+            f"(indices {failed_indices}); first failure:\n"
+            f"{failures[0][1]}",
+            failures=failures,
+            completed=ExperimentResult(runs=completed),
+        )
+    return ExperimentResult(runs=completed)

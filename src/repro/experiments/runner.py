@@ -19,7 +19,7 @@ agreement with the reference per-pair :class:`repro.core.dndp.DNDPSampler`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,6 +30,7 @@ from repro.core.config import JRSNDConfig
 from repro.core.dndp import DNDPSampler
 from repro.core.mndp import LogicalGraph, MNDPSampler
 from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, MetricsSnapshot, current, installed
 from repro.predistribution.authority import PreDistributor
 from repro.sim.field import RectangularField
 from repro.sim.mobility import uniform_positions
@@ -56,6 +57,11 @@ class RunResult:
     mean_dndp_latency:
         Mean sampled handshake latency over direct successes (seconds),
         or ``None`` when latency sampling was off.
+    metrics:
+        Per-run :class:`~repro.obs.MetricsSnapshot` when the experiment
+        was built with ``collect_metrics=True``; excluded from equality
+        so instrumented and uninstrumented runs of the same seed still
+        compare equal.
     """
 
     n_pairs: int
@@ -63,6 +69,9 @@ class RunResult:
     mndp_successes: int
     mean_degree: float
     mean_dndp_latency: Optional[float] = None
+    metrics: Optional[MetricsSnapshot] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def p_dndp(self) -> float:
@@ -70,9 +79,20 @@ class RunResult:
         return self.dndp_successes / self.n_pairs if self.n_pairs else 0.0
 
     @property
+    def dndp_failures(self) -> int:
+        """Pairs whose direct discovery was jammed."""
+        return self.n_pairs - self.dndp_successes
+
+    @property
     def p_mndp(self) -> float:
-        """Fraction of D-NDP failures recovered by M-NDP."""
-        failures = self.n_pairs - self.dndp_successes
+        """Fraction of D-NDP failures recovered by M-NDP.
+
+        Undefined when the run had no D-NDP failures; this property
+        returns 0.0 then, which is why the across-run aggregation in
+        :class:`ExperimentResult` skips such runs instead of averaging
+        the 0.0 in.
+        """
+        failures = self.dndp_failures
         return self.mndp_successes / failures if failures else 0.0
 
     @property
@@ -91,7 +111,15 @@ class ExperimentResult:
 
     def discovery_probability(self, kind: str) -> float:
         """Mean probability across runs; ``kind`` is ``dndp`` (direct),
-        ``mndp`` (recovery rate of failures), or ``jrsnd`` (combined)."""
+        ``mndp`` (recovery rate of failures), or ``jrsnd`` (combined).
+
+        The ``mndp`` mean is taken only over runs that had at least one
+        D-NDP failure: a run with nothing to recover carries no
+        information about the recovery rate, and averaging its
+        ``p_mndp = 0.0`` in would bias ``P_M`` downward (most visibly
+        at light compromise, where many runs have no failures at all).
+        Returns 0.0 when no run qualifies.
+        """
         values = self._series(kind)
         return float(np.mean(values)) if values else 0.0
 
@@ -121,11 +149,23 @@ class ExperimentResult:
         ]
         return float(np.mean(values)) if values else None
 
+    def merged_metrics(self) -> MetricsSnapshot:
+        """All per-run snapshots folded into experiment totals.
+
+        Counter totals are deterministic for a given seed and identical
+        between the serial and parallel execution paths; runs without a
+        snapshot (``collect_metrics=False``) contribute nothing.
+        """
+        return MetricsSnapshot.merge_all(r.metrics for r in self.runs)
+
     def _series(self, kind: str) -> List[float]:
         if kind == "dndp":
             return [r.p_dndp for r in self.runs]
         if kind == "mndp":
-            return [r.p_mndp for r in self.runs]
+            # Only runs with failures estimate the recovery rate; a
+            # zero-failure run's p_mndp of 0.0 is a placeholder, not a
+            # measurement (see discovery_probability).
+            return [r.p_mndp for r in self.runs if r.dndp_failures > 0]
         if kind == "jrsnd":
             return [r.p_jrsnd for r in self.runs]
         raise ConfigurationError(
@@ -163,6 +203,11 @@ class NetworkExperiment:
         chip-level receiver built from this experiment's configuration
         (event-driven validation runs, ``JRSNDNode.build_synchronizer``).
         The message-level sampling itself is backend-independent.
+    collect_metrics:
+        Capture a per-run :class:`~repro.obs.MetricsSnapshot` on every
+        :class:`RunResult` (and forward it to any registry installed in
+        the calling process).  Off by default; the layers then report
+        into the no-op registry at negligible cost.
     """
 
     def __init__(
@@ -174,6 +219,7 @@ class NetworkExperiment:
         sample_latency: bool = False,
         link_model: str = "codes",
         correlation_backend: Optional[str] = None,
+        collect_metrics: bool = False,
     ) -> None:
         check_positive("mndp_rounds", mndp_rounds)
         if strategy not in (JammerStrategy.REACTIVE, JammerStrategy.RANDOM):
@@ -197,20 +243,46 @@ class NetworkExperiment:
         self._mndp_rounds = int(mndp_rounds)
         self._sample_latency = bool(sample_latency)
         self._link_model = link_model
+        self._collect_metrics = bool(collect_metrics)
 
     @property
     def config(self) -> JRSNDConfig:
         """The experiment's configuration."""
         return self._config
 
+    @property
+    def collect_metrics(self) -> bool:
+        """Whether runs carry per-run metric snapshots."""
+        return self._collect_metrics
+
     def run(self, runs: int = 1) -> ExperimentResult:
         """Execute ``runs`` independent snapshots."""
         check_positive("runs", runs)
-        results = [self.run_once(i) for i in range(runs)]
+        with current().timer("experiment.run_seconds"):
+            results = [self.run_once(i) for i in range(runs)]
         return ExperimentResult(runs=tuple(results))
 
     def run_once(self, run_index: int) -> RunResult:
-        """Execute one snapshot with its own derived seed."""
+        """Execute one snapshot with its own derived seed.
+
+        With ``collect_metrics`` a fresh registry is installed for the
+        duration of the snapshot so every layer's counters land in this
+        run's :attr:`RunResult.metrics`; the snapshot is then absorbed
+        into whatever registry the caller had installed, keeping
+        process-global totals (e.g. the CLI's ``--metrics-out``)
+        consistent.
+        """
+        if not self._collect_metrics:
+            return self._execute_run(run_index)
+        outer = current()
+        registry = MetricsRegistry()
+        with installed(registry):
+            result = self._execute_run(run_index)
+        snapshot = registry.snapshot()
+        outer.absorb(snapshot)
+        return replace(result, metrics=snapshot)
+
+    def _execute_run(self, run_index: int) -> RunResult:
         seeds = self._seeds.child(f"run-{run_index}")
         config = self._config
 
@@ -262,6 +334,14 @@ class NetworkExperiment:
                 for _ in range(min(dndp_successes, 1000))
             ]
             mean_latency = float(np.mean(samples))
+
+        registry = current()
+        if registry.enabled:
+            registry.inc("experiment.runs")
+            registry.inc("experiment.pairs", len(pairs))
+            registry.inc("experiment.dndp_successes", dndp_successes)
+            registry.inc("experiment.mndp_recovered", len(recovered))
+            registry.observe("experiment.mean_degree", mean_degree)
 
         return RunResult(
             n_pairs=len(pairs),

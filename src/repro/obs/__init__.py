@@ -1,0 +1,50 @@
+"""repro.obs — metrics and tracing for every layer of the reproduction.
+
+The simulation kernel, the DSSS synchronizer, the D-NDP/M-NDP samplers,
+the revocation lists, and the experiment harness all compute interesting
+numbers in the course of their work; this package gives them one place
+to report those numbers without coupling the layers to each other.
+
+Three pieces:
+
+- :class:`MetricsRegistry` — live counters, gauges, timers, histograms,
+  and a bounded structured trace-event log;
+- :func:`current` / :func:`install` / :func:`installed` — the
+  process-global installation point; the default :data:`NULL` registry
+  makes all reporting a no-op;
+- :class:`MetricsSnapshot` — an immutable, mergeable, JSON-round-
+  trippable freeze of a registry, the unit carried per run inside
+  :class:`~repro.experiments.runner.RunResult` and written by the CLI's
+  ``--metrics-out``.
+
+See ``docs/architecture.md`` ("Observability") for the reporting map
+and the JSON schema.
+"""
+
+from repro.obs.registry import (
+    NULL,
+    MetricsRegistry,
+    NullRegistry,
+    current,
+    install,
+    installed,
+)
+from repro.obs.snapshot import (
+    HistogramStat,
+    MetricsSnapshot,
+    TimerStat,
+    TraceEvent,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL",
+    "current",
+    "install",
+    "installed",
+    "MetricsSnapshot",
+    "TimerStat",
+    "HistogramStat",
+    "TraceEvent",
+]

@@ -2,11 +2,12 @@
 
 Each node keeps a counter per spread code it holds; every invalid
 neighbor-discovery request received under that code (bad signature, bad
-MAC) increments the counter, and once it exceeds the threshold ``gamma``
-the node locally revokes the code.  With every code held by at most
-``l`` nodes, a compromised code can force at most ``(l - 1) * gamma``
-wasted verifications across the network — the bound the DoS-resilience
-benchmark checks.
+MAC) increments the counter, and once it *reaches* the threshold
+``gamma`` the node locally revokes the code.  Each of the up to
+``l - 1`` other holders of a compromised code therefore performs at
+most ``gamma`` wasted verifications, giving the paper's exact
+network-wide bound of ``(l - 1) * gamma`` per compromised code — the
+bound the DoS-resilience tests and benchmark pin.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Set
 
 from repro.errors import ConfigurationError, RevokedCodeError
+from repro.obs import current as _metrics
 from repro.utils.validation import check_positive
 
 __all__ = ["RevocationList"]
@@ -27,7 +29,7 @@ class RevocationList:
     codes:
         The pool indices this node holds.
     gamma:
-        Invalid-request threshold; exceeding it revokes the code.
+        Invalid-request threshold; reaching it revokes the code.
     """
 
     def __init__(self, codes: Iterable[int], gamma: int) -> None:
@@ -64,11 +66,13 @@ class RevocationList:
     def record_invalid_request(self, code_index: int) -> bool:
         """Count one invalid request under ``code_index``.
 
-        Returns True if this request tipped the code into revocation.
-        Requests under already-revoked codes raise
-        :class:`RevokedCodeError` — the node no longer de-spreads them,
-        so the caller (the simulation's medium) should not have delivered
-        the message at all.
+        Returns True if this request tipped the code into revocation,
+        which happens on the ``gamma``-th invalid request — so one node
+        wastes at most ``gamma`` verifications per code, matching the
+        paper's ``(l - 1) * gamma`` network-wide bound.  Requests under
+        already-revoked codes raise :class:`RevokedCodeError` — the node
+        no longer de-spreads them, so the caller (the simulation's
+        medium) should not have delivered the message at all.
         """
         self._require_held(code_index)
         if code_index in self._revoked:
@@ -76,8 +80,18 @@ class RevocationList:
                 f"code {code_index} is already revoked at this node"
             )
         self._counters[code_index] += 1
-        if self._counters[code_index] > self._gamma:
+        registry = _metrics()
+        if registry.enabled:
+            registry.inc("revocation.invalid_requests")
+        if self._counters[code_index] >= self._gamma:
             self._revoked.add(code_index)
+            if registry.enabled:
+                registry.inc("revocation.codes_revoked")
+                registry.event(
+                    "revocation.revoked",
+                    code=int(code_index),
+                    counter=self._counters[code_index],
+                )
             return True
         return False
 

@@ -16,6 +16,7 @@ import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs import current as _metrics
 
 __all__ = ["Simulator", "Event", "Timeout", "Process"]
 
@@ -130,11 +131,23 @@ class Simulator:
         self._now = 0.0
         self._sequence = 0
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
+        self._events_executed = 0
+        self._heap_high_water = 0
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Callbacks executed by :meth:`run` over this simulator's life."""
+        return self._events_executed
+
+    @property
+    def heap_high_water(self) -> int:
+        """Largest number of simultaneously pending callbacks seen."""
+        return self._heap_high_water
 
     def call_at(
         self, when: float, callback: Callable[..., None], *args: Any
@@ -146,6 +159,8 @@ class Simulator:
             )
         heapq.heappush(self._heap, (when, self._sequence, callback, args))
         self._sequence += 1
+        if len(self._heap) > self._heap_high_water:
+            self._heap_high_water = len(self._heap)
 
     def call_after(
         self, delay: float, callback: Callable[..., None], *args: Any
@@ -169,18 +184,33 @@ class Simulator:
         """Run until the heap is empty or time would pass ``until``.
 
         Returns the time of the last executed event (or ``until``).
+        Execution work is aggregated locally and reported to the
+        installed metrics registry once per call, so the hot loop pays
+        nothing for observability.
         """
-        while self._heap:
-            when, _, callback, args = self._heap[0]
-            if until is not None and when > until:
-                self._now = float(until)
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = when
-            callback(*args)
-        if until is not None:
-            self._now = max(self._now, float(until))
-        return self._now
+        executed = 0
+        try:
+            while self._heap:
+                when, _, callback, args = self._heap[0]
+                if until is not None and when > until:
+                    self._now = float(until)
+                    return self._now
+                heapq.heappop(self._heap)
+                self._now = when
+                executed += 1
+                callback(*args)
+            if until is not None:
+                self._now = max(self._now, float(until))
+            return self._now
+        finally:
+            self._events_executed += executed
+            registry = _metrics()
+            if registry.enabled:
+                registry.inc("sim.events_executed", executed)
+                registry.gauge("sim.time", self._now)
+                registry.gauge_max(
+                    "sim.heap_high_water", self._heap_high_water
+                )
 
     def peek(self) -> Optional[float]:
         """Time of the next scheduled event, or None if idle."""

@@ -1,4 +1,4 @@
-"""Unit tests for the DoS attack and the (l-1)*gamma bound."""
+"""Unit tests for the DoS attack and the exact (l-1)*gamma bound."""
 
 import pytest
 
@@ -17,18 +17,36 @@ def _victims(code_holders, gamma):
 
 
 class TestFlood:
-    def test_bounded_by_l_minus_one_gamma(self, rng):
-        """Section V-D: per compromised code at most (l-1)*gamma
-        verifications once every victim revokes."""
+    def test_exact_l_minus_one_gamma_bound(self, rng):
+        """Section V-D: a saturating flood under one compromised code
+        costs its l-1 *other* holders exactly (l-1)*gamma wasted
+        verifications — each holder revokes on its gamma-th invalid
+        request, never performing a gamma+1-th."""
+        gamma = 3
+        l = 5
+        # Node 0 is the compromised holder itself; the l-1 others are
+        # the victims the paper's bound counts.
+        other_holders = list(range(1, l))
+        holders = {0: other_holders}
+        victims = _victims(holders, gamma)
+        attacker = DoSAttacker([0])
+        impact = attacker.flood(
+            victims, holders, requests_per_code=100, rng=rng
+        )
+        assert impact.verifications == (l - 1) * gamma
+        assert impact.worst_code_verifications() == (l - 1) * gamma
+        assert impact.revocations == l - 1
+
+    def test_saturating_flood_pins_per_victim_gamma(self, rng):
+        """With every holder a victim, each performs exactly gamma
+        verifications before revoking."""
         gamma = 3
         l = 5
         holders = {0: list(range(l)), 1: list(range(l))}
         victims = _victims(holders, gamma)
         attacker = DoSAttacker([0, 1])
         impact = attacker.flood(victims, holders, requests_per_code=100, rng=rng)
-        # Each victim tolerates gamma + 1 requests before revoking.
-        per_code_cap = l * (gamma + 1)
-        assert impact.worst_code_verifications() <= per_code_cap
+        assert impact.worst_code_verifications() == l * gamma
         assert impact.revocations == 2 * l
 
     def test_verifications_stop_after_revocation(self, rng):
@@ -39,7 +57,7 @@ class TestFlood:
         first = attacker.flood(victims, holders, requests_per_code=50, rng=rng)
         # Re-flood: all victims have revoked, zero further verifications.
         second = attacker.flood(victims, holders, requests_per_code=50, rng=rng)
-        assert first.verifications == 3 * (gamma + 1)
+        assert first.verifications == 3 * gamma
         assert second.verifications == 0
 
     def test_unbounded_without_revocation(self, rng):

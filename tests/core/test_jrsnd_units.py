@@ -71,7 +71,7 @@ class TestBuildSynchronizer:
 
         node = net.nodes[0]
         for pool_index in list(node.revocation.active_codes()):
-            for _ in range(node.revocation.gamma + 1):
+            for _ in range(node.revocation.gamma):
                 node.revocation.record_invalid_request(pool_index)
         with pytest.raises(ConfigurationError):
             node.build_synchronizer()
@@ -171,7 +171,7 @@ class TestDispatchGuards:
     def test_revoked_code_deliveries_dropped(self, net, small_config):
         node = net.nodes[0]
         code = next(iter(node.revocation.active_codes()))
-        for _ in range(small_config.revocation_gamma + 1):
+        for _ in range(small_config.revocation_gamma):
             node.revocation.record_invalid_request(code)
         assert code in node.revocation.revoked
 

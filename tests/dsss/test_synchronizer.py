@@ -297,3 +297,40 @@ class TestFalseLockSuppression:
         assert locks[0] > 0, "single-block locking should be fooled"
         assert locks[0] >= locks[1] >= locks[2]
         assert locks[2] == 0, "five confirm blocks should reject all"
+
+
+class TestMetrics:
+    def test_lock_reports_counters(self, rng):
+        from repro.obs import MetricsRegistry, installed
+
+        codes = _make_codes(rng, n=3, length=64)
+        bits = np.ones(4, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, codes[0], offset=5)
+        buffer = channel.render()
+        sync = SlidingWindowSynchronizer(codes, tau=0.2, message_bits=4)
+        with installed(MetricsRegistry()) as registry:
+            result = sync.scan(buffer)
+        snapshot = registry.snapshot()
+        assert result is not None
+        assert snapshot.counter("dsss.scans") == 1
+        assert snapshot.counter("dsss.locks") == 1
+        # The registry total is the same accounting the SyncResult
+        # carries — now also visible for scans that never lock.
+        assert (
+            snapshot.counter("dsss.correlations_computed")
+            == result.correlations_computed
+        )
+
+    def test_failed_scan_still_reports_work(self, rng):
+        from repro.obs import MetricsRegistry, installed
+
+        codes = _make_codes(rng, n=3, length=64)
+        sync = SlidingWindowSynchronizer(codes, tau=0.2, message_bits=4)
+        buffer = rng.normal(0.0, 0.1, size=1024)
+        with installed(MetricsRegistry()) as registry:
+            result = sync.scan(buffer)
+        snapshot = registry.snapshot()
+        assert result is None
+        assert snapshot.counter("dsss.locks") == 0
+        assert snapshot.counter("dsss.correlations_computed") > 0

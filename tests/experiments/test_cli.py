@@ -57,3 +57,38 @@ class TestChartFlag:
 
     def test_chart_default_off(self):
         assert not build_parser().parse_args(["figure2"]).chart
+
+
+class TestMetricsOut:
+    def test_flag_parsed(self):
+        args = build_parser().parse_args(
+            ["--metrics-out", "m.json", "theory"]
+        )
+        assert args.metrics_out == "m.json"
+
+    def test_default_off(self):
+        assert build_parser().parse_args(["theory"]).metrics_out is None
+
+    def test_snapshot_written_and_round_trips(self, tmp_path, capsys):
+        from repro.obs import MetricsSnapshot
+
+        out = tmp_path / "metrics.json"
+        assert main(
+            [
+                "--runs", "1", "--seed", "1",
+                "--metrics-out", str(out),
+                "figure4", "--share-count", "40",
+            ]
+        ) == 0
+        assert "metrics snapshot written" in capsys.readouterr().out
+        snapshot = MetricsSnapshot.from_json(out.read_text())
+        assert snapshot.counter("experiment.runs") > 0
+        assert snapshot.counter("experiment.pairs") > 0
+        assert "experiment.run_seconds" in snapshot.timers
+
+    def test_no_flag_writes_nothing(self, tmp_path, capsys):
+        from repro import obs
+
+        main(["theory"])
+        assert obs.current() is obs.NULL
+        assert list(tmp_path.iterdir()) == []

@@ -1,5 +1,7 @@
 """Tests for the multiprocess Monte Carlo runner."""
 
+import multiprocessing
+
 import pytest
 
 from repro.adversary.jammer import JammerStrategy
@@ -48,3 +50,65 @@ class TestRunParallel:
             run_parallel(SMALL, seed=1, runs=0)
         with pytest.raises(ConfigurationError):
             run_parallel(SMALL, seed=1, runs=2, processes=0)
+
+
+class TestInstrumentedParallel:
+    def test_counter_totals_match_serial(self):
+        """Per-run registries are deterministic, so the merged counter
+        totals agree across execution paths for the same seed."""
+        serial = NetworkExperiment(
+            SMALL, seed=6, collect_metrics=True
+        ).run(3)
+        parallel = run_parallel(
+            SMALL, seed=6, runs=3, processes=2, collect_metrics=True
+        )
+        assert parallel.runs == serial.runs
+        assert (
+            parallel.merged_metrics().counters
+            == serial.merged_metrics().counters
+        )
+
+    def test_snapshots_survive_pickling(self):
+        result = run_parallel(
+            SMALL, seed=6, runs=2, processes=2, collect_metrics=True
+        )
+        for run in result.runs:
+            assert run.metrics is not None
+            assert run.metrics.counter("experiment.runs") == 1
+
+
+class TestFailureHandling:
+    @staticmethod
+    def _failing_run_once(self, run_index):
+        if run_index == 1:
+            raise RuntimeError(f"synthetic failure in run {run_index}")
+        return self._execute_run(run_index)
+
+    def test_failures_tagged_and_completed_preserved(self, monkeypatch):
+        from repro.errors import ParallelExecutionError
+
+        monkeypatch.setattr(
+            NetworkExperiment, "run_once", self._failing_run_once
+        )
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            run_parallel(SMALL, seed=6, runs=3, processes=1)
+        err = excinfo.value
+        assert [index for index, _ in err.failures] == [1]
+        assert "synthetic failure" in err.failures[0][1]
+        assert len(err.completed.runs) == 2
+
+    def test_multiprocess_failures_drain_all_tasks(self, monkeypatch):
+        """Fork start method propagates the patched method into the
+        workers; the map still drains and keeps the good runs."""
+        from repro.errors import ParallelExecutionError
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("requires fork start method")
+        monkeypatch.setattr(
+            NetworkExperiment, "run_once", self._failing_run_once
+        )
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            run_parallel(SMALL, seed=6, runs=3, processes=2)
+        err = excinfo.value
+        assert [index for index, _ in err.failures] == [1]
+        assert len(err.completed.runs) == 2

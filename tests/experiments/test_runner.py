@@ -199,3 +199,77 @@ class TestIndependentLinkModel:
         assert faithful.discovery_probability("mndp") > (
             independent.discovery_probability("mndp") - 0.03
         )
+
+
+class TestMndpAggregationExcludesZeroFailureRuns:
+    """Regression: runs where D-NDP succeeded on every pair carry no
+    information about M-NDP recovery; averaging their p_mndp == 0.0
+    into the mean biased the recovery rate down."""
+
+    def test_zero_failure_runs_excluded_from_mean(self):
+        runs = (
+            RunResult(100, 100, 0, 10.0),   # no failures: p_mndp undefined
+            RunResult(100, 50, 25, 10.0),   # 25 of 50 failures recovered
+        )
+        result = ExperimentResult(runs)
+        assert result.discovery_probability("mndp") == pytest.approx(0.5)
+
+    def test_std_and_ci_also_exclude(self):
+        runs = (
+            RunResult(100, 100, 0, 10.0),
+            RunResult(100, 50, 20, 10.0),
+            RunResult(100, 60, 20, 10.0),
+        )
+        result = ExperimentResult(runs)
+        # Only the two informative runs enter: 0.4 and 0.5.
+        assert result.discovery_probability("mndp") == pytest.approx(0.45)
+        assert result.std("mndp") == pytest.approx(0.05)
+
+    def test_all_runs_zero_failures(self):
+        runs = (RunResult(10, 10, 0, 5.0), RunResult(10, 10, 0, 5.0))
+        result = ExperimentResult(runs)
+        assert result.discovery_probability("mndp") == 0.0
+
+    def test_dndp_and_jrsnd_unaffected(self):
+        runs = (
+            RunResult(100, 100, 0, 10.0),
+            RunResult(100, 50, 25, 10.0),
+        )
+        result = ExperimentResult(runs)
+        assert result.discovery_probability("dndp") == pytest.approx(0.75)
+        assert result.discovery_probability("jrsnd") == pytest.approx(0.875)
+
+
+class TestCollectMetrics:
+    def test_snapshot_attached_per_run(self):
+        exp = NetworkExperiment(SMALL, seed=7, collect_metrics=True)
+        result = exp.run(2)
+        for run in result.runs:
+            assert run.metrics is not None
+            assert run.metrics.counter("experiment.runs") == 1
+            assert run.metrics.counter("experiment.pairs") == run.n_pairs
+            assert (
+                run.metrics.counter("experiment.dndp_successes")
+                == run.dndp_successes
+            )
+
+    def test_merged_metrics_totals(self):
+        exp = NetworkExperiment(SMALL, seed=7, collect_metrics=True)
+        result = exp.run(2)
+        merged = result.merged_metrics()
+        assert merged.counter("experiment.runs") == 2
+        assert merged.counter("experiment.pairs") == sum(
+            r.n_pairs for r in result.runs
+        )
+
+    def test_metrics_do_not_affect_equality_or_results(self):
+        plain = NetworkExperiment(SMALL, seed=7).run(2)
+        instrumented = NetworkExperiment(
+            SMALL, seed=7, collect_metrics=True
+        ).run(2)
+        assert instrumented.runs == plain.runs
+
+    def test_default_leaves_metrics_unset(self):
+        result = NetworkExperiment(SMALL, seed=7).run(1)
+        assert result.runs[0].metrics is None
+        assert result.merged_metrics().counters == {}

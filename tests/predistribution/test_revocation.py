@@ -13,30 +13,31 @@ class TestRevocation:
         assert rev.counter(1) == 0
         assert not rev.revoked
 
-    def test_revokes_after_gamma_exceeded(self):
+    def test_revokes_at_gamma(self):
+        """The gamma-th invalid request tips the code — not the
+        (gamma+1)-th, which would let each victim waste gamma + 1
+        verifications and break the paper's (l-1)*gamma bound."""
         rev = RevocationList([1], gamma=2)
         assert not rev.record_invalid_request(1)  # counter 1
-        assert not rev.record_invalid_request(1)  # counter 2 == gamma
-        assert rev.record_invalid_request(1)  # counter 3 > gamma -> revoke
+        assert rev.record_invalid_request(1)  # counter 2 == gamma -> revoke
         assert rev.revoked == {1}
         assert not rev.is_active(1)
 
-    def test_exactly_gamma_plus_one_requests(self):
+    def test_exactly_gamma_requests_revoke(self):
         gamma = 5
         rev = RevocationList([7], gamma=gamma)
-        tipped = [rev.record_invalid_request(7) for _ in range(gamma + 1)]
-        assert tipped == [False] * gamma + [True]
+        tipped = [rev.record_invalid_request(7) for _ in range(gamma)]
+        assert tipped == [False] * (gamma - 1) + [True]
+        assert rev.counter(7) == gamma
 
     def test_revoked_code_rejects_further_requests(self):
         rev = RevocationList([1], gamma=1)
-        rev.record_invalid_request(1)
         rev.record_invalid_request(1)
         with pytest.raises(RevokedCodeError):
             rev.record_invalid_request(1)
 
     def test_codes_independent(self):
         rev = RevocationList([1, 2], gamma=1)
-        rev.record_invalid_request(1)
         rev.record_invalid_request(1)
         assert rev.active_codes() == {2}
         assert rev.counter(2) == 0
@@ -58,3 +59,16 @@ class TestRevocation:
 
     def test_gamma_property(self):
         assert RevocationList([1], gamma=3).gamma == 3
+
+    def test_metrics_recorded(self):
+        from repro.obs import MetricsRegistry, installed
+
+        with installed(MetricsRegistry()) as registry:
+            rev = RevocationList([1], gamma=2)
+            rev.record_invalid_request(1)
+            rev.record_invalid_request(1)
+        snapshot = registry.snapshot()
+        assert snapshot.counter("revocation.invalid_requests") == 2
+        assert snapshot.counter("revocation.codes_revoked") == 1
+        assert snapshot.events[0].category == "revocation.revoked"
+        assert snapshot.events[0].fields == {"code": 1, "counter": 2}

@@ -184,3 +184,91 @@ class TestProcesses:
         process = sim.process(instant())
         assert process.done.fired
         assert process.done.value == 7
+
+
+class TestEdgeCases:
+    def test_until_boundary_event_executes(self):
+        """An event scheduled exactly at ``until`` fires (the stop
+        condition is strictly ``when > until``)."""
+        sim = Simulator()
+        fired = []
+        sim.call_at(2.0, fired.append, "boundary")
+        sim.call_at(2.0 + 1e-9, fired.append, "past")
+        sim.run(until=2.0)
+        assert fired == ["boundary"]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_process_yields_already_done_process(self):
+        sim = Simulator()
+        trail = []
+
+        def instant():
+            return "early"
+            yield  # pragma: no cover
+
+        def outer():
+            done_process = sim.process(instant(), "instant")
+            assert done_process.done.fired
+            yield done_process
+            trail.append((sim.now, done_process.done.value))
+
+        sim.process(outer(), "outer")
+        sim.run()
+        assert trail == [(0.0, "early")]
+
+    def test_peek_and_pending_after_partial_runs(self):
+        sim = Simulator()
+        for when in (1.0, 2.0, 3.0):
+            sim.call_at(when, lambda: None)
+        assert sim.pending == 3
+        assert sim.peek() == 1.0
+        sim.run(until=1.5)
+        assert sim.pending == 2
+        assert sim.peek() == 2.0
+        sim.run()
+        assert sim.pending == 0
+        assert sim.peek() is None
+
+    def test_run_on_empty_heap_with_until(self):
+        sim = Simulator()
+        assert sim.run(until=4.0) == 4.0
+        assert sim.now == 4.0
+
+
+class TestExecutionAccounting:
+    def test_events_executed_accumulates(self):
+        sim = Simulator()
+        for when in (1.0, 2.0, 3.0):
+            sim.call_at(when, lambda: None)
+        sim.run(until=1.5)
+        assert sim.events_executed == 1
+        sim.run()
+        assert sim.events_executed == 3
+
+    def test_heap_high_water(self):
+        sim = Simulator()
+        for when in (1.0, 2.0, 3.0):
+            sim.call_at(when, lambda: None)
+        sim.run()
+        # Rescheduling from inside callbacks never exceeded 3 pending.
+        assert sim.heap_high_water == 3
+
+    def test_metrics_reported_once_per_run(self):
+        from repro.obs import MetricsRegistry, installed
+
+        sim = Simulator()
+        sim.call_at(1.0, lambda: sim.call_after(1.0, lambda: None))
+        with installed(MetricsRegistry()) as registry:
+            sim.run()
+        snap = registry.snapshot()
+        assert snap.counter("sim.events_executed") == 2
+        assert snap.gauges["sim.time"] == 2.0
+        assert snap.max_gauges["sim.heap_high_water"] == 1.0
+
+    def test_no_registry_accounting_still_works(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 1
+        assert sim.heap_high_water == 1
