@@ -5,11 +5,22 @@ Environment knobs:
 - ``REPRO_BENCH_RUNS``   Monte Carlo runs per sweep point (default 5;
   the paper averages 100 — set it for a full reproduction).
 - ``REPRO_BENCH_SEED``   root seed (default 2011).
+
+Command-line knobs:
+
+- ``--bench-json PATH``  write a machine-readable JSON record of every
+  benchmark that called the ``bench_record`` fixture (timings, speedup
+  ratios, workload sizes) — CI uploads it as an artifact so perf
+  regressions are diffable across commits.
 """
 
+import json
 import os
+from typing import Any, Dict
 
 import pytest
+
+_BENCH_RECORDS: Dict[str, Dict[str, Any]] = {}
 
 
 def bench_runs() -> int:
@@ -28,3 +39,30 @@ def runs() -> int:
 @pytest.fixture
 def seed() -> int:
     return bench_seed()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        default=None,
+        metavar="PATH",
+        help="write recorded benchmark timings/speedups as JSON",
+    )
+
+
+@pytest.fixture
+def bench_record():
+    """Record one benchmark's structured results for ``--bench-json``."""
+
+    def record(name: str, **fields: Any) -> None:
+        _BENCH_RECORDS[name] = fields
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json", default=None)
+    if path and _BENCH_RECORDS:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(_BENCH_RECORDS, handle, indent=2, sort_keys=True)
+            handle.write("\n")

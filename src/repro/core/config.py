@@ -86,6 +86,11 @@ class JRSNDConfig:
         (force the FFT cross-correlation path).  All backends produce
         identical lock decisions and work counts; only the wall-clock
         cost differs.
+    ecc_backend:
+        How Reed-Solomon arithmetic is evaluated: ``"vectorized"``
+        (default; NumPy GF(256) table-lookup kernels) or ``"naive"``
+        (the per-symbol reference loops).  Both produce bit-identical
+        codewords, decoded bytes, and error behavior.
     """
 
     n_nodes: int = 2000
@@ -116,6 +121,7 @@ class JRSNDConfig:
     tx_antennas: int = 1
     wire_fidelity: bool = False
     correlation_backend: str = "batched"
+    ecc_backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         check_positive("n_nodes", self.n_nodes)
@@ -154,6 +160,13 @@ class JRSNDConfig:
             raise ConfigurationError(
                 f"correlation_backend must be one of "
                 f"{CORRELATION_BACKENDS}, got {self.correlation_backend!r}"
+            )
+        from repro.ecc.reed_solomon import ECC_BACKENDS
+
+        if self.ecc_backend not in ECC_BACKENDS:
+            raise ConfigurationError(
+                f"ecc_backend must be one of {ECC_BACKENDS}, "
+                f"got {self.ecc_backend!r}"
             )
         if self.tx_antennas > self.codes_per_node:
             raise ConfigurationError(

@@ -44,9 +44,11 @@ from repro.crypto.mac import MessageAuthenticator
 from repro.crypto.nonces import NonceGenerator, ReplayCache
 from repro.crypto.session import derive_session_code
 from repro.crypto.signatures import SignatureScheme
+from repro.dsss.engine import make_engine
 from repro.dsss.spread_code import SpreadCode
 from repro.dsss.synchronizer import SlidingWindowSynchronizer
 from repro.errors import ConfigurationError, RevokedCodeError
+from repro.utils.artifact_cache import shared_cache
 from repro.predistribution.revocation import RevocationList
 from repro.sim.engine import Simulator, Timeout
 from repro.sim.field import Position
@@ -247,12 +249,29 @@ class JRSNDNode:
             if message_bits is None
             else int(message_bits)
         )
+        # The engine's stacked code matrix is invariant across rounds
+        # and trials for a given (backend, code-set) pair, so it is
+        # memoized in the process-local artifact cache; the synchronizer
+        # wrapper itself is cheap and built fresh each call.
+        backend = self.config.correlation_backend
+        cache_key = (
+            backend,
+            tuple(
+                (int(code.code_id), code.chips.tobytes())
+                for code in codes
+            ),
+        )
+        engine = shared_cache().get_or_build(
+            "correlation_engine",
+            cache_key,
+            lambda: make_engine(codes, backend),
+        )
         return SlidingWindowSynchronizer(
             codes,
             tau=self.config.tau,
             message_bits=bits,
             confirm_blocks=confirm_blocks,
-            backend=self.config.correlation_backend,
+            backend=engine,
         )
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.core.messages import MNDPRequest, MNDPResponse
 from repro.crypto.signatures import SignatureScheme
@@ -26,11 +27,17 @@ from repro.obs import current as _metrics
 from repro.utils.validation import check_positive
 
 __all__ = [
+    "COMPUTE_BACKENDS",
     "LogicalGraph",
     "MNDPSampler",
     "validate_request_chain",
     "validate_response_chain",
 ]
+
+# Shared by every experiment-layer component with a reference/vectorized
+# implementation pair: "vectorized" is the fast path, "reference" the
+# original loops the fast path is equality-tested against.
+COMPUTE_BACKENDS = ("reference", "vectorized")
 
 Pair = Tuple[int, int]
 
@@ -40,21 +47,41 @@ def _ordered(a: int, b: int) -> Pair:
 
 
 class LogicalGraph:
-    """The logical-neighbor graph over node indices."""
+    """The logical-neighbor graph over node indices.
+
+    Bulk inserts via :meth:`add_links` are buffered and only pushed into
+    the underlying networkx graph when a graph query needs them; the
+    vectorized M-NDP closure reads :meth:`edge_array` instead, so a
+    snapshot's hot path never pays per-edge networkx costs.
+    """
 
     def __init__(self, n_nodes: int) -> None:
         check_positive("n_nodes", n_nodes)
         self._graph = nx.Graph()
         self._graph.add_nodes_from(range(int(n_nodes)))
+        self._n_nodes = int(n_nodes)
+        # Every edge ever recorded: (k, 2) chunks from add_links plus a
+        # list of single pairs from add_link (duplicates are harmless).
+        self._chunks: List[np.ndarray] = []
+        self._singles: List[Pair] = []
+        self._n_flushed = 0
+
+    def _flush(self) -> None:
+        """Push buffered add_links chunks into the networkx graph."""
+        while self._n_flushed < len(self._chunks):
+            chunk = self._chunks[self._n_flushed]
+            self._graph.add_edges_from(map(tuple, chunk.tolist()))
+            self._n_flushed += 1
 
     @property
     def n_nodes(self) -> int:
         """Number of nodes in the graph."""
-        return self._graph.number_of_nodes()
+        return self._n_nodes
 
     @property
     def n_edges(self) -> int:
         """Number of logical-neighbor links."""
+        self._flush()
         return self._graph.number_of_edges()
 
     def add_link(self, a: int, b: int) -> None:
@@ -62,23 +89,61 @@ class LogicalGraph:
         if a == b:
             raise ConfigurationError("a node is not its own neighbor")
         self._graph.add_edge(int(a), int(b))
+        self._singles.append((int(a), int(b)))
+
+    def add_links(self, pairs: Iterable[Pair]) -> None:
+        """Record many logical links in one pass.
+
+        Equivalent to calling :meth:`add_link` per pair, minus the
+        per-call overhead — the hot path for building a snapshot's
+        initial graph from thousands of D-NDP outcomes.  Accepts any
+        iterable of pairs, including a ``(k, 2)`` integer array.
+        """
+        if isinstance(pairs, np.ndarray):
+            arr = np.asarray(pairs, dtype=np.int64)
+        else:
+            arr = np.asarray(list(pairs), dtype=np.int64)
+        if arr.size == 0:
+            return
+        arr = arr.reshape(-1, 2)
+        if bool((arr[:, 0] == arr[:, 1]).any()):
+            raise ConfigurationError("a node is not its own neighbor")
+        self._chunks.append(arr)
+
+    def edge_array(self) -> np.ndarray:
+        """Every recorded link as a ``(k, 2)`` int array.
+
+        May contain duplicates (re-adding a link is a no-op on the
+        graph but stays in the log); consumers scatter it into an
+        adjacency structure, where duplicates are harmless.
+        """
+        parts = list(self._chunks)
+        if self._singles:
+            parts.append(np.array(self._singles, dtype=np.int64))
+        if not parts:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate(parts, axis=0)
 
     def has_link(self, a: int, b: int) -> bool:
         """Whether the pair already discovered each other."""
+        self._flush()
         return self._graph.has_edge(int(a), int(b))
 
     def neighbors(self, node: int) -> Set[int]:
         """Logical neighbors of ``node``."""
+        self._flush()
         return set(self._graph.neighbors(int(node)))
 
     def edges(self) -> Set[Pair]:
         """All logical links as ordered pairs."""
+        self._flush()
         return {_ordered(a, b) for a, b in self._graph.edges()}
 
     def within_hops(self, source: int, max_hops: int) -> Dict[int, int]:
         """Nodes reachable from ``source`` in at most ``max_hops`` logical
         hops, mapped to their distance."""
         check_positive("max_hops", max_hops)
+        self._flush()
         return dict(
             nx.single_source_shortest_path_length(
                 self._graph, int(source), cutoff=int(max_hops)
@@ -93,8 +158,12 @@ class LogicalGraph:
 
     def copy(self) -> "LogicalGraph":
         """An independent copy."""
+        self._flush()
         clone = LogicalGraph(self.n_nodes)
         clone._graph = self._graph.copy()
+        clone._chunks = list(self._chunks)
+        clone._singles = list(self._singles)
+        clone._n_flushed = self._n_flushed
         return clone
 
 
@@ -109,12 +178,28 @@ class MNDPSampler:
         Node indices that do not relay (e.g. when modelling compromised
         nodes refusing to cooperate — the paper keeps them in, so the
         default is empty).
+    backend:
+        ``"vectorized"`` (default) answers each round with packed-bitset
+        breadth-first expansion; ``"reference"`` keeps the original
+        per-source networkx shortest-path queries.  Both return the same
+        pairs with the same hop distances in the same order.
     """
 
-    def __init__(self, nu: int, exclude: Iterable[int] = ()) -> None:
+    def __init__(
+        self,
+        nu: int,
+        exclude: Iterable[int] = (),
+        backend: str = "vectorized",
+    ) -> None:
         check_positive("nu", nu)
+        if backend not in COMPUTE_BACKENDS:
+            raise ConfigurationError(
+                f"mndp backend must be one of {COMPUTE_BACKENDS}, "
+                f"got {backend!r}"
+            )
         self._nu = int(nu)
         self._exclude = frozenset(int(x) for x in exclude)
+        self._backend = backend
 
     @property
     def nu(self) -> int:
@@ -125,6 +210,11 @@ class MNDPSampler:
     def excluded(self) -> FrozenSet[int]:
         """Nodes that refuse to relay."""
         return self._exclude
+
+    @property
+    def backend(self) -> str:
+        """The closure implementation in use."""
+        return self._backend
 
     def discover(
         self,
@@ -143,9 +233,13 @@ class MNDPSampler:
         """
         check_positive("rounds", rounds)
         registry = _metrics()
+        if self._backend == "vectorized":
+            return self._discover_vectorized(
+                physical_pairs, logical, rounds, registry
+            )
         discovered: Set[Pair] = set()
         working = logical
-        for _ in range(rounds):
+        for round_index in range(rounds):
             pending = [
                 _ordered(a, b)
                 for a, b in physical_pairs
@@ -159,13 +253,138 @@ class MNDPSampler:
                     registry.observe("mndp.recovery_hops", hops)
             if not new_links:
                 break
+            discovered.update(new_links)
+            if round_index == rounds - 1:
+                # The updated graph would never be read again; skip the
+                # copy + commit (the caller's graph is left untouched
+                # either way).
+                break
             working = working.copy() if working is logical else working
             for a, b in new_links:
                 working.add_link(a, b)
-            discovered.update(new_links)
         if registry.enabled:
             registry.inc("mndp.pairs_recovered", len(discovered))
         return discovered
+
+    def _discover_vectorized(
+        self,
+        physical_pairs: Sequence[Pair],
+        logical: LogicalGraph,
+        rounds: int,
+        registry,
+    ) -> Set[Pair]:
+        """Array-native form of the reference :meth:`discover` loop.
+
+        The logical graph is scattered once into a link matrix (and,
+        when relays are excluded, a separate relay matrix); each round
+        screens the still-unlinked pairs, resolves their closure
+        distances, and commits new links in place — no per-round graph
+        copies, no per-pair ``has_link`` queries.  Metrics, results, and
+        first-occurrence pair deduplication match the reference.
+        """
+        n = logical.n_nodes
+        raw = np.asarray(physical_pairs, dtype=np.int64).reshape(-1, 2)
+        a_all = np.minimum(raw[:, 0], raw[:, 1])
+        b_all = np.maximum(raw[:, 0], raw[:, 1])
+        link = np.zeros((n, n), dtype=bool)
+        edges = logical.edge_array()
+        if edges.size:
+            link[edges[:, 0], edges[:, 1]] = True
+            link[edges[:, 1], edges[:, 0]] = True
+        if self._exclude:
+            relay = link.copy()
+            self._zero_excluded(relay)
+        else:
+            relay = link
+        valid_all = self._endpoint_valid(a_all, b_all, n)
+        discovered: Set[Pair] = set()
+        for round_index in range(rounds):
+            pend = np.flatnonzero(~link[a_all, b_all])
+            # The reference keys new links by pair, so duplicates in
+            # physical_pairs resolve (and observe metrics) only once.
+            keys = a_all[pend] * n + b_all[pend]
+            first = np.unique(keys, return_index=True)[1]
+            if first.size != pend.size:
+                first.sort()
+                pend_unique = pend[first]
+            else:
+                pend_unique = pend
+            dist = self._closure_distances(
+                a_all[pend_unique],
+                b_all[pend_unique],
+                relay,
+                valid_all[pend_unique],
+            )
+            found = dist > 0
+            new_idx = pend_unique[found]
+            if registry.enabled:
+                registry.inc("mndp.rounds")
+                registry.inc("mndp.pairs_attempted", int(pend.size))
+                for hops in dist[found].tolist():
+                    registry.observe("mndp.recovery_hops", hops)
+            if new_idx.size == 0:
+                break
+            new_a = a_all[new_idx]
+            new_b = b_all[new_idx]
+            discovered.update(zip(new_a.tolist(), new_b.tolist()))
+            if round_index == rounds - 1:
+                break
+            link[new_a, new_b] = True
+            link[new_b, new_a] = True
+            if relay is not link:
+                relay[new_a, new_b] = True
+                relay[new_b, new_a] = True
+        if registry.enabled:
+            registry.inc("mndp.pairs_recovered", len(discovered))
+        return discovered
+
+    def _zero_excluded(self, adj: np.ndarray) -> None:
+        """Remove excluded nodes' rows/columns from a relay adjacency."""
+        n = adj.shape[0]
+        excluded = np.fromiter(self._exclude, dtype=np.int64)
+        excluded = excluded[(excluded >= 0) & (excluded < n)]
+        adj[excluded, :] = False
+        adj[:, excluded] = False
+
+    def _endpoint_valid(
+        self, a_arr: np.ndarray, b_arr: np.ndarray, n: int
+    ) -> np.ndarray:
+        """Mask of pairs whose endpoints are both non-excluded."""
+        if not self._exclude:
+            return np.ones(a_arr.size, dtype=bool)
+        excluded = np.fromiter(self._exclude, dtype=np.int64)
+        excluded = excluded[(excluded >= 0) & (excluded < n)]
+        in_excl = np.zeros(n, dtype=bool)
+        in_excl[excluded] = True
+        return ~(in_excl[a_arr] | in_excl[b_arr])
+
+    def _closure_distances(
+        self,
+        a_arr: np.ndarray,
+        b_arr: np.ndarray,
+        adj: np.ndarray,
+        valid: np.ndarray,
+    ) -> np.ndarray:
+        """Hop distances (0 = unreachable) for pairs over a relay
+        adjacency, by the packed-bitset level sweep."""
+        dist = np.zeros(a_arr.size, dtype=np.int64)
+        if a_arr.size == 0:
+            return dist
+        n = adj.shape[0]
+        dist[adj[a_arr, b_arr] & valid] = 1
+        remaining = np.flatnonzero(valid & (dist == 0))
+        if self._nu >= 2 and remaining.size:
+            packed = np.packbits(adj, axis=1)
+            hit = (
+                packed[a_arr[remaining]] & packed[b_arr[remaining]]
+            ).any(axis=1)
+            dist[remaining[hit]] = 2
+            remaining = remaining[~hit]
+            if self._nu >= 3 and remaining.size:
+                self._deep_levels(
+                    a_arr, b_arr, dist, remaining, adj, packed, n
+                )
+        return dist
 
     def _one_round(
         self, pending: List[Pair], logical: LogicalGraph
@@ -175,6 +394,14 @@ class MNDPSampler:
         order)."""
         if not pending:
             return {}
+        if self._backend == "vectorized":
+            return self._one_round_vectorized(pending, logical)
+        return self._one_round_reference(pending, logical)
+
+    def _one_round_reference(
+        self, pending: List[Pair], logical: LogicalGraph
+    ) -> Dict[Pair, int]:
+        """Per-source networkx shortest-path queries (the original)."""
         sources = {a for a, _ in pending}
         reach: Dict[int, Dict[int, int]] = {}
         graph = logical
@@ -190,6 +417,84 @@ class MNDPSampler:
             for a, b in pending
             if b not in self._exclude and reach[a].get(b, 0) > 0
         }
+
+    def _one_round_vectorized(
+        self, pending: List[Pair], logical: LogicalGraph
+    ) -> Dict[Pair, int]:
+        """Packed-bitset bounded-hop closure.
+
+        A pair sits at distance ``L`` iff ``b`` is adjacent to some node
+        exactly ``L - 1`` hops from ``a`` and was not resolved at a
+        shallower level, so hop 1 is an adjacency lookup, hop 2 is one
+        AND/any over the packed adjacency rows of both endpoints, and
+        deeper hops expand per-source frontiers with OR-reduced packed
+        rows.  Bit-for-bit the same pairs/distances as the reference.
+        """
+        n = logical.n_nodes
+        n_pairs = len(pending)
+        a_arr = np.fromiter(
+            (a for a, _ in pending), dtype=np.int64, count=n_pairs
+        )
+        b_arr = np.fromiter(
+            (b for _, b in pending), dtype=np.int64, count=n_pairs
+        )
+        adj = np.zeros((n, n), dtype=bool)
+        edges = logical.edge_array()
+        if edges.size:
+            adj[edges[:, 0], edges[:, 1]] = True
+            adj[edges[:, 1], edges[:, 0]] = True
+        if self._exclude:
+            self._zero_excluded(adj)
+        valid = self._endpoint_valid(a_arr, b_arr, n)
+        dist = self._closure_distances(a_arr, b_arr, adj, valid)
+        result: Dict[Pair, int] = {}
+        for index, hops in enumerate(dist.tolist()):
+            if hops > 0:
+                result[pending[index]] = hops
+        return result
+
+    def _deep_levels(
+        self,
+        a_arr: np.ndarray,
+        b_arr: np.ndarray,
+        dist: np.ndarray,
+        remaining: np.ndarray,
+        adj: np.ndarray,
+        packed: np.ndarray,
+        n: int,
+    ) -> None:
+        """Resolve hops ``3..nu`` by expanding per-source frontiers."""
+        frontiers: Dict[int, np.ndarray] = {}
+        visiteds: Dict[int, np.ndarray] = {}
+        depths: Dict[int, int] = {}
+        for level in range(3, self._nu + 1):
+            if remaining.size == 0:
+                return
+            for src in set(a_arr[remaining].tolist()):
+                if src not in frontiers:
+                    visited = packed[src].copy()
+                    visited[src >> 3] |= np.uint8(0x80 >> (src & 7))
+                    frontiers[src] = packed[src]
+                    visiteds[src] = visited
+                    depths[src] = 1
+                while depths[src] < level - 1:
+                    members = np.flatnonzero(
+                        np.unpackbits(frontiers[src], count=n)
+                    )
+                    if members.size == 0:
+                        depths[src] = level - 1
+                        break
+                    grown = np.bitwise_or.reduce(packed[members], axis=0)
+                    grown &= ~visiteds[src]
+                    visiteds[src] |= grown
+                    frontiers[src] = grown
+                    depths[src] += 1
+            stacked = np.stack(
+                [frontiers[int(a)] for a in a_arr[remaining]]
+            )
+            hit = (stacked & packed[b_arr[remaining]]).any(axis=1)
+            dist[remaining[hit]] = level
+            remaining = remaining[~hit]
 
     def _without_excluded(self, logical: LogicalGraph) -> LogicalGraph:
         """The logical graph with excluded nodes unable to *relay*.

@@ -12,7 +12,7 @@ verify empirically).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional
 
 import numpy as np
@@ -20,6 +20,7 @@ import numpy as np
 from repro.dsss.spread_code import SpreadCode
 from repro.dsss.spreader import spread
 from repro.errors import SpreadCodeError
+from repro.utils.artifact_cache import shared_cache
 
 __all__ = ["ChannelTransmission", "ChipChannel"]
 
@@ -89,7 +90,20 @@ class ChipChannel:
         return list(self._transmissions)
 
     def add_transmission(self, transmission: ChannelTransmission) -> None:
-        """Place a raw chip sequence on the channel."""
+        """Place a raw chip sequence on the channel.
+
+        The chip array is converted to float64 *once* here; every
+        subsequent :meth:`render` reuses it instead of re-converting the
+        caller's dtype per render.
+        """
+        chips = transmission.chips
+        if not (
+            isinstance(chips, np.ndarray) and chips.dtype == np.float64
+        ):
+            transmission = replace(
+                transmission,
+                chips=np.asarray(chips, dtype=np.float64),
+            )
         self._transmissions.append(transmission)
 
     def add_message(
@@ -100,11 +114,31 @@ class ChipChannel:
         amplitude: float = 1.0,
         label: str = "",
     ) -> None:
-        """Spread ``bits`` with ``code`` and place the result at ``offset``."""
-        chips = spread(bits, code)
+        """Spread ``bits`` with ``code`` and place the result at ``offset``.
+
+        The spread waveform depends only on (code chips, payload bits),
+        so it is memoized in the process-local artifact cache — a HELLO
+        repeated every round costs one spread total.  Cached waveforms
+        are read-only float64 arrays shared between transmissions.
+        """
+        bits_arr = np.asarray(bits, dtype=np.int8)
+        chips = shared_cache().get_or_build(
+            "waveform",
+            (code.chips.tobytes(), bits_arr.tobytes()),
+            lambda: self._spread_waveform(bits_arr, code),
+        )
         self.add_transmission(
             ChannelTransmission(chips, offset, amplitude, label)
         )
+
+    @staticmethod
+    def _spread_waveform(
+        bits: np.ndarray, code: SpreadCode
+    ) -> np.ndarray:
+        """Spread and pre-convert to the render dtype, frozen read-only."""
+        chips = spread(bits, code).astype(np.float64)
+        chips.setflags(write=False)
+        return chips
 
     def add_jamming(
         self,
@@ -145,7 +179,7 @@ class ChipChannel:
             )
         signal = np.zeros(total, dtype=np.float64)
         for t in self._transmissions:
-            chips = np.asarray(t.chips, dtype=np.float64)
+            chips = t.chips  # already float64 (see add_transmission)
             signal[t.offset : t.offset + chips.size] += t.amplitude * chips
         if self._noise_std > 0:
             if rng is None:

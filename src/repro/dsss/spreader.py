@@ -60,12 +60,13 @@ def despread(
         raise SpreadCodeError(f"tau must be in (0, 1), got {tau}")
     blocks = chips.reshape(-1, n)
     correlations = blocks @ code.chips.astype(np.float64) / n
-    bits: List[Optional[int]] = []
-    for corr in correlations:
-        if corr >= tau:
-            bits.append(1)
-        elif corr <= -tau:
-            bits.append(0)
-        else:
-            bits.append(None)
+    # Vectorized thresholding: decide all blocks at once, then swap the
+    # erasure sentinel in.  object dtype keeps true ints/None in the
+    # returned list (the List[Optional[int]] contract).
+    decisions = np.where(
+        correlations >= tau, 1, np.where(correlations <= -tau, 0, -1)
+    )
+    bits: List[Optional[int]] = decisions.tolist()
+    if (decisions < 0).any():
+        bits = [None if b < 0 else b for b in bits]
     return bits

@@ -23,8 +23,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.ecc.reed_solomon import ReedSolomonCodec
+from repro.ecc.reed_solomon import ECC_BACKENDS, ReedSolomonCodec
 from repro.errors import ConfigurationError, DecodeError, EccDecodeError
+from repro.utils.artifact_cache import shared_cache
 
 __all__ = ["ExpansionCodec", "erasure_tolerance"]
 
@@ -44,25 +45,39 @@ class ExpansionCodec:
     mu:
         Redundancy parameter; parity volume is ``mu`` times the data
         volume (the paper's default is ``mu = 1``).
+    backend:
+        Reed-Solomon arithmetic backend (``"vectorized"`` or
+        ``"naive"``), forwarded to every underlying
+        :class:`ReedSolomonCodec`.
     """
 
     _SYMBOL_BITS = 8
 
-    def __init__(self, mu: float) -> None:
+    def __init__(self, mu: float, backend: str = "vectorized") -> None:
         if mu <= 0:
             raise ConfigurationError(f"mu must be positive, got {mu}")
+        if backend not in ECC_BACKENDS:
+            raise ConfigurationError(
+                f"ecc backend must be one of {ECC_BACKENDS}, "
+                f"got {backend!r}"
+            )
         self._mu = float(mu)
+        self._backend = str(backend)
         # Largest data chunk whose codeword still fits in an RS word.
         max_codeword = 255
         self._max_data_symbols = max(
             1, int(max_codeword / (1.0 + self._mu))
         )
-        self._rs_cache: dict = {}
 
     @property
     def mu(self) -> float:
         """The redundancy parameter."""
         return self._mu
+
+    @property
+    def backend(self) -> str:
+        """The Reed-Solomon arithmetic backend in use."""
+        return self._backend
 
     def parity_symbols(self, data_symbols: int) -> int:
         """Parity symbols attached to a chunk of ``data_symbols``."""
@@ -80,11 +95,19 @@ class ExpansionCodec:
         return [base + (1 if i < remainder else 0) for i in range(n_chunks)]
 
     def _rs(self, n_parity: int) -> ReedSolomonCodec:
-        codec = self._rs_cache.get(n_parity)
-        if codec is None:
-            codec = ReedSolomonCodec(n_parity)
-            self._rs_cache[n_parity] = codec
-        return codec
+        """The RS codec for ``n_parity``, via the shared artifact cache.
+
+        Replaces the old unbounded per-instance dict: codecs are shared
+        across every ExpansionCodec in the process, the cache is
+        LRU-bounded, and reuse is visible in the ``cache.rs_codec``
+        hit/miss counters.
+        """
+        backend = self._backend
+        return shared_cache().get_or_build(
+            "rs_codec",
+            (n_parity, backend),
+            lambda: ReedSolomonCodec(n_parity, backend=backend),
+        )
 
     def encoded_bits(self, message_bits: int) -> int:
         """Encoded length in bits for an ``message_bits``-bit message.
@@ -216,4 +239,7 @@ class ExpansionCodec:
         return word, erasures
 
     def __repr__(self) -> str:
-        return f"ExpansionCodec(mu={self._mu})"
+        return (
+            f"ExpansionCodec(mu={self._mu}, "
+            f"backend={self._backend!r})"
+        )

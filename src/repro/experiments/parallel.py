@@ -62,6 +62,7 @@ def _init_worker(
     link_model: str,
     correlation_backend: Optional[str],
     collect_metrics: bool,
+    compute_backend: str = "vectorized",
 ) -> None:
     """Pool initializer: rebuild the experiment once per worker."""
     global _worker_experiment
@@ -73,6 +74,7 @@ def _init_worker(
         link_model=link_model,
         correlation_backend=correlation_backend,
         collect_metrics=collect_metrics,
+        compute_backend=compute_backend,
     )
 
 
@@ -99,13 +101,16 @@ def run_parallel(
     link_model: str = "codes",
     correlation_backend: Optional[str] = None,
     collect_metrics: bool = False,
+    compute_backend: str = "vectorized",
 ) -> ExperimentResult:
     """Execute ``runs`` snapshots across ``processes`` workers.
 
     ``processes`` defaults to the CPU count (capped at ``runs``).
     Results are identical to ``NetworkExperiment(...).run(runs)``;
     ``correlation_backend`` (when set) overrides the configured
-    chip-level backend in every worker, exactly as it does serially.
+    chip-level backend in every worker, exactly as it does serially,
+    and ``compute_backend`` selects the snapshot-pipeline
+    implementation just like the serial constructor argument.
 
     Raises :class:`~repro.errors.ParallelExecutionError` if any run
     fails, after all tasks have drained — the exception carries every
@@ -126,6 +131,7 @@ def run_parallel(
         link_model,
         correlation_backend,
         collect_metrics,
+        compute_backend,
     )
     indices = range(int(runs))
     if workers <= 1:

@@ -28,7 +28,7 @@ from repro.adversary.compromise import CompromiseModel
 from repro.adversary.jammer import JammerStrategy, JammingModel
 from repro.core.config import JRSNDConfig
 from repro.core.dndp import DNDPSampler
-from repro.core.mndp import LogicalGraph, MNDPSampler
+from repro.core.mndp import COMPUTE_BACKENDS, LogicalGraph, MNDPSampler
 from repro.errors import ConfigurationError
 from repro.obs import MetricsRegistry, MetricsSnapshot, current, installed
 from repro.predistribution.authority import PreDistributor
@@ -208,6 +208,12 @@ class NetworkExperiment:
         :class:`RunResult` (and forward it to any registry installed in
         the calling process).  Off by default; the layers then report
         into the no-op registry at negligible cost.
+    compute_backend:
+        ``"vectorized"`` (default) runs the snapshot pipeline on the
+        packed/NumPy implementations (neighbor search, pre-distribution,
+        D-NDP sampling, M-NDP closure); ``"reference"`` keeps the
+        original per-item loops.  Both backends consume identical rng
+        streams and produce identical :class:`RunResult` values.
     """
 
     def __init__(
@@ -220,6 +226,7 @@ class NetworkExperiment:
         link_model: str = "codes",
         correlation_backend: Optional[str] = None,
         collect_metrics: bool = False,
+        compute_backend: str = "vectorized",
     ) -> None:
         check_positive("mndp_rounds", mndp_rounds)
         if strategy not in (JammerStrategy.REACTIVE, JammerStrategy.RANDOM):
@@ -233,6 +240,11 @@ class NetworkExperiment:
                 f"link_model must be 'codes' or 'independent', "
                 f"got {link_model!r}"
             )
+        if compute_backend not in COMPUTE_BACKENDS:
+            raise ConfigurationError(
+                f"compute_backend must be one of {COMPUTE_BACKENDS}, "
+                f"got {compute_backend!r}"
+            )
         if correlation_backend is not None:
             # replace() re-validates, so an unknown backend fails here
             # rather than deep inside a worker process.
@@ -244,6 +256,7 @@ class NetworkExperiment:
         self._sample_latency = bool(sample_latency)
         self._link_model = link_model
         self._collect_metrics = bool(collect_metrics)
+        self._compute_backend = compute_backend
 
     @property
     def config(self) -> JRSNDConfig:
@@ -254,6 +267,11 @@ class NetworkExperiment:
     def collect_metrics(self) -> bool:
         """Whether runs carry per-run metric snapshots."""
         return self._collect_metrics
+
+    @property
+    def compute_backend(self) -> str:
+        """The snapshot-pipeline implementation in use."""
+        return self._compute_backend
 
     def run(self, runs: int = 1) -> ExperimentResult:
         """Execute ``runs`` independent snapshots."""
@@ -292,7 +310,9 @@ class NetworkExperiment:
         positions = uniform_positions(
             field, config.n_nodes, seeds.rng("placement")
         )
-        pairs = field.neighbor_pairs(positions)
+        pairs = field.neighbor_pairs(
+            positions, backend=self._compute_backend
+        )
         mean_degree = (
             2.0 * len(pairs) / config.n_nodes if config.n_nodes else 0.0
         )
@@ -300,7 +320,9 @@ class NetworkExperiment:
         distributor = PreDistributor(
             config.n_nodes, config.codes_per_node, config.share_count
         )
-        assignment = distributor.assign(seeds.rng("assignment"))
+        assignment = distributor.assign(
+            seeds.rng("assignment"), backend=self._compute_backend
+        )
 
         compromise = CompromiseModel(assignment).compromise_random(
             config.n_compromised, seeds.rng("compromise")
@@ -316,10 +338,16 @@ class NetworkExperiment:
                 pairs, assignment, jamming, seeds.rng("jamming")
             )
         logical = LogicalGraph(config.n_nodes)
-        for (a, b), success in zip(pairs, direct):
-            if success:
-                logical.add_link(a, b)
-        mndp = MNDPSampler(config.nu)
+        if self._compute_backend == "vectorized":
+            if pairs:
+                logical.add_links(
+                    np.asarray(pairs, dtype=np.int64)[direct]
+                )
+        else:
+            for (a, b), success in zip(pairs, direct):
+                if success:
+                    logical.add_link(a, b)
+        mndp = MNDPSampler(config.nu, backend=self._compute_backend)
         recovered = mndp.discover(
             pairs, logical, rounds=self._mndp_rounds
         )
@@ -385,6 +413,12 @@ class NetworkExperiment:
         jamming only) some shared compromised code's sub-session escapes
         both the HELLO jam (prob ``beta``) and the burst jam
         (prob ``beta'``).
+
+        The ``"vectorized"`` compute backend runs the same chunked sweep
+        over bit-packed membership rows (8x less memory traffic, popcount
+        for the at-risk counts); chunk boundaries and per-chunk rng draws
+        are identical, so both backends consume the same rng stream and
+        return the same outcomes.
         """
         config = self._config
         if not pairs:
@@ -392,8 +426,14 @@ class NetworkExperiment:
         membership = np.zeros(
             (config.n_nodes, assignment.pool_size), dtype=bool
         )
-        for node, codes in enumerate(assignment.node_codes):
-            membership[node, codes] = True
+        node_codes = np.asarray(assignment.node_codes)
+        if node_codes.dtype != object and node_codes.ndim == 2:
+            membership[
+                np.arange(config.n_nodes)[:, None], node_codes
+            ] = True
+        else:
+            for node, codes in enumerate(assignment.node_codes):
+                membership[node, codes] = True
         compromised = np.zeros(assignment.pool_size, dtype=bool)
         if jamming.n_compromised:
             compromised[sorted(
@@ -401,6 +441,10 @@ class NetworkExperiment:
             )] = True
 
         pair_array = np.asarray(pairs, dtype=np.int64)
+        if self._compute_backend == "vectorized":
+            return self._sample_dndp_packed(
+                pair_array, membership, compromised, jamming, rng
+            )
         success = np.zeros(len(pairs), dtype=bool)
         chunk = 4096
         for start in range(0, len(pairs), chunk):
@@ -433,3 +477,63 @@ class NetworkExperiment:
             else:
                 success[start:stop] = direct
         return success
+
+    def _sample_dndp_packed(
+        self,
+        pair_array: np.ndarray,
+        membership: np.ndarray,
+        compromised: np.ndarray,
+        jamming: JammingModel,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Bit-packed form of the `_sample_dndp` chunk sweep.
+
+        ``np.packbits`` pads rows with zero bits, so packed AND/any give
+        the same answers as the boolean rows; at-risk counts come from a
+        256-entry popcount table over the packed shared bytes.
+        """
+        n_pairs = pair_array.shape[0]
+        packed = np.packbits(membership, axis=1)
+        comp_packed = np.packbits(compromised)
+        # ~compromised would flip the pad bits to 1; packing the negated
+        # *unpacked* vector keeps them 0.
+        safe_packed = np.packbits(~compromised)
+        random_strategy = (
+            self._strategy is JammerStrategy.RANDOM and jamming.n_compromised
+        )
+        if random_strategy:
+            tries = min(jamming.codes_per_message, jamming.n_compromised)
+            beta = tries / jamming.n_compromised
+            beta_prime = min(3.0 * beta, 1.0)
+            kill = beta + beta_prime - beta * beta_prime
+        success = np.zeros(n_pairs, dtype=bool)
+        chunk = 4096
+        for start in range(0, n_pairs, chunk):
+            stop = min(start + chunk, n_pairs)
+            shared = (
+                packed[pair_array[start:stop, 0]]
+                & packed[pair_array[start:stop, 1]]
+            )
+            direct = (shared & safe_packed).any(axis=1)
+            if random_strategy:
+                at_risk = _POPCOUNT[shared & comp_packed].sum(
+                    axis=1, dtype=np.int64
+                )
+                survive_any = np.zeros(stop - start, dtype=bool)
+                positive = at_risk > 0
+                if positive.any():
+                    fail_all = kill ** at_risk[positive]
+                    survive_any[positive] = (
+                        rng.random(int(positive.sum())) >= fail_all
+                    )
+                success[start:stop] = direct | survive_any
+            else:
+                success[start:stop] = direct
+        return success
+
+
+# Bits set per byte value; used by the packed D-NDP sweep in place of
+# np.bitwise_count so older NumPy releases stay supported.
+_POPCOUNT = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)

@@ -147,14 +147,33 @@ class PreDistributor:
         """Pool codes consumed: ``s = w * m``."""
         return self._w * self._m
 
-    def assign(self, rng: np.random.Generator) -> CodeAssignment:
+    def assign(
+        self, rng: np.random.Generator, backend: str = "vectorized"
+    ) -> CodeAssignment:
         """Run the ``m`` rounds and return the assignment.
 
         Virtual node slots participate in the partition but their codes
         are simply not recorded against any real node, so some codes end
         up shared by fewer than ``l`` real nodes — the behaviour the
         paper describes as "not affect the performance very much".
+
+        Both backends consume exactly one ``rng.permutation`` per round
+        and build identical assignments; ``"reference"`` keeps the
+        original per-subset loops, ``"vectorized"`` (default) derives
+        each node's subset from the inverse permutation.
         """
+        from repro.core.mndp import COMPUTE_BACKENDS
+
+        if backend not in COMPUTE_BACKENDS:
+            raise ConfigurationError(
+                f"assign backend must be one of {COMPUTE_BACKENDS}, "
+                f"got {backend!r}"
+            )
+        if backend == "reference":
+            return self._assign_reference(rng)
+        return self._assign_vectorized(rng)
+
+    def _assign_reference(self, rng: np.random.Generator) -> CodeAssignment:
         total = self._n + self._n_virtual
         node_codes: List[List[int]] = [[] for _ in range(self._n)]
         code_holders: Dict[int, Set[int]] = {}
@@ -171,6 +190,55 @@ class PreDistributor:
                     node_codes[node].append(code_index)
         return CodeAssignment(
             node_codes=node_codes,
+            code_holders=code_holders,
+            pool_size=self.pool_size,
+        )
+
+    def _assign_vectorized(self, rng: np.random.Generator) -> CodeAssignment:
+        """Inverse-permutation form of :meth:`_assign_reference`.
+
+        A node lands in subset ``position // l``, so one scatter per
+        round yields every node's code; holder sets come from grouping
+        the real slots of the permutation by subset.
+        """
+        total = self._n + self._n_virtual
+        codes_matrix = np.empty((self._n, self._m), dtype=np.int64)
+        position_of = np.empty(total, dtype=np.int64)
+        slots = np.arange(total, dtype=np.int64)
+        code_holders: Dict[int, Set[int]] = {}
+        for round_index in range(self._m):
+            order = rng.permutation(total)
+            position_of[order] = slots
+            codes_matrix[:, round_index] = (
+                self._w * round_index + position_of[: self._n] // self._l
+            )
+            base = self._w * round_index
+            if self._n_virtual == 0:
+                # Every slot is a real node: subsets are plain l-sized
+                # slices of the permutation.
+                nodes = order.tolist()
+                for subset_index in range(self._w):
+                    begin = subset_index * self._l
+                    code_holders[base + subset_index] = set(
+                        nodes[begin : begin + self._l]
+                    )
+            else:
+                real_mask = order < self._n
+                nodes = order[real_mask].tolist()
+                counts = np.bincount(
+                    np.flatnonzero(real_mask) // self._l,
+                    minlength=self._w,
+                )
+                stops = np.cumsum(counts).tolist()
+                begin = 0
+                for subset_index in range(self._w):
+                    stop = stops[subset_index]
+                    code_holders[base + subset_index] = set(
+                        nodes[begin:stop]
+                    )
+                    begin = stop
+        return CodeAssignment(
+            node_codes=codes_matrix.tolist(),
             code_holders=code_holders,
             pool_size=self.pool_size,
         )

@@ -17,6 +17,8 @@ import math
 from collections import defaultdict
 from typing import Dict, List, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.utils.validation import check_positive
 
@@ -100,12 +102,30 @@ class RectangularField:
         return (n_nodes - 1) * math.pi * self._range**2 / self.area
 
     def neighbor_pairs(
-        self, positions: Sequence[Position]
+        self, positions: Sequence[Position], backend: str = "vectorized"
     ) -> List[Tuple[int, int]]:
         """All index pairs ``(i, j), i < j`` within transmission range.
 
-        Grid-bucketed: O(n) expected for uniform placements.
+        ``"vectorized"`` (default) screens chunked squared distances and
+        confirms the boundary with the same correctly-rounded hypot the
+        reference uses; ``"reference"`` is the original grid-bucketed
+        loop.  Both return the same sorted list of int tuples.
         """
+        from repro.core.mndp import COMPUTE_BACKENDS
+
+        if backend not in COMPUTE_BACKENDS:
+            raise ConfigurationError(
+                f"neighbor_pairs backend must be one of "
+                f"{COMPUTE_BACKENDS}, got {backend!r}"
+            )
+        if backend == "vectorized":
+            return self._neighbor_pairs_vectorized(positions)
+        return self._neighbor_pairs_reference(positions)
+
+    def _neighbor_pairs_reference(
+        self, positions: Sequence[Position]
+    ) -> List[Tuple[int, int]]:
+        """Grid-bucketed: O(n) expected for uniform placements."""
         cell = self._range
         buckets: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         for index, position in enumerate(positions):
@@ -122,6 +142,60 @@ class RectangularField:
                     if j > i and self.in_range(positions[i], positions[j]):
                         pairs.append((i, j))
         return sorted(set(pairs))
+
+    def _neighbor_pairs_vectorized(
+        self, positions: Sequence[Position]
+    ) -> List[Tuple[int, int]]:
+        """Strip-bucketed squared-distance sweep.
+
+        Nodes are bucketed into vertical strips of width ``tx_range``
+        (any in-range pair sits in the same or adjacent strips, like the
+        reference's grid cells) and each strip is swept against itself
+        and its right neighbor with one dense squared-distance screen.
+        Survivors are confirmed with ``np.hypot``, the correctly-rounded
+        double the reference's ``math.hypot`` computes, so the boundary
+        decision is bit-identical.
+        """
+        n = len(positions)
+        if n < 2:
+            return []
+        pos = np.asarray(positions, dtype=np.float64)
+        x = pos[:, 0]
+        y = pos[:, 1]
+        radius = self._range
+        screen = radius * radius * (1.0 + 1e-9)
+        strip_of = np.floor_divide(x, radius).astype(np.int64)
+        order = np.argsort(strip_of, kind="stable")
+        strips, starts = np.unique(strip_of[order], return_index=True)
+        strips = strips.tolist()
+        bounds = starts.tolist() + [n]
+        pairs: List[Tuple[int, int]] = []
+
+        def confirm(low: np.ndarray, high: np.ndarray) -> None:
+            exact = np.hypot(x[low] - x[high], y[low] - y[high])
+            keep = exact <= radius
+            pairs.extend(zip(low[keep].tolist(), high[keep].tolist()))
+
+        for t in range(len(strips)):
+            a_idx = order[bounds[t] : bounds[t + 1]]
+            xa = x[a_idx]
+            ya = y[a_idx]
+            dx = xa[:, None] - xa[None, :]
+            dy = ya[:, None] - ya[None, :]
+            rows, cols = np.nonzero(dx * dx + dy * dy <= screen)
+            low, high = a_idx[rows], a_idx[cols]
+            inside = high > low
+            confirm(low[inside], high[inside])
+            if t + 1 < len(strips) and strips[t + 1] == strips[t] + 1:
+                b_idx = order[bounds[t + 1] : bounds[t + 2]]
+                dx = xa[:, None] - x[b_idx][None, :]
+                dy = ya[:, None] - y[b_idx][None, :]
+                rows, cols = np.nonzero(dx * dx + dy * dy <= screen)
+                left, right = a_idx[rows], b_idx[cols]
+                confirm(
+                    np.minimum(left, right), np.maximum(left, right)
+                )
+        return sorted(pairs)
 
     def adjacency(
         self, positions: Sequence[Position]

@@ -1,0 +1,159 @@
+"""Reference vs vectorized M-NDP closure equivalence."""
+
+import random
+
+import pytest
+
+from repro.core.mndp import LogicalGraph, MNDPSampler
+from repro.errors import ConfigurationError
+
+
+def _random_instance(rnd):
+    n = rnd.randrange(5, 35)
+    graph = LogicalGraph(n)
+    for _ in range(rnd.randrange(0, 3 * n)):
+        a, b = rnd.sample(range(n), 2)
+        graph.add_link(a, b)
+    pairs = sorted(
+        {
+            tuple(sorted(rnd.sample(range(n), 2)))
+            for _ in range(rnd.randrange(1, 25))
+        }
+    )
+    return n, graph, pairs
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("nu", [1, 2, 3, 5])
+    def test_one_round_identical_dicts(self, nu):
+        rnd = random.Random(500 + nu)
+        for _ in range(40):
+            n, graph, pairs = _random_instance(rnd)
+            exclude = rnd.sample(range(n), rnd.randrange(0, 3))
+            reference = MNDPSampler(
+                nu, exclude=exclude, backend="reference"
+            )
+            vectorized = MNDPSampler(
+                nu, exclude=exclude, backend="vectorized"
+            )
+            pending = [p for p in pairs if not graph.has_link(*p)]
+            want = reference._one_round(pending, graph)
+            got = vectorized._one_round(pending, graph)
+            # Same pairs, same hop counts, same (pending) order — the
+            # order feeds the mndp.recovery_hops histogram.
+            assert list(want.items()) == list(got.items())
+
+    def test_discover_identical_over_rounds(self):
+        rnd = random.Random(900)
+        for _ in range(30):
+            n, graph, pairs = _random_instance(rnd)
+            rounds = rnd.randrange(1, 4)
+            want = MNDPSampler(2, backend="reference").discover(
+                pairs, graph, rounds=rounds
+            )
+            got = MNDPSampler(2, backend="vectorized").discover(
+                pairs, graph, rounds=rounds
+            )
+            assert want == got
+
+    def test_discover_leaves_caller_graph_untouched(self):
+        graph = LogicalGraph(4)
+        graph.add_link(0, 1)
+        graph.add_link(1, 2)
+        edges_before = graph.edges()
+        recovered = MNDPSampler(2).discover(
+            [(0, 2), (0, 3)], graph, rounds=3
+        )
+        assert recovered == {(0, 2)}
+        assert graph.edges() == edges_before
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MNDPSampler(2, backend="gpu")
+
+    def test_backend_property(self):
+        assert MNDPSampler(2).backend == "vectorized"
+        assert MNDPSampler(2, backend="reference").backend == "reference"
+
+    def test_discover_with_excludes_and_duplicates(self):
+        # Duplicate and reversed pairs must resolve once (dict-key
+        # semantics of the reference), and excluded nodes must neither
+        # relay nor discover.
+        rnd = random.Random(77)
+        for _ in range(25):
+            n, graph, pairs = _random_instance(rnd)
+            noisy = pairs + [(b, a) for a, b in pairs[::2]] + pairs[:3]
+            exclude = rnd.sample(range(n), rnd.randrange(0, 4))
+            want = MNDPSampler(
+                3, exclude=exclude, backend="reference"
+            ).discover(noisy, graph, rounds=2)
+            got = MNDPSampler(
+                3, exclude=exclude, backend="vectorized"
+            ).discover(noisy, graph, rounds=2)
+            assert want == got
+
+    def test_discover_metrics_identical(self):
+        from repro.obs import MetricsRegistry, installed
+
+        rnd = random.Random(4242)
+        for _ in range(10):
+            n, graph, pairs = _random_instance(rnd)
+            exclude = rnd.sample(range(n), rnd.randrange(0, 3))
+            snapshots = {}
+            for backend in ("reference", "vectorized"):
+                registry = MetricsRegistry()
+                with installed(registry):
+                    MNDPSampler(
+                        3, exclude=exclude, backend=backend
+                    ).discover(pairs, graph, rounds=3)
+                snapshots[backend] = registry.snapshot()
+            want, got = snapshots["reference"], snapshots["vectorized"]
+            assert want.counters == got.counters
+            assert want.histograms == got.histograms
+
+
+class TestLogicalGraphBulk:
+    def test_add_links_matches_add_link(self):
+        import numpy as np
+
+        one = LogicalGraph(6)
+        for a, b in [(0, 1), (1, 2), (4, 5)]:
+            one.add_link(a, b)
+        bulk = LogicalGraph(6)
+        bulk.add_links(np.array([[0, 1], [1, 2], [4, 5]]))
+        assert bulk.edges() == one.edges()
+        assert bulk.n_edges == 3
+        assert bulk.has_link(1, 2)
+        assert bulk.neighbors(1) == {0, 2}
+
+    def test_add_links_accepts_iterables_and_empty(self):
+        graph = LogicalGraph(4)
+        graph.add_links([(0, 1), (2, 3)])
+        graph.add_links([])
+        assert graph.edges() == {(0, 1), (2, 3)}
+
+    def test_add_links_rejects_self_loops(self):
+        graph = LogicalGraph(4)
+        with pytest.raises(ConfigurationError):
+            graph.add_links([(0, 1), (2, 2)])
+        # The rejected batch left no partial state behind.
+        assert graph.edges() == set()
+
+    def test_edge_array_covers_both_insert_paths(self):
+        import numpy as np
+
+        graph = LogicalGraph(5)
+        graph.add_link(0, 1)
+        graph.add_links(np.array([[1, 2], [3, 4]]))
+        recorded = {
+            tuple(sorted(edge)) for edge in graph.edge_array().tolist()
+        }
+        assert recorded == {(0, 1), (1, 2), (3, 4)}
+
+    def test_copy_preserves_buffered_links(self):
+        graph = LogicalGraph(4)
+        graph.add_links([(0, 1)])
+        clone = graph.copy()
+        clone.add_links([(2, 3)])
+        assert clone.edges() == {(0, 1), (2, 3)}
+        assert graph.edges() == {(0, 1)}

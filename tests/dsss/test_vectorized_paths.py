@@ -1,0 +1,110 @@
+"""Regression tests for the vectorized PHY hot paths.
+
+``despread`` was rewritten from a per-block Python loop to one
+thresholding pass, and :class:`ChipChannel` now converts chips to
+float64 once at ``add_transmission`` time and memoizes spread waveforms
+in the shared artifact cache.  These tests pin both changes to the old
+behavior.
+"""
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dsss.channel import ChannelTransmission, ChipChannel
+from repro.dsss.spread_code import SpreadCode
+from repro.dsss.spreader import despread, spread
+from repro.utils.artifact_cache import shared_cache
+from repro.utils.rng import derive_rng
+
+
+def _despread_reference(
+    chips: np.ndarray, code: SpreadCode, tau: float
+) -> List[Optional[int]]:
+    """The original per-block loop."""
+    blocks = np.asarray(chips, dtype=np.float64).reshape(-1, code.length)
+    bits: List[Optional[int]] = []
+    for block in blocks:
+        correlation = float(block @ code.chips) / code.length
+        if correlation >= tau:
+            bits.append(1)
+        elif correlation <= -tau:
+            bits.append(0)
+        else:
+            bits.append(None)
+    return bits
+
+
+class TestDespreadEquivalence:
+    def test_matches_reference_on_noisy_blocks(self):
+        rng = derive_rng(77, "despread-equiv")
+        for trial in range(25):
+            n = int(rng.integers(4, 65)) * 2
+            code = SpreadCode.random(n, rng)
+            n_bits = int(rng.integers(1, 40))
+            bits = rng.integers(0, 2, size=n_bits, dtype=np.int8)
+            signal = spread(bits, code).astype(np.float64)
+            signal += rng.normal(0.0, 1.2, size=signal.size)
+            tau = float(rng.uniform(0.05, 0.9))
+            got = despread(signal, code, tau)
+            want = _despread_reference(signal, code, tau)
+            assert got == want
+            # The contract: true Python ints and None, nothing numpy.
+            assert all(
+                b is None or type(b) is int for b in got
+            )
+
+    def test_all_erasures_and_all_decisions(self):
+        rng = derive_rng(78, "despread-edges")
+        code = SpreadCode.random(32, rng)
+        clean = spread(np.array([1, 0, 1, 1]), code)
+        assert despread(clean, code, 0.5) == [1, 0, 1, 1]
+        assert despread(
+            np.zeros(4 * 32), code, 0.5
+        ) == [None, None, None, None]
+
+
+class TestChannelRenderRegression:
+    def test_repeated_render_identical_and_float_once(self):
+        rng = derive_rng(79, "channel-regress")
+        code = SpreadCode.random(64, rng)
+        channel = ChipChannel(noise_std=0.0)
+        bits = np.array([1, 0, 1], dtype=np.int8)
+        channel.add_message(bits, code, offset=5)
+        channel.add_transmission(
+            ChannelTransmission(
+                np.ones(16, dtype=np.int8), offset=0, amplitude=0.5
+            )
+        )
+        first = channel.render()
+        second = channel.render()
+        assert np.array_equal(first, second)
+        # Every stored transmission was converted exactly once.
+        for transmission in channel.transmissions:
+            assert transmission.chips.dtype == np.float64
+
+    def test_render_matches_manual_superposition(self):
+        rng = derive_rng(80, "channel-manual")
+        code = SpreadCode.random(32, rng)
+        bits = np.array([1, 1, 0], dtype=np.int8)
+        channel = ChipChannel(noise_std=0.0)
+        channel.add_message(bits, code, offset=7, amplitude=2.0)
+        signal = channel.render()
+        want = np.zeros(7 + 3 * 32)
+        want[7:] = 2.0 * spread(bits, code)
+        assert np.array_equal(signal, want)
+
+    def test_waveform_cache_hit_on_repeat(self):
+        cache = shared_cache()
+        rng = derive_rng(81, "channel-cache")
+        code = SpreadCode.random(64, rng)
+        bits = np.array([1, 0, 0, 1], dtype=np.int8)
+        channel = ChipChannel(noise_std=0.0)
+        channel.add_message(bits, code, offset=0)
+        hits_before = cache.hits
+        channel.add_message(bits, code, offset=640)
+        assert cache.hits == hits_before + 1
+        # Both transmissions share the read-only cached waveform.
+        a, b = channel.transmissions
+        assert a.chips is b.chips
+        assert not a.chips.flags.writeable

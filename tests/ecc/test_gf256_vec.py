@@ -1,0 +1,108 @@
+"""Tests for the vectorized GF(2^8) kernels against the scalar field.
+
+Everything here compares :mod:`repro.ecc.gf256_vec` element-for-element
+with :class:`repro.ecc.gf256.GF256`, exhaustively where the domain is
+small enough (all 256x256 operand pairs), and in particular pins the
+zero-sentinel trick: log sums involving a zero operand must land in the
+zero tail of the extended antilog table, never in the duplicated
+wrap-around entries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc import gf256_vec as vec
+from repro.ecc.gf256 import GF256
+
+
+def _all_pairs():
+    a = np.repeat(np.arange(256, dtype=np.uint8), 256)
+    b = np.tile(np.arange(256, dtype=np.uint8), 256)
+    return a, b
+
+
+class TestKernelsExhaustive:
+    def test_gf_mul_all_pairs(self):
+        a, b = _all_pairs()
+        got = vec.gf_mul(a, b)
+        want = np.array(
+            [GF256.multiply(int(x), int(y)) for x, y in zip(a, b)],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(got, want)
+
+    def test_gf_mul_zero_sentinel_rows(self):
+        # The historical regression: EXPZ once carried the scalar
+        # table's wrap-around entries past index 2*255, so 0*1 and 1*0
+        # decoded to 2.  Pin every zero-operand product to 0.
+        values = np.arange(256, dtype=np.uint8)
+        zeros = np.zeros(256, dtype=np.uint8)
+        assert not vec.gf_mul(values, zeros).any()
+        assert not vec.gf_mul(zeros, values).any()
+
+    def test_gf_div_all_nonzero_divisors(self):
+        a = np.repeat(np.arange(256, dtype=np.uint8), 255)
+        b = np.tile(np.arange(1, 256, dtype=np.uint8), 256)
+        got = vec.gf_div(a, b)
+        want = np.array(
+            [GF256.divide(int(x), int(y)) for x, y in zip(a, b)],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(got, want)
+
+    def test_gf_inv_matches_scalar(self):
+        values = np.arange(1, 256, dtype=np.uint8)
+        got = vec.gf_inv(values)
+        want = np.array(
+            [GF256.inverse(int(x)) for x in values], dtype=np.uint8
+        )
+        assert np.array_equal(got, want)
+
+    def test_gf_mul_scalar_matches_elementwise(self):
+        values = np.arange(256, dtype=np.uint8)
+        for scalar in (0, 1, 2, 37, 255):
+            got = vec.gf_mul_scalar(values, scalar)
+            want = vec.gf_mul(
+                values, np.full(256, scalar, dtype=np.uint8)
+            )
+            assert np.array_equal(got, want)
+
+    def test_gf_pow_alpha_negative_exponents(self):
+        exponents = np.arange(-300, 301, dtype=np.int64)
+        got = vec.gf_pow_alpha(exponents)
+        want = np.array(
+            [GF256.power(2, int(e)) for e in exponents], dtype=np.uint8
+        )
+        assert np.array_equal(got, want)
+
+
+class TestBatchedHelpers:
+    def test_poly_eval_batch_matches_horner(self, rng):
+        polys = rng.integers(0, 256, size=(50, 9), dtype=np.uint8)
+        points = rng.integers(0, 256, size=50, dtype=np.uint8)
+        got = vec.poly_eval_batch(polys, points)
+        for row, point, result in zip(polys, points, got):
+            value = 0
+            for coefficient in row:
+                value = GF256.multiply(value, int(point)) ^ int(
+                    coefficient
+                )
+            assert value == int(result)
+
+    @pytest.mark.parametrize("n_parity", [2, 3, 8, 16])
+    def test_syndromes_batch_matches_scalar_eval(self, rng, n_parity):
+        words = rng.integers(0, 256, size=(40, 30), dtype=np.uint8)
+        got = vec.syndromes_batch(words, n_parity)
+        for word, row in zip(words, got):
+            for i in range(1, n_parity + 1):
+                point = GF256.power(2, i)
+                value = 0
+                for symbol in word:
+                    value = GF256.multiply(value, point) ^ int(symbol)
+                assert value == int(row[i - 1])
+
+    def test_erasure_locators_identity_padding(self):
+        # Zero-padded roots contribute the identity factor (0x + 1).
+        roots = np.array([[0, 0, 0]], dtype=np.uint8)
+        locator = vec.erasure_locators_batch(roots)[0]
+        assert locator.tolist() == [0, 0, 0, 1]

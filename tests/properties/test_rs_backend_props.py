@@ -1,0 +1,141 @@
+"""Backend-equivalence properties: naive vs vectorized Reed-Solomon.
+
+The vectorized backend must be *bit-identical* to the scalar reference:
+same codewords, same decoded symbols for every errors+erasures pattern
+within capability (including the exact boundary ``2e + f = n - k``),
+and the same :class:`~repro.errors.EccDecodeError` outcome beyond it.
+The :class:`~repro.ecc.codec.ExpansionCodec` sweep covers the chunking
+boundaries (one symbol, exactly ``_max_data_symbols``, one past it, and
+multiple chunks).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecc.codec import ExpansionCodec
+from repro.ecc.reed_solomon import ReedSolomonCodec
+from repro.errors import EccDecodeError
+
+symbol = st.integers(min_value=0, max_value=255)
+
+
+@st.composite
+def backend_case(draw):
+    """A message plus a corruption pattern, possibly over capability."""
+    n_parity = draw(st.integers(min_value=2, max_value=16))
+    k = draw(st.integers(min_value=1, max_value=100))
+    message = draw(st.lists(symbol, min_size=k, max_size=k))
+    n = k + n_parity
+    e = draw(st.integers(min_value=0, max_value=n_parity // 2 + 1))
+    f = draw(
+        st.integers(min_value=0, max_value=min(n_parity + 1, n - e))
+    )
+    positions = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=e + f,
+            max_size=e + f,
+            unique=True,
+        )
+    )
+    flips = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=255),
+            min_size=e + f,
+            max_size=e + f,
+        )
+    )
+    return n_parity, message, positions[:e], positions[e:], flips
+
+
+class TestReedSolomonBackendEquivalence:
+    @given(backend_case())
+    @settings(max_examples=150, deadline=None)
+    def test_decode_agrees_including_failures(self, case):
+        n_parity, message, error_pos, erasure_pos, flips = case
+        naive = ReedSolomonCodec(n_parity, backend="naive")
+        vectorized = ReedSolomonCodec(n_parity, backend="vectorized")
+        codeword = naive.encode(message)
+        assert vectorized.encode(message) == codeword
+        for position, flip in zip(error_pos + erasure_pos, flips):
+            codeword[position] ^= flip
+        try:
+            want = naive.decode(codeword, erasure_pos)
+        except EccDecodeError:
+            with pytest.raises(EccDecodeError):
+                vectorized.decode(codeword, erasure_pos)
+        else:
+            assert vectorized.decode(codeword, erasure_pos) == want
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_decode_batch_agrees(self, n_parity, k, batch, seed):
+        rng = np.random.default_rng(seed)
+        naive = ReedSolomonCodec(n_parity, backend="naive")
+        vectorized = ReedSolomonCodec(n_parity, backend="vectorized")
+        messages = rng.integers(
+            0, 256, size=(batch, k), dtype=np.uint8
+        ).tolist()
+        words = naive.encode_batch(messages)
+        assert vectorized.encode_batch(messages) == words
+        n = k + n_parity
+        erasure_lists = []
+        for word in words:
+            f = int(rng.integers(0, n_parity + 1))
+            hit = rng.choice(n, size=f, replace=False)
+            for position in hit:
+                word[int(position)] ^= int(rng.integers(1, 256))
+            erasure_lists.append([int(p) for p in hit])
+        want = naive.decode_batch(words, erasure_lists)
+        assert vectorized.decode_batch(words, erasure_lists) == want
+        assert want == messages
+
+    def test_exact_capability_boundary(self):
+        # 2e + f == n - k exactly, the deepest fold depth.
+        n_parity = 6
+        message = list(range(20))
+        for e, f in ((0, 6), (1, 4), (2, 2), (3, 0)):
+            naive = ReedSolomonCodec(n_parity, backend="naive")
+            vectorized = ReedSolomonCodec(n_parity, backend="vectorized")
+            word = naive.encode(message)
+            positions = list(range(e + f))
+            for position in positions:
+                word[position] ^= 0xA5
+            erasures = positions[e:]
+            assert (
+                naive.decode(list(word), erasures)
+                == vectorized.decode(list(word), erasures)
+                == message
+            )
+
+
+class TestExpansionCodecBackendEquivalence:
+    @pytest.mark.parametrize("mu", [0.5, 1.0])
+    @pytest.mark.parametrize("case", ["clean", "erasures"])
+    def test_chunk_boundaries(self, mu, case):
+        naive = ExpansionCodec(mu, backend="naive")
+        vectorized = ExpansionCodec(mu, backend="vectorized")
+        max_symbols = naive._max_data_symbols
+        rng = np.random.default_rng(42)
+        for bits in (1, 8, 8 * max_symbols, 8 * max_symbols + 1,
+                     8 * (2 * max_symbols) + 13):
+            plain = rng.integers(0, 2, size=bits, dtype=np.int8)
+            coded_naive = naive.encode(plain)
+            coded_vec = vectorized.encode(plain)
+            assert np.array_equal(coded_naive, coded_vec)
+            decisions = [int(b) for b in coded_naive]
+            if case == "erasures":
+                # Erase one whole symbol's worth of leading bits; this
+                # stays within every chunk's parity budget.
+                for position in range(min(8, len(decisions))):
+                    decisions[position] = None
+            got_naive = naive.decode(decisions, bits)
+            got_vec = vectorized.decode(decisions, bits)
+            assert np.array_equal(got_naive, got_vec)
+            assert np.array_equal(got_naive, plain)

@@ -1,0 +1,82 @@
+"""Tests for the process-local artifact cache."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry, installed
+from repro.utils.artifact_cache import (
+    ArtifactCache,
+    clear_shared_cache,
+    shared_cache,
+)
+
+
+class TestArtifactCache:
+    def test_builds_once_then_hits(self):
+        cache = ArtifactCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_build(
+                "demo", ("a",), lambda: calls.append(1) or "built"
+            )
+            assert value == "built"
+        assert len(calls) == 1
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_distinct_kinds_do_not_collide(self):
+        cache = ArtifactCache()
+        first = cache.get_or_build("kind1", ("k",), lambda: "one")
+        second = cache.get_or_build("kind2", ("k",), lambda: "two")
+        assert (first, second) == ("one", "two")
+        assert len(cache) == 2
+
+    def test_lru_eviction_drops_oldest(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.get_or_build("k", (1,), lambda: 1)
+        cache.get_or_build("k", (2,), lambda: 2)
+        # Touch (1,) so (2,) becomes the least recently used entry.
+        cache.get_or_build("k", (1,), lambda: -1)
+        cache.get_or_build("k", (3,), lambda: 3)
+        assert ("k", (1,)) in cache
+        assert ("k", (3,)) in cache
+        assert ("k", (2,)) not in cache
+
+    def test_clear_preserves_totals(self):
+        cache = ArtifactCache()
+        cache.get_or_build("k", (1,), lambda: 1)
+        cache.get_or_build("k", (1,), lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+        # A cleared key rebuilds (a fresh miss).
+        cache.get_or_build("k", (1,), lambda: 2)
+        assert cache.misses == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArtifactCache(max_entries=0)
+
+    def test_metrics_counters_emitted_when_installed(self):
+        cache = ArtifactCache()
+        registry = MetricsRegistry()
+        with installed(registry):
+            cache.get_or_build("rs_codec", (3,), lambda: "x")
+            cache.get_or_build("rs_codec", (3,), lambda: "x")
+        snapshot = registry.snapshot()
+        assert snapshot.counters["cache.rs_codec.misses"] == 1
+        assert snapshot.counters["cache.rs_codec.hits"] == 1
+
+
+class TestSharedCache:
+    def test_shared_cache_is_process_singleton(self):
+        clear_shared_cache()
+        assert shared_cache() is shared_cache()
+
+    def test_clear_shared_cache_drops_entries(self):
+        clear_shared_cache()
+        shared_cache().get_or_build("k", ("x",), lambda: 1)
+        assert len(shared_cache()) >= 1
+        clear_shared_cache()
+        assert ("k", ("x",)) not in shared_cache()
