@@ -1,0 +1,88 @@
+"""Fault-hook overhead bench: no plan vs the disabled NullFaultPlan.
+
+Every ``RadioMedium`` delivery consults the installed fault hook, and
+the default is a disabled :class:`~repro.faults.NullFaultPlan` whose
+``enabled`` flag short-circuits the whole injection path.  The unit
+tests pin that the disabled plan is *bit-identical* to no plan at all;
+this bench gates that it is also (essentially) *free* — the point is
+catching a hot-loop regression (e.g. consulting injectors on the
+disabled path), not micro-timing.
+
+Environment knobs (on top of ``conftest``'s):
+
+- ``REPRO_BENCH_SMOKE``  set to 1 for CI smoke mode: fewer rounds and
+  a relaxed overhead ceiling for noisy shared runners.
+"""
+
+import os
+import time
+
+from repro.core.config import JRSNDConfig
+from repro.experiments.reporting import format_series_table
+from repro.experiments.scenarios import build_event_network
+from repro.faults import NullFaultPlan
+
+CONFIG = JRSNDConfig(
+    n_nodes=8,
+    codes_per_node=3,
+    share_count=3,
+    n_compromised=0,
+    field_width=500.0,
+    field_height=500.0,
+    tx_range=300.0,
+    rho=1e-9,
+)
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0")
+
+
+def _time_soak(seed: int, rounds: int, faults) -> float:
+    start = time.perf_counter()
+    for index in range(rounds):
+        net = build_event_network(CONFIG, seed=seed + index, faults=faults)
+        for node in net.nodes:
+            node.initiate_dndp()
+        net.simulator.run(until=30.0)
+    return time.perf_counter() - start
+
+
+def test_null_fault_plan_overhead(benchmark, seed):
+    rounds = 2 if _smoke() else 6
+    repeats = 2 if _smoke() else 3
+    ceiling = 1.25 if _smoke() else 1.05
+
+    def measure():
+        # Warm-up evens out allocator and cache effects; best-of-N
+        # minima suppress scheduler noise, which at this workload size
+        # is far larger than the overhead being gated.
+        _time_soak(seed, 1, faults=None)
+        plain = min(
+            _time_soak(seed, rounds, faults=None)
+            for _ in range(repeats)
+        )
+        nulled = min(
+            _time_soak(seed, rounds, faults=NullFaultPlan())
+            for _ in range(repeats)
+        )
+        return plain, nulled
+
+    plain, nulled = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = nulled / plain
+    print()
+    print(
+        format_series_table(
+            [{
+                "rounds": float(rounds),
+                "no_plan_s": plain,
+                "null_plan_s": nulled,
+                "ratio": ratio,
+            }],
+            title="Fault-hook overhead (NullFaultPlan / no plan)",
+        )
+    )
+    assert ratio < ceiling, (
+        f"disabled fault plan {ratio:.2f}x slower than no plan "
+        f"(ceiling {ceiling}x)"
+    )

@@ -79,6 +79,25 @@ class JRSNDConfig:
         delivery, instead of passing typed objects.  Slower, but any
         divergence between the object model and the wire encoding
         surfaces immediately.
+    retry_max_attempts:
+        Bounded-retry limit for the AUTH leg of the D-NDP handshake: an
+        initiator that sent AUTH_REQUEST and hears nothing retransmits
+        up to this many times (exponential backoff), then marks the
+        session FAILED and releases its monitors.  0 disables the
+        timers entirely, restoring the original fire-and-forget
+        behavior.
+    retry_backoff_factor:
+        Multiplier between consecutive retry timeouts (>= 1).
+    mndp_ttl:
+        Simulated seconds an M-NDP frame may wait in the pending queue
+        (and the age bound for the request dedup / return-route state)
+        before being garbage-collected.
+    mndp_max_requeues:
+        How many times a queued M-NDP frame may be requeued after its
+        target session vanished again before it is dropped.
+    mndp_queue_capacity:
+        Per-node bound on queued M-NDP frames; pushes beyond it are
+        dropped (and counted) instead of growing without bound.
     correlation_backend:
         How chip-level receivers evaluate the sliding-window correlation
         search: ``"batched"`` (default; block matmul, FFT for large N),
@@ -119,6 +138,11 @@ class JRSNDConfig:
     tx_range: float = 300.0
     use_gps: bool = False
     tx_antennas: int = 1
+    retry_max_attempts: int = 2
+    retry_backoff_factor: float = 2.0
+    mndp_ttl: float = 120.0
+    mndp_max_requeues: int = 3
+    mndp_queue_capacity: int = 128
     wire_fidelity: bool = False
     correlation_backend: str = "batched"
     ecc_backend: str = "vectorized"
@@ -154,6 +178,15 @@ class JRSNDConfig:
         check_positive("field_height", self.field_height)
         check_positive("tx_range", self.tx_range)
         check_positive("tx_antennas", self.tx_antennas)
+        check_non_negative("retry_max_attempts", self.retry_max_attempts)
+        if self.retry_backoff_factor < 1.0:
+            raise ConfigurationError(
+                "retry_backoff_factor must be >= 1, got "
+                f"{self.retry_backoff_factor}"
+            )
+        check_positive("mndp_ttl", self.mndp_ttl)
+        check_non_negative("mndp_max_requeues", self.mndp_max_requeues)
+        check_positive("mndp_queue_capacity", self.mndp_queue_capacity)
         from repro.dsss.engine import CORRELATION_BACKENDS
 
         if self.correlation_backend not in CORRELATION_BACKENDS:

@@ -31,7 +31,13 @@ from repro.dsss.spread_code import SpreadCode
 from repro.errors import ProtocolError
 from repro.obs import current as _metrics
 
-__all__ = ["PairOutcome", "DNDPSampler", "SessionState", "DNDPSession"]
+__all__ = [
+    "PairOutcome",
+    "DNDPSampler",
+    "SessionState",
+    "DNDPSession",
+    "RetryPolicy",
+]
 
 
 @dataclass(frozen=True)
@@ -153,6 +159,67 @@ class DNDPSampler:
         return t_i + t_a
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """A bounded exponential-backoff retry/timeout schedule.
+
+    Attempt ``k`` (0-based) waits ``base_timeout * backoff_factor**k``,
+    capped at ``max_timeout``; after ``max_attempts`` retransmissions
+    the session is declared FAILED.  ``max_attempts = 0`` means no
+    timers at all — the legacy fire-and-forget behavior.
+    """
+
+    base_timeout: float
+    max_attempts: int
+    backoff_factor: float = 2.0
+    max_timeout: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.base_timeout <= 0.0:
+            raise ProtocolError(
+                f"base_timeout must be positive: {self.base_timeout}"
+            )
+        if self.max_attempts < 0:
+            raise ProtocolError(
+                f"max_attempts must be non-negative: {self.max_attempts}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ProtocolError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if self.max_timeout < self.base_timeout:
+            raise ProtocolError(
+                "max_timeout cannot be below base_timeout: "
+                f"{self.max_timeout} < {self.base_timeout}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any timers should be armed at all."""
+        return self.max_attempts > 0
+
+    def timeout_for(self, attempt: int) -> float:
+        """The wait before timing out attempt ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ProtocolError(f"attempt must be non-negative: {attempt}")
+        return min(
+            self.base_timeout * self.backoff_factor**attempt,
+            self.max_timeout,
+        )
+
+    def schedule(self) -> tuple:
+        """All waits in order: the initial send plus each retry."""
+        return tuple(
+            self.timeout_for(attempt)
+            for attempt in range(self.max_attempts + 1)
+        )
+
+    @property
+    def total_budget(self) -> float:
+        """Worst-case total wait before a session is declared FAILED."""
+        return sum(self.schedule())
+
+
 class SessionState(enum.Enum):
     """Stages of an event-driven D-NDP session."""
 
@@ -184,10 +251,26 @@ class DNDPSession:
     session_code: Optional[SpreadCode] = None
     started_at: float = 0.0
     established_at: Optional[float] = None
+    # Retry/timeout bookkeeping: how many retransmissions this session
+    # has burned, and a token that invalidates stale timer callbacks
+    # (each armed timer captures the current token; a timer whose token
+    # no longer matches belongs to a superseded attempt and must no-op).
+    attempts: int = 0
+    timer_token: int = 0
+    # Pool codes this session holds a real-time monitor refcount on.
+    # Monitors must be acquired/released exactly once per session per
+    # code, or one session's teardown can strip the monitoring another
+    # still needs — tracking them here makes release idempotent.
+    monitored: Set[int] = field(default_factory=set)
 
     def add_code(self, code_index: int) -> None:
         """Record one more shared code observed for this peer."""
         self.codes.add(int(code_index))
+
+    def bump_timer(self) -> int:
+        """Invalidate outstanding timers; returns the fresh token."""
+        self.timer_token += 1
+        return self.timer_token
 
     def require_state(self, *allowed: SessionState) -> None:
         """Guard against out-of-order protocol events."""

@@ -24,7 +24,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.core.config import JRSNDConfig
-from repro.core.dndp import DNDPSession, SessionState
+from repro.core.dndp import DNDPSession, RetryPolicy, SessionState
 from repro.core.messages import (
     AuthRequest,
     AuthResponse,
@@ -35,7 +35,11 @@ from repro.core.messages import (
     MNDPResponse,
     nonce_bytes,
 )
-from repro.core.mndp import validate_request_chain, validate_response_chain
+from repro.core.mndp import (
+    PendingRequestQueue,
+    validate_request_chain,
+    validate_response_chain,
+)
 from repro.core.neighbors import NeighborTable
 from repro.core.timing import ProtocolTiming
 from repro.core.wire import WireCodec
@@ -47,7 +51,13 @@ from repro.crypto.signatures import SignatureScheme
 from repro.dsss.engine import make_engine
 from repro.dsss.spread_code import SpreadCode
 from repro.dsss.synchronizer import SlidingWindowSynchronizer
-from repro.errors import ConfigurationError, RevokedCodeError
+from repro.errors import (
+    ConfigurationError,
+    DecodeError,
+    ProtocolError,
+    RevokedCodeError,
+)
+from repro.obs import current as _obs
 from repro.utils.artifact_cache import shared_cache
 from repro.predistribution.revocation import RevocationList
 from repro.sim.engine import Simulator, Timeout
@@ -161,6 +171,18 @@ class JRSNDNode:
         )
         phase = float(rng.uniform(0.0, self.timing.t_process))
         self._schedule = self.timing.schedule(phase=phase)
+        base_timeout = self.timing.handshake_timeout
+        self._retry = RetryPolicy(
+            base_timeout=base_timeout,
+            max_attempts=config.retry_max_attempts,
+            backoff_factor=config.retry_backoff_factor,
+            max_timeout=8.0 * base_timeout,
+        )
+        self._mndp_queue = PendingRequestQueue(
+            ttl=config.mndp_ttl,
+            max_requeues=config.mndp_max_requeues,
+            capacity=config.mndp_queue_capacity,
+        )
         self._sessions: Dict[NodeId, DNDPSession] = {}
         self._session_codes: Dict[NodeId, _SessionCodeState] = {}
         self._logical: Dict[NodeId, int] = {}  # peer id -> peer index
@@ -170,7 +192,10 @@ class JRSNDNode:
         # concurrent sessions can share one pool code, and one session
         # ending must not stop the monitoring another still needs.
         self._realtime: Dict[int, int] = {}
-        self._mndp_seen: Set[Tuple[NodeId, int]] = set()
+        # M-NDP dedup keys map to the sim time they were recorded so
+        # gc_stale_sessions() can age them out together with the
+        # matching return-route entries.
+        self._mndp_seen: Dict[Tuple[NodeId, int], float] = {}
         self._mndp_return_route: Dict[Tuple[NodeId, int], NodeId] = {}
         self._peer_index: Dict[NodeId, int] = {}
         self.neighbor_table = NeighborTable()
@@ -358,8 +383,12 @@ class JRSNDNode:
             return frame
         try:
             return self._wire.decode(frame)
-        except Exception:
-            self._trace.increment("wire.undecodable")
+        except (DecodeError, ProtocolError, ConfigurationError):
+            # Garbage on the air — jamming residue, truncation, or
+            # adversarial bytes — is dropped like channel noise.  Any
+            # other exception propagates: a codec bug must not be
+            # silently misread as interference.
+            self._count("wire.undecodable")
             return None
 
     def _on_pool_delivery(self, tx: Transmission) -> None:
@@ -388,6 +417,14 @@ class JRSNDNode:
                 return window
         return None
 
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a counter in the shared trace and, when a metrics
+        registry is installed, mirror it to ``repro.obs``."""
+        self._trace.increment(name, amount)
+        registry = _obs()
+        if registry.enabled:
+            registry.inc(name, amount)
+
     def _is_realtime(self, pool_index: int) -> bool:
         return self._realtime.get(pool_index, 0) > 0
 
@@ -402,6 +439,39 @@ class JRSNDNode:
             self._realtime.pop(pool_index, None)
         else:
             self._realtime[pool_index] = count - 1
+
+    def _monitor_for(self, session: DNDPSession, pool_index: int) -> None:
+        """Acquire a monitor refcount on behalf of ``session``, exactly
+        once per (session, code) — re-sends must not double-count."""
+        if pool_index in session.monitored:
+            return
+        session.monitored.add(pool_index)
+        self._monitor(pool_index)
+
+    def _release_monitors(self, session: DNDPSession) -> None:
+        """Release every refcount ``session`` holds (idempotent)."""
+        for pool_index in session.monitored:
+            self._unmonitor(pool_index)
+        session.monitored.clear()
+
+    def _fail_session(self, session: DNDPSession) -> None:
+        """Terminal failure: cancel timers, release monitors."""
+        session.state = SessionState.FAILED
+        session.bump_timer()
+        self._release_monitors(session)
+
+    def _drop_session(self, peer: NodeId, session: DNDPSession) -> None:
+        """Forget a dead session and everything it holds: monitor
+        refcounts, any unconfirmed session-code listener, and the
+        session-table entry itself."""
+        session.bump_timer()
+        self._release_monitors(session)
+        state = self._session_codes.get(peer)
+        if state is not None and not state.confirmed:
+            self._medium.stop_listening(self.index, state.code.code_id)
+            del self._session_codes[peer]
+        if self._sessions.get(peer) is session:
+            del self._sessions[peer]
 
     def _dispatch(self, tx: Transmission, delay_known: bool) -> None:
         frame = self._from_wire(tx.frame)
@@ -445,7 +515,9 @@ class JRSNDNode:
         if session is not None and self._session_stale(session):
             # A stale session from an earlier discovery period (e.g.
             # responder timeout, or a handshake cut off by mobility)
-            # must not block re-discovery.
+            # must not block re-discovery — and must hand back the
+            # monitor refcounts it still holds.
+            self._drop_session(peer, session)
             session = None
         if session is None:
             session = DNDPSession(
@@ -456,19 +528,29 @@ class JRSNDNode:
             )
             self._sessions[peer] = session
             session.add_code(pool_index)
-            self._monitor(pool_index)
+            self._monitor_for(session, pool_index)
             self._sim.process(
                 self._send_confirms(session), name=f"confirm@{self.index}"
             )
         elif pool_index not in session.codes:
             session.add_code(pool_index)
-            self._monitor(pool_index)
+            self._monitor_for(session, pool_index)
 
     def _send_confirms(self, session: DNDPSession) -> Iterator[object]:
         """Responder: repeat CONFIRM on every shared code for up to
         ``t_p`` or until the handshake advances."""
         confirm = Confirm(self.node_id)
-        deadline = self._sim.now + self.timing.t_process
+        # Seed behavior waited exactly t_p, which at light processing
+        # loads (t_p clamped to t_b, a few ms) is shorter than the
+        # initiator's t_key — the responder would give up before the
+        # peer could possibly answer.  With retries enabled the
+        # responder stays available for the initiator's whole retry
+        # budget; state advance exits the loop early either way, so
+        # fault-free runs never see the difference.
+        wait = self.timing.t_process
+        if self._retry.enabled:
+            wait = max(wait, self._retry.total_budget)
+        deadline = self._sim.now + wait
         t_c = self.timing.t_confirm
         while (
             self._sim.now < deadline
@@ -488,9 +570,7 @@ class JRSNDNode:
                 break
         if session.state is SessionState.CONFIRMING:
             # Timer expired with no AUTH_REQUEST: peer moved away.
-            session.state = SessionState.FAILED
-            for pool_index in session.codes:
-                self._unmonitor(pool_index)
+            self._fail_session(session)
             self._trace.increment("dndp.responder_timeout")
 
     def _on_confirm(
@@ -502,7 +582,9 @@ class JRSNDNode:
         self._peer_index[peer] = sender
         session = self._sessions.get(peer)
         if session is not None and self._session_stale(session):
-            session = None  # stale session from an earlier period
+            # Stale session from an earlier period: reclaim its state.
+            self._drop_session(peer, session)
+            session = None
         if session is None:
             session = DNDPSession(
                 peer=peer,
@@ -550,13 +632,96 @@ class JRSNDNode:
         )
         t_a = self.timing.t_auth_message
         for pool_index in sorted(session.codes):
+            if session.state is not SessionState.AWAIT_AUTH_RESPONSE:
+                # Answered (or failed) mid-volley: transmitting the
+                # remaining copies would re-acquire monitors that
+                # _establish/_fail_session just released.
+                return
             if not self.revocation.is_active(pool_index):
                 continue
             self._medium.transmit(
                 self.index, pool_index, self._to_wire(request), t_a
             )
-            self._monitor(pool_index)
+            self._monitor_for(session, pool_index)
             yield Timeout(t_a)
+        if (
+            self._retry.enabled
+            and session.state is SessionState.AWAIT_AUTH_RESPONSE
+        ):
+            self._arm_auth_timer(session)
+
+    # ------------------------------------------------------------------
+    # AUTH retry timers (bounded exponential backoff)
+    # ------------------------------------------------------------------
+
+    def _arm_auth_timer(self, session: DNDPSession) -> None:
+        """Arm the timeout for the session's current AUTH attempt."""
+        token = session.bump_timer()
+        self._sim.call_after(
+            self._retry.timeout_for(session.attempts),
+            self._on_auth_timeout,
+            session,
+            token,
+        )
+
+    def _on_auth_timeout(self, session: DNDPSession, token: int) -> None:
+        """No AUTH_RESPONSE before the deadline: retransmit or fail."""
+        if token != session.timer_token:
+            return  # superseded: the handshake advanced or was reset
+        if session.state is not SessionState.AWAIT_AUTH_RESPONSE:
+            return
+        if self._sessions.get(session.peer) is not session:
+            return  # replaced by a newer session with the same peer
+        if session.attempts >= self._retry.max_attempts:
+            self._count("retry.sessions_failed")
+            self._trace.log(
+                self._sim.now,
+                "retry.give_up",
+                node=self.index,
+                peer=session.peer.value,
+                attempts=session.attempts,
+            )
+            self._fail_session(session)
+            return
+        session.attempts += 1
+        self._count("retry.auth_retransmits")
+        self._sim.process(
+            self._resend_auth_request(session),
+            name=f"auth-retry@{self.index}",
+        )
+
+    def _resend_auth_request(self, session: DNDPSession) -> Iterator[object]:
+        """Rebuild and retransmit AUTH_REQUEST from cached session state.
+
+        The shared key and nonce were computed on the first attempt, so
+        no ``t_key`` is charged and the frame is byte-identical — the
+        responder's replay cache would reject a fresh nonce anyway (it
+        answers idempotently via :meth:`_retransmit_auth_response`).
+        """
+        assert session.shared_key is not None
+        assert session.my_nonce is not None
+        mac = MessageAuthenticator(session.shared_key, self.config.mac_bits)
+        request = AuthRequest(
+            sender=self.node_id,
+            nonce=session.my_nonce,
+            mac_tag=mac.tag(
+                self.node_id.to_bytes(),
+                nonce_bytes(session.my_nonce),
+            ),
+        )
+        t_a = self.timing.t_auth_message
+        for pool_index in sorted(session.codes):
+            if session.state is not SessionState.AWAIT_AUTH_RESPONSE:
+                return  # answered mid-volley: see _send_auth_request
+            if not self.revocation.is_active(pool_index):
+                continue
+            self._monitor_for(session, pool_index)
+            self._medium.transmit(
+                self.index, pool_index, self._to_wire(request), t_a
+            )
+            yield Timeout(t_a)
+        if session.state is SessionState.AWAIT_AUTH_RESPONSE:
+            self._arm_auth_timer(session)
 
     def _on_auth_request(
         self, request: AuthRequest, pool_index: int, sender: int
@@ -564,6 +729,33 @@ class JRSNDNode:
         peer = request.sender
         session = self._sessions.get(peer)
         if session is None:
+            return
+        if (
+            self._retry.enabled
+            and session.state is SessionState.ESTABLISHED
+            and session.established_at is not None
+            and session.peer_nonce == request.nonce
+            and session.shared_key is not None
+            and self._sim.now - session.established_at
+            > 0.5 * self._retry.base_timeout
+        ):
+            # The initiator is still retransmitting the AUTH_REQUEST we
+            # already answered: our AUTH_RESPONSE was lost.  Answering
+            # again is idempotent on our side.  The age gate keeps
+            # benign duplicate copies (the same nonce arrives once per
+            # shared code within the handshake window) from triggering
+            # spurious retransmissions in fault-free runs.
+            mac = MessageAuthenticator(
+                session.shared_key, self.config.mac_bits
+            )
+            if not mac.verify(request.mac_tag, *request.mac_input()):
+                self._trace.increment("dndp.bad_mac_ignored")
+                return
+            self._count("retry.auth_response_retransmits")
+            self._sim.process(
+                self._retransmit_auth_response(session),
+                name=f"auth2-retry@{self.index}",
+            )
             return
         acceptable = session.state is SessionState.CONFIRMING or (
             # Both sides raced to the initiator role; the lower ID wins
@@ -615,6 +807,31 @@ class JRSNDNode:
             yield Timeout(t_a)
         self._establish(session, sender, via_mndp=False)
 
+    def _retransmit_auth_response(
+        self, session: DNDPSession
+    ) -> Iterator[object]:
+        """Rebuild and resend AUTH_RESPONSE for an established session
+        whose initiator evidently never received it."""
+        assert session.shared_key is not None
+        assert session.my_nonce is not None
+        mac = MessageAuthenticator(session.shared_key, self.config.mac_bits)
+        response = AuthResponse(
+            sender=self.node_id,
+            nonce=session.my_nonce,
+            mac_tag=mac.tag(
+                self.node_id.to_bytes(),
+                nonce_bytes(session.my_nonce),
+            ),
+        )
+        t_a = self.timing.t_auth_message
+        for pool_index in sorted(session.codes):
+            if not self.revocation.is_active(pool_index):
+                continue
+            self._medium.transmit(
+                self.index, pool_index, self._to_wire(response), t_a
+            )
+            yield Timeout(t_a)
+
     def _on_auth_response(
         self, response: AuthResponse, pool_index: int, sender: int
     ) -> None:
@@ -643,6 +860,7 @@ class JRSNDNode:
         """Both MACs verified: derive the session code and go live."""
         session.state = SessionState.ESTABLISHED
         session.established_at = self._sim.now
+        session.bump_timer()  # cancel any outstanding retry timer
         assert session.my_nonce is not None
         assert session.peer_nonce is not None
         assert session.shared_key is not None
@@ -662,8 +880,7 @@ class JRSNDNode:
         self._medium.listen(
             self.index, code.code_id, self._on_session_delivery
         )
-        for pool_index in session.codes:
-            self._unmonitor(pool_index)
+        self._release_monitors(session)
         self._add_logical(session.peer, sender, via_mndp)
         latency = session.latency
         if latency is not None:
@@ -690,6 +907,28 @@ class JRSNDNode:
             peer=peer_index,
             via="mndp" if via_mndp else "dndp",
         )
+        if len(self._mndp_queue):
+            entries = self._mndp_queue.pop_for(peer, self._sim.now)
+            if entries:
+                self._sim.process(
+                    self._drain_mndp_queue(peer, entries),
+                    name=f"mndp-drain@{self.index}",
+                )
+
+    def _drain_mndp_queue(
+        self, peer: NodeId, entries: Sequence[object]
+    ) -> Iterator[object]:
+        """Deliver M-NDP frames that waited for a session with ``peer``."""
+        for entry in entries:
+            if self._session_codes.get(peer) is None:
+                # The session vanished again between dequeue and send.
+                if self._mndp_queue.requeue(entry, self._sim.now):
+                    self._count("retry.mndp_requeued")
+                else:
+                    self._count("retry.mndp_dropped")
+                continue
+            self._count("retry.mndp_dequeued")
+            yield from self._unicast_session(peer, entry.frame)
 
     def _record_invalid(self, pool_indices: Sequence[int]) -> None:
         """Count an invalid request against each involved pool code."""
@@ -706,6 +945,11 @@ class JRSNDNode:
             if revoked_now:
                 self._medium.stop_listening(self.index, pool_index)
                 self._realtime.pop(pool_index, None)
+                # The refcounts are gone with the code; drop the
+                # matching per-session claims so monitor accounting
+                # stays conserved.
+                for session in self._sessions.values():
+                    session.monitored.discard(pool_index)
                 self._trace.increment("revocation.codes_revoked")
 
     def _on_fake_request(self, pool_index: int) -> None:
@@ -780,6 +1024,86 @@ class JRSNDNode:
         )
         return True
 
+    def gc_stale_sessions(self) -> int:
+        """Reclaim dead protocol state so faults degrade gracefully.
+
+        Drops FAILED and stale pending sessions (releasing their
+        monitor refcounts and unconfirmed session-code listeners),
+        expires queued M-NDP frames past their TTL, and ages out M-NDP
+        dedup / return-route entries older than ``mndp_ttl``.  Returns
+        the number of sessions collected.
+        """
+        removed = 0
+        for peer, session in list(self._sessions.items()):
+            if session.state is SessionState.ESTABLISHED:
+                continue
+            if (
+                session.state is not SessionState.FAILED
+                and not self._session_stale(session)
+            ):
+                continue
+            self._drop_session(peer, session)
+            removed += 1
+        if removed:
+            self._count("retry.sessions_gced", removed)
+        expired = self._mndp_queue.expire(self._sim.now)
+        if expired:
+            self._count("retry.mndp_expired", expired)
+        cutoff = self._sim.now - self.config.mndp_ttl
+        stale_keys = [
+            key
+            for key, recorded in self._mndp_seen.items()
+            if recorded < cutoff
+        ]
+        for key in stale_keys:
+            del self._mndp_seen[key]
+            self._mndp_return_route.pop(key, None)
+        if stale_keys:
+            self._count("retry.mndp_state_pruned", len(stale_keys))
+        return removed
+
+    def start_session_gc(self, interval: float):
+        """Run :meth:`gc_stale_sessions` periodically on the sim clock."""
+        if interval <= 0:
+            raise ConfigurationError(
+                f"gc interval must be positive: {interval}"
+            )
+
+        def collect() -> Iterator[object]:
+            while True:
+                yield Timeout(interval)
+                self.gc_stale_sessions()
+
+        return self._sim.process(
+            collect(), name=f"session-gc@{self.index}"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection (used by repro.faults.invariants)
+    # ------------------------------------------------------------------
+
+    def sessions(self) -> Dict[NodeId, DNDPSession]:
+        """A snapshot of the per-peer session table."""
+        return dict(self._sessions)
+
+    def monitor_counts(self) -> Dict[int, int]:
+        """Current real-time monitoring refcounts per pool code."""
+        return dict(self._realtime)
+
+    def wedged_sessions(self) -> List[Tuple[NodeId, SessionState]]:
+        """Non-terminal sessions that outlived the staleness bound.
+
+        A hardened stack should never accumulate these: timeouts move
+        them to FAILED and :meth:`gc_stale_sessions` reclaims them.
+        """
+        return [
+            (peer, session.state)
+            for peer, session in sorted(self._sessions.items())
+            if session.state
+            not in (SessionState.ESTABLISHED, SessionState.FAILED)
+            and self._session_stale(session)
+        ]
+
     # ------------------------------------------------------------------
     # M-NDP
     # ------------------------------------------------------------------
@@ -822,7 +1146,7 @@ class JRSNDNode:
             source_signature=signature,
             source_position=position,
         )
-        self._mndp_seen.add((self.node_id, nonce))
+        self._mndp_seen[(self.node_id, nonce)] = self._sim.now
         self._my_mndp_nonce = nonce
         for peer in sorted(self._logical):
             yield from self._unicast_session(peer, request)
@@ -831,6 +1155,15 @@ class JRSNDNode:
         """Send one frame over the session code shared with ``peer``."""
         state = self._session_codes.get(peer)
         if state is None:
+            # No live session (expired, crashed peer, churn): park the
+            # frame in the TTL'd pending queue instead of dropping it;
+            # it drains if the peer is re-discovered in time.
+            if peer == self.node_id:
+                return
+            if self._mndp_queue.push(peer, frame, self._sim.now):
+                self._count("retry.mndp_queued")
+            else:
+                self._count("retry.mndp_queue_dropped")
             return
         bits = frame.wire_bits(self.config) if hasattr(
             frame, "wire_bits"
@@ -874,7 +1207,7 @@ class JRSNDNode:
         key = (request.source, request.nonce)
         if key in self._mndp_seen:
             return
-        self._mndp_seen.add(key)
+        self._mndp_seen[key] = self._sim.now
         # Verify the whole chain: one t_ver per signature.
         n_sigs = 1 + len(request.extensions)
         yield Timeout(n_sigs * self.config.t_ver)

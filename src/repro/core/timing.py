@@ -97,6 +97,22 @@ class ProtocolTiming:
         responder ID, so the same duration ``t_h``."""
         return self.t_hello
 
+    @property
+    def handshake_timeout(self) -> float:
+        """Base timeout for the AUTH round trip of the handshake.
+
+        A generous bound on the benign worst case — the peer's buffered
+        decode (``t_b + t_p``), both key computations, and a few auth
+        transmissions — so in a fault-free run the timer never fires
+        before the AUTH_RESPONSE arrives and retries stay silent.
+        """
+        c = self._config
+        return (
+            2.0 * (self.t_process + self.t_buffer)
+            + 2.0 * c.t_key
+            + 6.0 * self.t_auth_message
+        )
+
     def schedule(self, phase: float = 0.0) -> BufferSchedule:
         """A node's buffer/process schedule at the given phase offset.
 

@@ -61,3 +61,15 @@ class ParallelExecutionError(ReproError):
         super().__init__(message)
         self.failures = tuple(failures)
         self.completed = completed
+
+    def __reduce__(self):
+        # The default Exception.__reduce__ only preserves ``args``, so
+        # an instance crossing a process boundary (e.g. raised inside a
+        # multiprocessing pool and re-raised in the parent) would arrive
+        # with ``failures``/``completed`` reset — losing the worker
+        # tracebacks exactly when they matter most.
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.failures,
+             self.completed),
+        )

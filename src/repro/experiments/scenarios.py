@@ -69,6 +69,7 @@ def build_event_network(
     jammer_strategy: Optional[JammerStrategy] = None,
     keep_trace_events: bool = True,
     link_model=None,
+    faults=None,
 ) -> EventNetwork:
     """Wire up a complete event-driven network.
 
@@ -90,6 +91,10 @@ def build_event_network(
         Optional :class:`repro.sim.links.LinkModel` (e.g.
         ``LogNormalShadowingModel``); defaults to the paper's unit
         disk.
+    faults:
+        Optional :class:`repro.sim.medium.FaultHook` (typically a
+        :class:`repro.faults.FaultPlan`) injected into the medium;
+        ``None`` keeps the legacy fault-free delivery path.
     """
     seeds = SeedSequencer(seed)
     simulator = Simulator()
@@ -102,6 +107,7 @@ def build_event_network(
         config.mu,
         link_model=link_model,
         link_rng=seeds.rng("links"),
+        faults=faults,
     )
     trace = TraceRecorder(keep_events=keep_trace_events)
 

@@ -1,0 +1,324 @@
+"""Concrete fault injectors.
+
+Each injector implements one fault mechanism against the hooks of
+:class:`~repro.faults.plan.FaultInjector`.  They are built from plain
+parameters (windows, probabilities, schedules) and receive their private
+rng only at bind time, so constructing a plan draws no randomness.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.sim.engine import Simulator
+from repro.sim.medium import RadioMedium, Transmission
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "BurstJammer",
+    "MessageDrop",
+    "Duplicator",
+    "Reorderer",
+    "NodeChurn",
+    "ClockSkew",
+]
+
+Window = Tuple[float, float]
+
+
+class BurstJammer(FaultInjector):
+    """Wideband chip-burst jamming during scheduled windows.
+
+    Unlike the paper's code-aware :class:`~repro.adversary.jammer
+    .MediumJammer`, this models a dumb high-power interferer: any
+    transmission overlapping a jam window has the overlapped fraction of
+    its chips corrupted, whatever code it is spread with.  The ECC layer
+    still applies — a message survives if the corrupted fraction stays
+    within ``mu / (1 + mu)``.
+    """
+
+    name = "burst-jam"
+
+    def __init__(self, windows: Sequence[Window]) -> None:
+        cleaned: List[Window] = []
+        for start, end in windows:
+            if end <= start:
+                raise ConfigurationError(
+                    f"jam window must have end > start: ({start}, {end})"
+                )
+            cleaned.append((float(start), float(end)))
+        self._windows = sorted(cleaned)
+
+    @classmethod
+    def periodic(
+        cls, start: float, period: float, burst: float, count: int
+    ) -> "BurstJammer":
+        """``count`` bursts of ``burst`` seconds, one per ``period``."""
+        check_non_negative("start", start)
+        check_positive("period", period)
+        check_positive("burst", burst)
+        check_positive("count", count)
+        return cls(
+            [
+                (start + k * period, start + k * period + burst)
+                for k in range(int(count))
+            ]
+        )
+
+    @property
+    def windows(self) -> Tuple[Window, ...]:
+        """The jam windows, sorted by start time."""
+        return tuple(self._windows)
+
+    def on_transmit(
+        self, tx: Transmission, medium: RadioMedium, plan: FaultPlan
+    ) -> None:
+        overlap = 0.0
+        for start, end in self._windows:
+            if start >= tx.end:
+                break
+            overlap += max(0.0, min(end, tx.end) - max(start, tx.start))
+        if overlap <= 0.0:
+            return
+        fraction = min(1.0, overlap / max(tx.duration, 1e-12))
+        medium.jam(tx, tx.code_key, fraction)
+        plan.count("faults.burst_jammed")
+
+
+class MessageDrop(FaultInjector):
+    """Probabilistic and/or targeted delivery loss.
+
+    ``probability`` applies per (transmission, receiver) pair; optional
+    ``senders`` / ``receivers`` restrict which deliveries are at risk,
+    giving targeted drop (e.g. only frames from one node).
+    """
+
+    name = "drop"
+
+    def __init__(
+        self,
+        probability: float,
+        senders: Optional[Sequence[int]] = None,
+        receivers: Optional[Sequence[int]] = None,
+    ) -> None:
+        check_fraction("probability", probability)
+        self._probability = float(probability)
+        self._senders = None if senders is None else frozenset(senders)
+        self._receivers = (
+            None if receivers is None else frozenset(receivers)
+        )
+        self._rng: Optional[np.random.Generator] = None
+
+    def bind(
+        self, simulator: Simulator, rng: np.random.Generator
+    ) -> None:
+        self._rng = rng
+
+    def drops(self, tx: Transmission, node: int, now: float) -> bool:
+        if self._senders is not None and tx.sender not in self._senders:
+            return False
+        if self._receivers is not None and node not in self._receivers:
+            return False
+        return bool(self._rng.random() < self._probability)
+
+
+class Duplicator(FaultInjector):
+    """Duplicate delivery: some frames arrive twice, the copy late."""
+
+    name = "duplicate"
+
+    def __init__(self, probability: float, gap: float) -> None:
+        check_fraction("probability", probability)
+        check_positive("gap", gap)
+        self._probability = float(probability)
+        self._gap = float(gap)
+        self._rng: Optional[np.random.Generator] = None
+
+    def bind(
+        self, simulator: Simulator, rng: np.random.Generator
+    ) -> None:
+        self._rng = rng
+
+    def duplicate_delays(
+        self, tx: Transmission, node: int, now: float
+    ) -> Sequence[float]:
+        if self._rng.random() < self._probability:
+            return (self._gap,)
+        return ()
+
+
+class Reorderer(FaultInjector):
+    """Reordered delivery: some frames are held back a random while.
+
+    A held-back frame is overtaken by every later undelayed frame, which
+    is exactly an out-of-order channel.
+    """
+
+    name = "reorder"
+
+    def __init__(self, probability: float, max_delay: float) -> None:
+        check_fraction("probability", probability)
+        check_positive("max_delay", max_delay)
+        self._probability = float(probability)
+        self._max_delay = float(max_delay)
+        self._rng: Optional[np.random.Generator] = None
+
+    def bind(
+        self, simulator: Simulator, rng: np.random.Generator
+    ) -> None:
+        self._rng = rng
+
+    def delay(self, tx: Transmission, node: int, now: float) -> float:
+        if self._rng.random() < self._probability:
+            return float(self._rng.uniform(0.0, self._max_delay))
+        return 0.0
+
+
+class NodeChurn(FaultInjector):
+    """Node crash/restart: radios go deaf and mute during outages.
+
+    Protocol processes keep running during an outage (state is not
+    lost), but nothing the node sends leaves the antenna and nothing
+    sent to it arrives — the recovery burden falls on the retry/timeout
+    and garbage-collection layers this injector exists to exercise.
+
+    Build with an explicit schedule or :meth:`random` churn.
+    """
+
+    name = "churn"
+
+    def __init__(
+        self, outages: Sequence[Tuple[int, float, float]] = ()
+    ) -> None:
+        self._by_node: Dict[int, List[Window]] = {}
+        self._spec: Optional[Tuple] = None
+        for node, down, up in outages:
+            if up <= down:
+                raise ConfigurationError(
+                    f"outage must have up > down: ({node}, {down}, {up})"
+                )
+            self._by_node.setdefault(int(node), []).append(
+                (float(down), float(up))
+            )
+        for windows in self._by_node.values():
+            windows.sort()
+
+    @classmethod
+    def random(
+        cls,
+        nodes: Sequence[int],
+        horizon: float,
+        mean_uptime: float,
+        mean_downtime: float,
+    ) -> "NodeChurn":
+        """Exponential up/down churn for ``nodes`` over ``horizon``.
+
+        The actual outage times are drawn at bind time from the
+        injector's private stream.
+        """
+        check_positive("horizon", horizon)
+        check_positive("mean_uptime", mean_uptime)
+        check_positive("mean_downtime", mean_downtime)
+        churn = cls()
+        churn._spec = (
+            tuple(int(n) for n in nodes),
+            float(horizon),
+            float(mean_uptime),
+            float(mean_downtime),
+        )
+        return churn
+
+    def bind(
+        self, simulator: Simulator, rng: np.random.Generator
+    ) -> None:
+        if self._spec is None:
+            return
+        nodes, horizon, mean_up, mean_down = self._spec
+        for node in nodes:
+            t = float(rng.exponential(mean_up))
+            windows: List[Window] = []
+            while t < horizon:
+                down_end = t + float(rng.exponential(mean_down))
+                windows.append((t, min(down_end, horizon)))
+                t = down_end + float(rng.exponential(mean_up))
+            if windows:
+                self._by_node[node] = windows
+
+    def outages(self, node: int) -> Tuple[Window, ...]:
+        """The (down, up) windows scheduled for ``node``."""
+        return tuple(self._by_node.get(int(node), ()))
+
+    def alive(self, node: int, now: float) -> bool:
+        windows = self._by_node.get(node)
+        if not windows:
+            return True
+        # Find the last window starting at or before `now`.
+        position = bisect.bisect_right(windows, (now, float("inf")))
+        if position == 0:
+            return True
+        down, up = windows[position - 1]
+        return not (down <= now < up)
+
+
+class ClockSkew(FaultInjector):
+    """Per-node clock skew and drift, realized as delivery lag.
+
+    In a discrete-event world a slow local clock means the node acts on
+    each reception late; this injector models that as a deterministic
+    per-node extra latency ``skew + drift * now`` (capped), with each
+    node's skew/drift drawn once from a stable per-node stream, so the
+    lag does not depend on query order.
+    """
+
+    name = "clock-skew"
+
+    def __init__(
+        self,
+        max_skew: float,
+        max_drift: float = 0.0,
+        max_delay: Optional[float] = None,
+    ) -> None:
+        check_positive("max_skew", max_skew)
+        check_non_negative("max_drift", max_drift)
+        self._max_skew = float(max_skew)
+        self._max_drift = float(max_drift)
+        self._cap = (
+            float(max_delay) if max_delay is not None
+            else 8.0 * self._max_skew
+        )
+        self._base_seed: Optional[int] = None
+        self._cache: Dict[int, Tuple[float, float]] = {}
+
+    def bind(
+        self, simulator: Simulator, rng: np.random.Generator
+    ) -> None:
+        self._base_seed = int(rng.integers(0, 2**31))
+
+    def node_skew(self, node: int) -> Tuple[float, float]:
+        """This node's (skew seconds, drift seconds-per-second)."""
+        cached = self._cache.get(node)
+        if cached is None:
+            node_rng = np.random.default_rng(
+                (self._base_seed or 0, int(node))
+            )
+            cached = (
+                float(node_rng.uniform(0.0, self._max_skew)),
+                float(node_rng.uniform(0.0, self._max_drift))
+                if self._max_drift > 0.0
+                else 0.0,
+            )
+            self._cache[node] = cached
+        return cached
+
+    def delay(self, tx: Transmission, node: int, now: float) -> float:
+        skew, drift = self.node_skew(node)
+        return min(skew + drift * now, self._cap)

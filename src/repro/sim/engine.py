@@ -13,12 +13,20 @@ simulations are reproducible bit-for-bit given the same seeds.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+)
 
 from repro.errors import SimulationError
 from repro.obs import current as _metrics
 
-__all__ = ["Simulator", "Event", "Timeout", "Process"]
+__all__ = ["Simulator", "SimObserver", "Event", "Timeout", "Process"]
 
 
 class Event:
@@ -124,6 +132,20 @@ class Process:
         return f"Process({self._name!r})"
 
 
+class SimObserver(Protocol):
+    """Anything wanting a callback per executed event.
+
+    This is the kernel half of the narrow injection/observation API used
+    by :mod:`repro.faults`: the
+    :class:`~repro.faults.invariants.InvariantChecker` attaches itself
+    here to watch the clock (monotonicity) without the hot loop paying
+    anything when no observer is installed.
+    """
+
+    def on_event(self, when: float) -> None:
+        """Called with each executed event's timestamp."""
+
+
 class Simulator:
     """The event loop: a heap of timestamped callbacks."""
 
@@ -133,6 +155,11 @@ class Simulator:
         self._heap: List[Tuple[float, int, Callable[..., None], tuple]] = []
         self._events_executed = 0
         self._heap_high_water = 0
+        self._observer: Optional[SimObserver] = None
+
+    def set_observer(self, observer: Optional[SimObserver]) -> None:
+        """Install (or clear, with ``None``) the per-event observer."""
+        self._observer = observer
 
     @property
     def now(self) -> float:
@@ -189,6 +216,7 @@ class Simulator:
         nothing for observability.
         """
         executed = 0
+        observer = self._observer
         try:
             while self._heap:
                 when, _, callback, args = self._heap[0]
@@ -198,6 +226,8 @@ class Simulator:
                 heapq.heappop(self._heap)
                 self._now = when
                 executed += 1
+                if observer is not None:
+                    observer.on_event(when)
                 callback(*args)
             if until is not None:
                 self._now = max(self._now, float(until))

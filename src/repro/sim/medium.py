@@ -23,7 +23,16 @@ without de-spreading".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Hashable, List, Optional, Protocol, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -34,7 +43,7 @@ from repro.sim.field import Position, RectangularField
 from repro.sim.links import DiskLinkModel, LinkModel
 from repro.utils.validation import check_fraction, check_positive
 
-__all__ = ["Transmission", "RadioMedium"]
+__all__ = ["Transmission", "RadioMedium", "FaultHook"]
 
 CodeKey = Hashable
 
@@ -88,6 +97,38 @@ class JammerObserver(Protocol):
 DeliveryCallback = Callable[[Transmission], None]
 
 
+class FaultHook(Protocol):
+    """The medium half of the narrow fault-injection API.
+
+    :class:`repro.faults.plan.FaultPlan` implements this; the medium
+    calls it at exactly two points — transmission start and per-receiver
+    delivery — and pays nothing when no hook is attached (or when
+    ``enabled`` is False, the :class:`~repro.faults.plan.NullFaultPlan`
+    case).
+    """
+
+    enabled: bool
+
+    def bind(self, simulator: Simulator) -> None:
+        """Called once when the medium is constructed."""
+
+    def on_transmit(self, tx: Transmission, medium: "RadioMedium") -> bool:
+        """Inspect (and possibly jam) a starting transmission.
+
+        Returning False suppresses it entirely (crashed sender).
+        """
+
+    def delivery_actions(
+        self, tx: Transmission, node: int, now: float
+    ) -> Sequence[float]:
+        """Decide the fate of one would-be delivery.
+
+        Returns a sequence of delays: empty = dropped, ``[0.0]`` =
+        delivered normally, several entries = duplicated, positive
+        entries = delayed (reordering / clock skew).
+        """
+
+
 class RadioMedium:
     """Registers listeners and routes message-level transmissions.
 
@@ -100,6 +141,11 @@ class RadioMedium:
     mu:
         ECC expansion parameter; a message survives if its jammed
         fraction is below ``mu / (1 + mu)``.
+    faults:
+        Optional :class:`FaultHook` (a
+        :class:`repro.faults.plan.FaultPlan`).  ``None`` (the default)
+        and a disabled hook are byte-identical to the un-hooked medium:
+        deliveries stay synchronous and no fault randomness is drawn.
     """
 
     def __init__(
@@ -109,6 +155,7 @@ class RadioMedium:
         mu: float,
         link_model: Optional[LinkModel] = None,
         link_rng: Optional[np.random.Generator] = None,
+        faults: Optional[FaultHook] = None,
     ) -> None:
         self._simulator = simulator
         self._field = field_
@@ -134,6 +181,10 @@ class RadioMedium:
         self._active: List[Transmission] = []
         self.delivered_count = 0
         self.jammed_count = 0
+        self.fault_suppressed_count = 0
+        self._faults = faults
+        if faults is not None:
+            faults.bind(simulator)
 
     @property
     def tolerance(self) -> float:
@@ -193,6 +244,15 @@ class RadioMedium:
             start=self._simulator.now,
             duration=float(duration),
         )
+        faults = self._faults
+        if (
+            faults is not None
+            and faults.enabled
+            and not faults.on_transmit(tx, self)
+        ):
+            # Crashed/churned-out sender: the radio never keys up.
+            self.fault_suppressed_count += 1
+            return tx
         self._active.append(tx)
         for jammer in self._jammers:
             jammer.on_transmission(tx, self)
@@ -228,6 +288,8 @@ class RadioMedium:
         if lost:
             self.jammed_count += 1
             return
+        faults = self._faults
+        use_faults = faults is not None and faults.enabled
         for node, (position_getter, codes) in list(self._listeners.items()):
             if node == tx.sender:
                 continue
@@ -237,8 +299,38 @@ class RadioMedium:
             distance = self._field.distance(position_getter(), tx.position)
             if not self._link_model.delivered(distance, self._link_rng):
                 continue
-            self.delivered_count += 1
-            callback(tx)
+            if not use_faults:
+                self.delivered_count += 1
+                callback(tx)
+                continue
+            for delay in faults.delivery_actions(
+                tx, node, self._simulator.now
+            ):
+                if delay <= 0.0:
+                    # Synchronous, exactly like the un-faulted path, so
+                    # a no-op plan is bit-identical to no plan at all.
+                    self.delivered_count += 1
+                    callback(tx)
+                else:
+                    self._simulator.call_after(
+                        delay, self._deliver_faulted, node, tx
+                    )
+
+    def _deliver_faulted(self, node: int, tx: Transmission) -> None:
+        """Deliver a delayed/duplicated copy, re-checking the listener.
+
+        Between scheduling and delivery the receiver may have stopped
+        listening (revocation, session teardown) or deregistered; the
+        copy is then silently lost, as a real late radio frame would be.
+        """
+        entry = self._listeners.get(node)
+        if entry is None:
+            return
+        callback = entry[1].get(tx.code_key)
+        if callback is None:
+            return
+        self.delivered_count += 1
+        callback(tx)
 
     def active_transmissions(self) -> List[Transmission]:
         """Transmissions currently on the air."""

@@ -97,6 +97,24 @@ class TestFailureHandling:
         assert "synthetic failure" in err.failures[0][1]
         assert len(err.completed.runs) == 2
 
+    def test_error_pickle_round_trip(self):
+        """Regression: the default ``Exception.__reduce__`` only keeps
+        ``args``, so an instance crossing a process boundary used to
+        arrive with ``failures``/``completed`` stripped."""
+        import pickle
+
+        from repro.errors import ParallelExecutionError
+
+        original = ParallelExecutionError(
+            "2 of 5 runs failed",
+            failures=[(1, "Traceback: boom"), (3, "Traceback: bang")],
+            completed={"runs": 3},
+        )
+        restored = pickle.loads(pickle.dumps(original))
+        assert str(restored) == str(original)
+        assert restored.failures == original.failures
+        assert restored.completed == original.completed
+
     def test_multiprocess_failures_drain_all_tasks(self, monkeypatch):
         """Fork start method propagates the patched method into the
         workers; the map still drains and keeps the good runs."""

@@ -1,0 +1,139 @@
+"""Chaos soak tests: the acceptance gate of the fault subsystem.
+
+Under a seeded :class:`~repro.faults.FaultPlan` mixing burst jamming,
+message drop, node churn, clock skew, duplication and reordering, the
+simulation must always terminate and the :class:`InvariantChecker` must
+report zero violations; with every injector disabled the run must be
+bit-identical to a run with no plan attached at all.
+"""
+
+import pytest
+
+from repro.experiments.chaos import (
+    chaos_config,
+    default_chaos_plan,
+    run_chaos,
+)
+from repro.experiments.scenarios import build_event_network
+from repro.faults import (
+    FaultPlan,
+    InvariantChecker,
+    NullFaultPlan,
+)
+
+
+def _run_fingerprint(config, seed, faults):
+    """Everything observable about one fixed-scenario run."""
+    net = build_event_network(config, seed=seed, faults=faults)
+    for node in net.nodes:
+        node.initiate_dndp()
+    net.simulator.run(until=30.0)
+    start = net.simulator.now
+    for node in net.nodes:
+        node.initiate_mndp(nu=3)
+    net.simulator.run(until=start + 100.0)
+    return (
+        net.logical_pairs(),
+        dict(net.trace.counters()),
+        net.medium.delivered_count,
+        net.medium.jammed_count,
+        [node.outcome() for node in net.nodes],
+    )
+
+
+class TestChaosSoak:
+    @pytest.mark.parametrize("seed", [3, 17, 2011])
+    def test_soak_terminates_with_zero_violations(self, seed):
+        """The headline guarantee: >= 4 fault types, graceful
+        degradation, every invariant intact."""
+        config = chaos_config(7)
+        plan = default_chaos_plan(config, seed=seed, duration=40.0)
+        # The default mix composes all six injector types.
+        assert len(plan.injectors) >= 4
+        report = run_chaos(config, seed=seed, duration=40.0, plan=plan)
+        assert report.terminated
+        assert report.violations == ()
+        assert report.events > 0
+        # The plan actually did something hostile.
+        assert sum(plan.counters.values()) > 0
+
+    def test_null_plan_bit_identical_to_no_plan(self):
+        """NullFaultPlan (the disabled default) must not perturb one
+        bit of the simulation relative to faults=None."""
+        config = chaos_config(6)
+        baseline = _run_fingerprint(config, seed=11, faults=None)
+        nulled = _run_fingerprint(config, seed=11, faults=NullFaultPlan())
+        assert nulled == baseline
+
+    def test_empty_enabled_plan_bit_identical_to_no_plan(self):
+        """An *enabled* plan with no injectors routes every delivery
+        through the fault path; the synchronous delay<=0 branch keeps
+        ordering bit-identical to the legacy direct call."""
+        config = chaos_config(6)
+        baseline = _run_fingerprint(config, seed=11, faults=None)
+        empty = _run_fingerprint(config, seed=11, faults=FaultPlan([]))
+        assert empty == baseline
+
+    def test_faulted_run_loses_but_never_invents_neighbors(self):
+        """Faults may cost links; they must never create false ones."""
+        config = chaos_config(6)
+        benign = _run_fingerprint(config, seed=11, faults=None)
+        plan = default_chaos_plan(config, seed=5, duration=130.0,
+                                  drop=0.15)
+        hostile = _run_fingerprint(config, seed=11, faults=plan)
+        assert hostile[0] <= benign[0]
+
+    def test_report_surface(self):
+        config = chaos_config(5)
+        report = run_chaos(config, seed=9, duration=20.0)
+        assert report.ok is (report.terminated and not report.violations)
+        lines = report.summary_lines()
+        assert any("chaos soak" in line for line in lines)
+        assert report.fault_counters  # the mix injected something
+
+
+class TestInvariantChecker:
+    def test_monotone_clock_watch(self):
+        checker = InvariantChecker()
+        checker.on_event(1.0)
+        checker.on_event(2.0)
+        checker.on_event(1.5)  # regression
+        assert [v.name for v in checker.violations] == ["monotone-clock"]
+        assert checker.events_seen == 3
+
+    def test_false_neighbor_detection(self):
+        """Teleporting an established neighbor out of range must trip
+        the false-neighbor audit."""
+        config = chaos_config(6)
+        net = build_event_network(config, seed=11)
+        for node in net.nodes:
+            node.initiate_dndp()
+        net.simulator.run(until=30.0)
+        assert net.logical_pairs()
+        linked = next(
+            node for node in net.nodes if node.logical_neighbors
+        )
+        linked.position = (1e6, 1e6)
+        checker = InvariantChecker()
+        checker.check_network(net)
+        assert any(
+            v.name == "false-neighbor" for v in checker.violations
+        )
+
+    def test_monitor_conservation_detection(self):
+        """Tampering with a node's refcount table must be caught."""
+        config = chaos_config(5)
+        net = build_event_network(config, seed=3)
+        checker = InvariantChecker()
+        assert checker.check_network(net) == []
+        net.nodes[0]._realtime[0] = 99  # leak one refcount
+        assert any(
+            v.name == "monitor-conservation"
+            for v in checker.check_network(net)
+        )
+
+    def test_violation_list_is_bounded(self):
+        checker = InvariantChecker()
+        for k in range(200):
+            checker.on_event(float(-k))
+        assert len(checker.violations) <= 50
