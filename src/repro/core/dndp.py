@@ -30,6 +30,7 @@ from repro.crypto.identity import NodeId
 from repro.dsss.spread_code import SpreadCode
 from repro.errors import ProtocolError
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 
 __all__ = [
     "PairOutcome",
@@ -121,9 +122,11 @@ class DNDPSampler:
         success = bool(surviving)
         registry = _metrics()
         if registry.enabled:
-            registry.inc("dndp.pairs_sampled")
-            registry.inc("dndp.successes" if success else "dndp.failures")
-            registry.observe("dndp.shared_codes", len(shared_codes))
+            registry.inc(_names.DNDP_PAIRS_SAMPLED)
+            registry.inc(
+                _names.DNDP_SUCCESSES if success else _names.DNDP_FAILURES
+            )
+            registry.observe(_names.DNDP_SHARED_CODES, len(shared_codes))
         latency = (
             self.sample_latency(rng) if success and with_latency else None
         )

@@ -58,6 +58,7 @@ from repro.errors import (
     RevokedCodeError,
 )
 from repro.obs import current as _obs
+from repro.obs import names as _names
 from repro.utils.artifact_cache import shared_cache
 from repro.predistribution.revocation import RevocationList
 from repro.sim.engine import Simulator, Timeout
@@ -388,7 +389,7 @@ class JRSNDNode:
             # adversarial bytes — is dropped like channel noise.  Any
             # other exception propagates: a codec bug must not be
             # silently misread as interference.
-            self._count("wire.undecodable")
+            self._count(_names.WIRE_UNDECODABLE)
             return None
 
     def _on_pool_delivery(self, tx: Transmission) -> None:
@@ -571,7 +572,7 @@ class JRSNDNode:
         if session.state is SessionState.CONFIRMING:
             # Timer expired with no AUTH_REQUEST: peer moved away.
             self._fail_session(session)
-            self._trace.increment("dndp.responder_timeout")
+            self._trace.increment(_names.DNDP_RESPONDER_TIMEOUT)
 
     def _on_confirm(
         self, confirm: Confirm, pool_index: int, sender: int
@@ -673,7 +674,7 @@ class JRSNDNode:
         if self._sessions.get(session.peer) is not session:
             return  # replaced by a newer session with the same peer
         if session.attempts >= self._retry.max_attempts:
-            self._count("retry.sessions_failed")
+            self._count(_names.RETRY_SESSIONS_FAILED)
             self._trace.log(
                 self._sim.now,
                 "retry.give_up",
@@ -684,7 +685,7 @@ class JRSNDNode:
             self._fail_session(session)
             return
         session.attempts += 1
-        self._count("retry.auth_retransmits")
+        self._count(_names.RETRY_AUTH_RETRANSMITS)
         self._sim.process(
             self._resend_auth_request(session),
             name=f"auth-retry@{self.index}",
@@ -749,9 +750,9 @@ class JRSNDNode:
                 session.shared_key, self.config.mac_bits
             )
             if not mac.verify(request.mac_tag, *request.mac_input()):
-                self._trace.increment("dndp.bad_mac_ignored")
+                self._trace.increment(_names.DNDP_BAD_MAC_IGNORED)
                 return
-            self._count("retry.auth_response_retransmits")
+            self._count(_names.RETRY_AUTH_RESPONSE_RETRANSMITS)
             self._sim.process(
                 self._retransmit_auth_response(session),
                 name=f"auth2-retry@{self.index}",
@@ -767,7 +768,7 @@ class JRSNDNode:
         if not acceptable:
             return
         if self._replay.seen_before("auth1", peer, request.nonce):
-            self._trace.increment("dndp.replays_dropped")
+            self._trace.increment(_names.DNDP_REPLAYS_DROPPED)
             return
         self._sim.process(
             self._finish_responder(session, request, sender),
@@ -784,7 +785,7 @@ class JRSNDNode:
             # Either a forgery or an overheard AUTH_REQUEST addressed to
             # another holder of the same pool code — indistinguishable
             # cases, so the session stays where it was.
-            self._trace.increment("dndp.bad_mac_ignored")
+            self._trace.increment(_names.DNDP_BAD_MAC_IGNORED)
             return
         session.shared_key = shared
         session.peer_nonce = request.nonce
@@ -846,10 +847,10 @@ class JRSNDNode:
         mac = MessageAuthenticator(session.shared_key, self.config.mac_bits)
         if not mac.verify(response.mac_tag, *response.mac_input()):
             # Forged or overheard (addressed to another node): ignore.
-            self._trace.increment("dndp.bad_mac_ignored")
+            self._trace.increment(_names.DNDP_BAD_MAC_IGNORED)
             return
         if self._replay.seen_before("auth2", peer, response.nonce):
-            self._trace.increment("dndp.replays_dropped")
+            self._trace.increment(_names.DNDP_REPLAYS_DROPPED)
             return
         session.peer_nonce = response.nonce
         self._establish(session, sender, via_mndp=False)
@@ -896,10 +897,10 @@ class JRSNDNode:
         self.neighbor_table.touch(peer, self._sim.now)
         if via_mndp:
             self._mndp_count += 1
-            self._trace.increment("mndp.established")
+            self._trace.increment(_names.MNDP_ESTABLISHED)
         else:
             self._dndp_count += 1
-            self._trace.increment("dndp.established")
+            self._trace.increment(_names.DNDP_ESTABLISHED)
         self._trace.log(
             self._sim.now,
             "logical_neighbor",
@@ -923,11 +924,11 @@ class JRSNDNode:
             if self._session_codes.get(peer) is None:
                 # The session vanished again between dequeue and send.
                 if self._mndp_queue.requeue(entry, self._sim.now):
-                    self._count("retry.mndp_requeued")
+                    self._count(_names.RETRY_MNDP_REQUEUED)
                 else:
-                    self._count("retry.mndp_dropped")
+                    self._count(_names.RETRY_MNDP_DROPPED)
                 continue
-            self._count("retry.mndp_dequeued")
+            self._count(_names.RETRY_MNDP_DEQUEUED)
             yield from self._unicast_session(peer, entry.frame)
 
     def _record_invalid(self, pool_indices: Sequence[int]) -> None:
@@ -941,7 +942,7 @@ class JRSNDNode:
                 )
             except RevokedCodeError:
                 continue
-            self._trace.increment("revocation.invalid_requests")
+            self._trace.increment(_names.REVOCATION_INVALID_REQUESTS)
             if revoked_now:
                 self._medium.stop_listening(self.index, pool_index)
                 self._realtime.pop(pool_index, None)
@@ -950,7 +951,7 @@ class JRSNDNode:
                 # stays conserved.
                 for session in self._sessions.values():
                     session.monitored.discard(pool_index)
-                self._trace.increment("revocation.codes_revoked")
+                self._trace.increment(_names.REVOCATION_CODES_REVOKED)
 
     def _on_fake_request(self, pool_index: int) -> None:
         """A DoS fake: one wasted t_ver, one revocation counter tick.
@@ -960,7 +961,7 @@ class JRSNDNode:
         """
         if not self.revocation.is_active(pool_index):
             return
-        self._trace.increment("dos.verifications")
+        self._trace.increment(_names.DOS_VERIFICATIONS)
         # The verification occupies the CPU for t_ver; the counter is
         # charged immediately since ordering does not matter here.
         self._record_invalid([pool_index])
@@ -990,7 +991,7 @@ class JRSNDNode:
                 self._medium.stop_listening(self.index, state.code.code_id)
             self._sessions.pop(peer, None)
             self.neighbor_table.forget(peer)
-            self._trace.increment("neighbors.expired")
+            self._trace.increment(_names.NEIGHBORS_EXPIRED)
             self._trace.log(
                 self._sim.now, "neighbor_expired",
                 node=self.index, peer=peer.value,
@@ -1045,10 +1046,10 @@ class JRSNDNode:
             self._drop_session(peer, session)
             removed += 1
         if removed:
-            self._count("retry.sessions_gced", removed)
+            self._count(_names.RETRY_SESSIONS_GCED, removed)
         expired = self._mndp_queue.expire(self._sim.now)
         if expired:
-            self._count("retry.mndp_expired", expired)
+            self._count(_names.RETRY_MNDP_EXPIRED, expired)
         cutoff = self._sim.now - self.config.mndp_ttl
         stale_keys = [
             key
@@ -1059,7 +1060,7 @@ class JRSNDNode:
             del self._mndp_seen[key]
             self._mndp_return_route.pop(key, None)
         if stale_keys:
-            self._count("retry.mndp_state_pruned", len(stale_keys))
+            self._count(_names.RETRY_MNDP_STATE_PRUNED, len(stale_keys))
         return removed
 
     def start_session_gc(self, interval: float):
@@ -1161,9 +1162,9 @@ class JRSNDNode:
             if peer == self.node_id:
                 return
             if self._mndp_queue.push(peer, frame, self._sim.now):
-                self._count("retry.mndp_queued")
+                self._count(_names.RETRY_MNDP_QUEUED)
             else:
-                self._count("retry.mndp_queue_dropped")
+                self._count(_names.RETRY_MNDP_QUEUE_DROPPED)
             return
         bits = frame.wire_bits(self.config) if hasattr(
             frame, "wire_bits"
@@ -1211,14 +1212,14 @@ class JRSNDNode:
         # Verify the whole chain: one t_ver per signature.
         n_sigs = 1 + len(request.extensions)
         yield Timeout(n_sigs * self.config.t_ver)
-        self._trace.increment("mndp.verifications", n_sigs)
+        self._trace.increment(_names.MNDP_VERIFICATIONS, n_sigs)
         if not validate_request_chain(request, self._scheme):
-            self._trace.increment("mndp.invalid_requests")
+            self._trace.increment(_names.MNDP_INVALID_REQUESTS)
             return
         relay = request.path_nodes()[-1]
         if relay != self.node_id and relay not in self._logical:
             # The last hop must be our own logical neighbor.
-            self._trace.increment("mndp.invalid_requests")
+            self._trace.increment(_names.MNDP_INVALID_REQUESTS)
             return
         self._mndp_return_route[key] = relay
         source = request.source
@@ -1228,7 +1229,7 @@ class JRSNDNode:
             known.add(extension.node)
         if source != self.node_id and source not in self._logical:
             if self._gps_filtered(request):
-                self._trace.increment("mndp.gps_filtered")
+                self._trace.increment(_names.MNDP_GPS_FILTERED)
             else:
                 yield from self._respond_to_mndp(request, relay)
         if request.hops_traversed < request.hop_budget:
@@ -1360,13 +1361,12 @@ class JRSNDNode:
     ) -> Iterator[object]:
         n_sigs = 1 + len(response.extensions)
         yield Timeout(n_sigs * self.config.t_ver)
-        self._trace.increment("mndp.verifications", n_sigs)
+        self._trace.increment(_names.MNDP_VERIFICATIONS, n_sigs)
         if not validate_response_chain(response, self._scheme):
-            self._trace.increment("mndp.invalid_responses")
+            self._trace.increment(_names.MNDP_INVALID_RESPONSES)
             return
         if response.source != self.node_id:
             # Relay back along the recorded reverse route.
-            key = (response.source, None)
             route = None
             for (source, nonce), relay in self._mndp_return_route.items():
                 if source == response.source:

@@ -25,6 +25,7 @@ from repro.core.messages import MNDPRequest, MNDPResponse
 from repro.crypto.signatures import SignatureScheme
 from repro.errors import ConfigurationError
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -250,10 +251,10 @@ class MNDPSampler:
             ]
             new_links = self._one_round(pending, working)
             if registry.enabled:
-                registry.inc("mndp.rounds")
-                registry.inc("mndp.pairs_attempted", len(pending))
+                registry.inc(_names.MNDP_ROUNDS)
+                registry.inc(_names.MNDP_PAIRS_ATTEMPTED, len(pending))
                 for hops in new_links.values():
-                    registry.observe("mndp.recovery_hops", hops)
+                    registry.observe(_names.MNDP_RECOVERY_HOPS, hops)
             if not new_links:
                 break
             discovered.update(new_links)
@@ -266,7 +267,7 @@ class MNDPSampler:
             for a, b in new_links:
                 working.add_link(a, b)
         if registry.enabled:
-            registry.inc("mndp.pairs_recovered", len(discovered))
+            registry.inc(_names.MNDP_PAIRS_RECOVERED, len(discovered))
         return discovered
 
     def _discover_vectorized(
@@ -321,10 +322,10 @@ class MNDPSampler:
             found = dist > 0
             new_idx = pend_unique[found]
             if registry.enabled:
-                registry.inc("mndp.rounds")
-                registry.inc("mndp.pairs_attempted", int(pend.size))
+                registry.inc(_names.MNDP_ROUNDS)
+                registry.inc(_names.MNDP_PAIRS_ATTEMPTED, int(pend.size))
                 for hops in dist[found].tolist():
-                    registry.observe("mndp.recovery_hops", hops)
+                    registry.observe(_names.MNDP_RECOVERY_HOPS, hops)
             if new_idx.size == 0:
                 break
             new_a = a_all[new_idx]
@@ -338,7 +339,7 @@ class MNDPSampler:
                 relay[new_a, new_b] = True
                 relay[new_b, new_a] = True
         if registry.enabled:
-            registry.inc("mndp.pairs_recovered", len(discovered))
+            registry.inc(_names.MNDP_PAIRS_RECOVERED, len(discovered))
         return discovered
 
     def _zero_excluded(self, adj: np.ndarray) -> None:

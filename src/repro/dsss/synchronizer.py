@@ -33,6 +33,7 @@ from repro.dsss.spread_code import SpreadCode
 from repro.dsss.spreader import despread
 from repro.errors import DecodeError, SpreadCodeError
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 
 __all__ = ["SyncResult", "SlidingWindowSynchronizer"]
 
@@ -209,12 +210,12 @@ class SlidingWindowSynchronizer:
         registry = _metrics()
         if not registry.enabled:
             return
-        registry.inc("dsss.scans")
-        registry.inc("dsss.correlations_computed", computed)
+        registry.inc(_names.DSSS_SCANS)
+        registry.inc(_names.DSSS_CORRELATIONS_COMPUTED, computed)
         if false_alarms:
-            registry.inc("dsss.false_alarms", false_alarms)
+            registry.inc(_names.DSSS_FALSE_ALARMS, false_alarms)
         if locked:
-            registry.inc("dsss.locks")
+            registry.inc(_names.DSSS_LOCKS)
 
     def _confirm(
         self, buffer: np.ndarray, code: SpreadCode, position: int

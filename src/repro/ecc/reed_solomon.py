@@ -49,6 +49,7 @@ import numpy as np
 from repro.ecc.gf256 import GF256
 from repro.errors import ConfigurationError, EccDecodeError
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 
 __all__ = ["ReedSolomonCodec", "ECC_BACKENDS"]
 
@@ -125,7 +126,7 @@ class ReedSolomonCodec:
         """
         message = list(message)
         self._check_encodable(message)
-        self._count("ecc.symbols_encoded", len(message) + self._n_parity)
+        self._count(_names.ECC_SYMBOLS_ENCODED, len(message) + self._n_parity)
         if (
             self._backend == "vectorized"
             and len(message) >= _VEC_MIN_SYMBOLS
@@ -166,7 +167,7 @@ class ReedSolomonCodec:
             if bad is not None:
                 self._check_encodable(messages[bad])
         total = len(messages) * (len(messages[0]) + self._n_parity)
-        self._count("ecc.symbols_encoded", total)
+        self._count(_names.ECC_SYMBOLS_ENCODED, total)
         if self._backend == "naive":
             return [self._encode_scalar(m) for m in messages]
         return self._encode_rows(np.asarray(messages, dtype=np.uint8))
@@ -212,7 +213,7 @@ class ReedSolomonCodec:
         """
         received = list(received)
         self._check_decodable(received, erasure_positions)
-        self._count("ecc.symbols_decoded", len(received))
+        self._count(_names.ECC_SYMBOLS_DECODED, len(received))
         if (
             self._backend == "vectorized"
             and len(received) >= _VEC_MIN_SYMBOLS
@@ -253,7 +254,7 @@ class ReedSolomonCodec:
                 f"decode_batch needs equal-length words, got "
                 f"lengths {sorted(lengths)}"
             )
-        self._count("ecc.symbols_decoded", len(words) * len(words[0]))
+        self._count(_names.ECC_SYMBOLS_DECODED, len(words) * len(words[0]))
         if self._backend == "naive":
             for word, erasures in zip(words, erasure_lists):
                 self._check_decodable(word, erasures)
@@ -497,7 +498,7 @@ class ReedSolomonCodec:
 
     def _solve_erasures(
         self,
-        vec,
+        vec: np.ndarray,
         rows: np.ndarray,
         syndromes: np.ndarray,
         roots: np.ndarray,
@@ -583,7 +584,7 @@ class ReedSolomonCodec:
     def _count(self, name: str, amount: int) -> None:
         registry = _metrics()
         if registry.enabled:
-            registry.inc(f"{name}.{self._backend}", amount)
+            registry.inc(_names.backend_qualified(name, self._backend), amount)
 
     # ------------------------------------------------------------------
     # Scalar decoding pipeline internals (the reference)

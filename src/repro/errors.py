@@ -48,6 +48,27 @@ class RevokedCodeError(ReproError):
     """An operation was attempted with a locally revoked spread code."""
 
 
+#: The concrete exception families a Monte Carlo worker run may raise
+#: and have reported back as data (index + traceback) instead of
+#: aborting the whole ``multiprocessing`` map: the package's own error
+#: taxonomy, numpy's numeric/shape failures (``ValueError``,
+#: ``ArithmeticError``), container/attribute programming errors
+#: surfaced by a bad configuration, and OS-level failures.  Anything
+#: outside these families — most notably ``KeyboardInterrupt`` and
+#: ``SystemExit`` — propagates immediately.
+WORKER_TRAPPED_ERRORS = (
+    ReproError,
+    ValueError,
+    TypeError,
+    ArithmeticError,
+    LookupError,
+    AttributeError,
+    RuntimeError,
+    OSError,
+    MemoryError,
+)
+
+
 class ParallelExecutionError(ReproError):
     """One or more Monte Carlo worker runs failed.
 

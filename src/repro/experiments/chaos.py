@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.config import JRSNDConfig
-from repro.experiments.scenarios import EventNetwork, build_event_network
+from repro.obs import names as _names
+from repro.experiments.scenarios import build_event_network
 from repro.faults import (
     BurstJammer,
     ClockSkew,
@@ -72,7 +73,7 @@ class ChaosReport:
         retry = {
             name: value
             for name, value in sorted(self.trace_counters.items())
-            if name.startswith("retry.")
+            if name.startswith(_names.RETRY_PREFIX)
         }
         if retry:
             lines.append(
@@ -191,7 +192,7 @@ def run_chaos(
         terminated=terminated,
         events=checker.events_seen,
         logical_links=len(net.logical_pairs()),
-        sessions_gced=counters.get("retry.sessions_gced", 0),
+        sessions_gced=counters.get(_names.RETRY_SESSIONS_GCED, 0),
         violations=tuple(checker.violations),
         fault_counters=dict(getattr(plan, "counters", {})),
         trace_counters=counters,

@@ -103,7 +103,6 @@ def ascii_chart(
         lines.append(f"{label} |" + "".join(grid_row))
     lines.append(" " * label_width + "+" + "-" * width)
     x_ticks = _axis_ticks(x_low, x_high, 5)
-    tick_row = [" "] * (width + 1)
     tick_labels = []
     for tick in x_ticks:
         column = round((tick - x_low) / (x_high - x_low) * (width - 1))

@@ -37,7 +37,7 @@ from typing import Any, List, Optional, Tuple
 
 from repro.adversary.jammer import JammerStrategy
 from repro.core.config import JRSNDConfig
-from repro.errors import ParallelExecutionError
+from repro.errors import WORKER_TRAPPED_ERRORS, ParallelExecutionError
 from repro.experiments.runner import (
     ExperimentResult,
     NetworkExperiment,
@@ -81,13 +81,18 @@ def _init_worker(
 def _one_run(index: int) -> _Outcome:
     """Worker: execute one snapshot, tagging any failure with its index.
 
-    Never raises — an exception inside a raw ``pool.map`` callable
-    aborts the whole map and discards every completed run, so failures
-    travel back as data instead.
+    An exception inside a raw ``pool.map`` callable aborts the whole
+    map and discards every completed run, so every failure family a
+    run can realistically produce —
+    :data:`~repro.errors.WORKER_TRAPPED_ERRORS` — travels back as data
+    instead.  Exceptions outside those families (``KeyboardInterrupt``,
+    ``SystemExit``, non-``ReproError`` customs) still propagate: they
+    signal cancellation or a plugged-in component misusing the error
+    taxonomy, not a failed run.
     """
     try:
         return index, _worker_experiment.run_once(index), None
-    except Exception:
+    except WORKER_TRAPPED_ERRORS:
         return index, None, traceback.format_exc()
 
 

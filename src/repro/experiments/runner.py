@@ -31,6 +31,7 @@ from repro.core.dndp import DNDPSampler
 from repro.core.mndp import COMPUTE_BACKENDS, LogicalGraph, MNDPSampler
 from repro.errors import ConfigurationError
 from repro.obs import MetricsRegistry, MetricsSnapshot, current, installed
+from repro.obs import names as _names
 from repro.predistribution.authority import PreDistributor
 from repro.sim.field import RectangularField
 from repro.sim.mobility import uniform_positions
@@ -276,7 +277,7 @@ class NetworkExperiment:
     def run(self, runs: int = 1) -> ExperimentResult:
         """Execute ``runs`` independent snapshots."""
         check_positive("runs", runs)
-        with current().timer("experiment.run_seconds"):
+        with current().timer(_names.EXPERIMENT_RUN_SECONDS):
             results = [self.run_once(i) for i in range(runs)]
         return ExperimentResult(runs=tuple(results))
 
@@ -365,11 +366,11 @@ class NetworkExperiment:
 
         registry = current()
         if registry.enabled:
-            registry.inc("experiment.runs")
-            registry.inc("experiment.pairs", len(pairs))
-            registry.inc("experiment.dndp_successes", dndp_successes)
-            registry.inc("experiment.mndp_recovered", len(recovered))
-            registry.observe("experiment.mean_degree", mean_degree)
+            registry.inc(_names.EXPERIMENT_RUNS)
+            registry.inc(_names.EXPERIMENT_PAIRS, len(pairs))
+            registry.inc(_names.EXPERIMENT_DNDP_SUCCESSES, dndp_successes)
+            registry.inc(_names.EXPERIMENT_MNDP_RECOVERED, len(recovered))
+            registry.observe(_names.EXPERIMENT_MEAN_DEGREE, mean_degree)
 
         return RunResult(
             n_pairs=len(pairs),

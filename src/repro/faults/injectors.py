@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import names as _names
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.sim.engine import Simulator
 from repro.sim.medium import RadioMedium, Transmission
@@ -91,7 +92,7 @@ class BurstJammer(FaultInjector):
             return
         fraction = min(1.0, overlap / max(tx.duration, 1e-12))
         medium.jam(tx, tx.code_key, fraction)
-        plan.count("faults.burst_jammed")
+        plan.count(_names.FAULTS_BURST_JAMMED)
 
 
 class MessageDrop(FaultInjector):

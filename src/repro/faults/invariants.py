@@ -25,9 +25,11 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.dndp import SessionState
+from repro.obs import names as _names
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.scenarios import EventNetwork
+    from repro.sim.engine import Simulator
 
 __all__ = ["InvariantChecker", "InvariantViolation"]
 
@@ -78,7 +80,7 @@ class InvariantChecker:
             )
         self._last_time = when
 
-    def attach(self, simulator) -> "InvariantChecker":
+    def attach(self, simulator: "Simulator") -> "InvariantChecker":
         """Install on ``simulator`` and return self (chainable)."""
         simulator.set_observer(self)
         return self
@@ -146,9 +148,9 @@ class InvariantChecker:
     def _check_counter_conservation(self, net: "EventNetwork") -> None:
         links = sum(len(node.logical_neighbors) for node in net.nodes)
         established = net.trace.counter(
-            "dndp.established"
-        ) + net.trace.counter("mndp.established")
-        expired = net.trace.counter("neighbors.expired")
+            _names.DNDP_ESTABLISHED
+        ) + net.trace.counter(_names.MNDP_ESTABLISHED)
+        expired = net.trace.counter(_names.NEIGHBORS_EXPIRED)
         if links != established - expired:
             self._record(
                 "counter-conservation",

@@ -18,11 +18,12 @@ reproducible and never touches the simulation's other rng streams.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 from repro.sim.engine import Simulator
 from repro.sim.medium import RadioMedium, Transmission
 from repro.utils.rng import SeedSequencer
@@ -125,7 +126,7 @@ class FaultPlan:
     def on_transmit(self, tx: Transmission, medium: RadioMedium) -> bool:
         for injector in self._injectors:
             if not injector.alive(tx.sender, tx.start):
-                self.count("faults.tx_suppressed")
+                self.count(_names.FAULTS_TX_SUPPRESSED)
                 return False
         for injector in self._injectors:
             injector.on_transmit(tx, medium, self)
@@ -136,11 +137,11 @@ class FaultPlan:
     ) -> Sequence[float]:
         for injector in self._injectors:
             if not injector.alive(node, now):
-                self.count("faults.rx_crashed")
+                self.count(_names.FAULTS_RX_CRASHED)
                 return ()
         for injector in self._injectors:
             if injector.drops(tx, node, now):
-                self.count("faults.dropped")
+                self.count(_names.FAULTS_DROPPED)
                 return ()
         delay = 0.0
         extra: List[float] = []
@@ -148,9 +149,9 @@ class FaultPlan:
             delay += injector.delay(tx, node, now)
             extra.extend(injector.duplicate_delays(tx, node, now))
         if delay > 0.0:
-            self.count("faults.delayed")
+            self.count(_names.FAULTS_DELAYED)
         if extra:
-            self.count("faults.duplicated", len(extra))
+            self.count(_names.FAULTS_DUPLICATED, len(extra))
         actions = [delay]
         actions.extend(delay + max(0.0, offset) for offset in extra)
         return actions

@@ -1,0 +1,44 @@
+"""repro.lint — determinism-aware static analysis for JR-SND.
+
+The reproduction's headline claims (bit-identical backend parity, the
+exact ``(l-1)·γ`` DoS bound, seeded chaos soaks) rest on conventions —
+seeded RNG only, simulated time only, narrowed excepts, registered
+metric names — that nothing structural used to enforce.  This package
+is the enforcement: an AST rule engine (:mod:`repro.lint.engine`), the
+JRS001–JRS007 rule pack (:mod:`repro.lint.rules`), human/JSON
+reporters (:mod:`repro.lint.report`), a mechanical fixer
+(:mod:`repro.lint.fixes`), and the ``python -m repro.lint`` CLI
+(:mod:`repro.lint.cli`) that CI runs as a required gate.
+
+Quick use::
+
+    python -m repro.lint src/              # gate: exit 1 on errors
+    python -m repro.lint src/ --fix        # rewrite literals to names.*
+    python -m repro.lint --list-rules
+"""
+
+from repro.lint.engine import (
+    Fix,
+    LintConfig,
+    ModuleContext,
+    Rule,
+    Severity,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_CODE, default_rules
+
+__all__ = [
+    "Fix",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "ALL_RULES",
+    "RULES_BY_CODE",
+    "default_rules",
+]

@@ -1,0 +1,166 @@
+"""``python -m repro.lint`` — the determinism lint gate.
+
+Examples::
+
+    python -m repro.lint src/                 # human report, exit 1 on errors
+    python -m repro.lint src/ --format json   # machine-readable report
+    python -m repro.lint src/ --fix           # apply mechanical rewrites
+    python -m repro.lint --list-rules         # the JRS rule pack
+
+Exit codes: 0 clean (warnings allowed unless ``--fail-on-warnings``),
+1 findings at failing severity, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Set
+
+from repro.lint.engine import (
+    LintConfig,
+    Severity,
+    lint_paths,
+    strip_fixed,
+)
+from repro.lint.fixes import apply_fixes
+from repro.lint.report import render_human, render_json
+from repro.lint.rules import RULES_BY_CODE, default_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "JR-SND determinism lints: AST rules guarding seeded "
+            "randomness, simulated time, narrow excepts, registered "
+            "metric names, and pickle-safe pool boundaries."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply mechanical fixes (JRS004 literal → names constant)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--fail-on-warnings",
+        action="store_true",
+        help="treat warnings as failures for the exit code",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack and exit",
+    )
+    return parser
+
+
+def _parse_codes(
+    raw: Optional[str], parser: argparse.ArgumentParser
+) -> Optional[Set[str]]:
+    if raw is None:
+        return None
+    codes = {code.strip().upper() for code in raw.split(",") if code.strip()}
+    unknown = codes - set(RULES_BY_CODE)
+    if unknown:
+        parser.error(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(RULES_BY_CODE))}"
+        )
+    return codes
+
+
+def _list_rules() -> str:
+    lines = ["The JR-SND rule pack:"]
+    for code in sorted(RULES_BY_CODE):
+        rule_cls = RULES_BY_CODE[code]
+        lines.append(
+            f"  {code}  [{rule_cls.severity.value}]  "
+            f"{rule_cls.description}"
+        )
+    lines.append(
+        "Suppress per line with "
+        "'# jrsnd: noqa(CODE) -- justification' (justification "
+        "required)."
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    for raw in args.paths:
+        if not Path(raw).exists():
+            parser.error(f"path does not exist: {raw}")
+    config = LintConfig(
+        select=_parse_codes(args.select, parser),
+        ignore=_parse_codes(args.ignore, parser) or set(),
+    )
+    rules = default_rules(config)
+    violations, files_checked = lint_paths(args.paths, rules, config)
+
+    fixed_paths: List[str] = []
+    if args.fix:
+        applied, fixed_paths = apply_fixes(violations)
+        if applied:
+            # Re-lint: the report must describe the tree on disk.
+            violations, files_checked = lint_paths(
+                args.paths, rules, config
+            )
+        violations = strip_fixed(violations)
+
+    report = (
+        render_json(violations, files_checked)
+        if args.format == "json"
+        else render_human(violations, files_checked)
+    )
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+    if args.fix and fixed_paths and args.format == "human":
+        print(
+            f"fixed {len(fixed_paths)} file(s): "
+            + ", ".join(fixed_paths),
+            file=sys.stderr,
+        )
+
+    failing = [
+        v
+        for v in violations
+        if v.severity is Severity.ERROR or args.fail_on_warnings
+    ]
+    return 1 if failing else 0

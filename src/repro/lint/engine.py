@@ -1,0 +1,463 @@
+"""AST lint engine: rule framework, suppressions, and the file runner.
+
+The engine is deliberately small and deterministic: each file is parsed
+once, every enabled rule registers the node types it cares about, and a
+single walk dispatches nodes to rules.  Rules never see each other and
+never mutate the tree, so adding a rule cannot perturb another rule's
+findings.
+
+Suppressions are per-line comments of the form::
+
+    risky_call()  # jrsnd: noqa(JRS003) -- pool boundary must trap all
+
+The justification after ``--`` is **required**: a suppression without
+one does not suppress anything and is itself reported as ``JRS000``.
+This keeps every waiver self-documenting — the same policy sanitizer
+allowlists use.
+
+See :mod:`repro.lint.rules` for the JR-SND rule pack and
+:mod:`repro.lint.cli` for the command-line front end.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "Severity",
+    "Fix",
+    "Violation",
+    "LintConfig",
+    "ModuleContext",
+    "Rule",
+    "Suppression",
+    "SUPPRESSION_CODE",
+    "parse_suppressions",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+]
+
+#: Reserved code for suppression-hygiene findings (never a real rule).
+SUPPRESSION_CODE = "JRS000"
+
+_NOQA_RE = re.compile(
+    r"#\s*jrsnd:\s*noqa\(\s*(?P<codes>[A-Za-z0-9_,\s]+?)\s*\)"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+class Severity(Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings are reported
+    (and fixed by ``--fix`` where mechanical) but only fail under
+    ``--fail-on-warnings``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical single-span text replacement.
+
+    Positions are 1-based line / 0-based column, matching ``ast`` node
+    coordinates.  ``new_import`` names a module-level import line the
+    fixer must guarantee exists before the replacement makes sense.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+    new_import: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, addressed by file position."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    fix: Optional[Fix] = None
+
+    @property
+    def fixable(self) -> bool:
+        return self.fix is not None
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fixable": self.fixable,
+        }
+        return payload
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# jrsnd: noqa(...)`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    justification: str
+
+
+@dataclass
+class LintConfig:
+    """Engine configuration: rule selection and per-rule allowlists."""
+
+    #: Rule codes to run; ``None`` means every registered rule.
+    select: Optional[Set[str]] = None
+    #: Rule codes to skip.
+    ignore: Set[str] = field(default_factory=set)
+    #: Path suffixes (posix) where JRS003 broad excepts are permitted.
+    broad_except_allowlist: Tuple[str, ...] = ()
+
+    def enabled(self, code: str) -> bool:
+        if code in self.ignore:
+            return False
+        return self.select is None or code in self.select
+
+
+class ModuleContext:
+    """Everything a rule may consult about the module being linted.
+
+    Built once per file: the parse tree, a parent map, the set of
+    names bound by *nested* (non-module-scope) ``def``/``class``
+    statements, and resolved import aliases (``np`` → ``numpy``,
+    ``nprand`` → ``numpy.random`` …).
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.posix_path = Path(path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.parents: Dict[ast.AST, ast.AST] = {}
+        self.module_scope_defs: Set[str] = set()
+        self.nested_defs: Set[str] = set()
+        self.aliases: Dict[str, str] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        for node in ast.walk(self.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if self.in_function_scope(node):
+                    self.nested_defs.add(node.name)
+                else:
+                    self.module_scope_defs.add(node.name)
+            elif isinstance(node, ast.Import):
+                for name in node.names:
+                    bound = name.asname or name.name.split(".")[0]
+                    target = name.name if name.asname else bound
+                    self.aliases[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports: not resolvable here
+                for name in node.names:
+                    bound = name.asname or name.name
+                    self.aliases[bound] = f"{node.module}.{name.name}"
+
+    def in_function_scope(self, node: ast.AST) -> bool:
+        """True if ``node`` sits (transitively) inside a function."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return True
+            current = self.parents.get(current)
+        return False
+
+    def resolve_call_chain(self, func: ast.expr) -> Optional[str]:
+        """Resolve a ``Name``/``Attribute`` chain to a dotted module
+        path using the module's import aliases.
+
+        ``np.random.default_rng`` (after ``import numpy as np``)
+        resolves to ``numpy.random.default_rng``; chains rooted at
+        anything that is not an imported name resolve to ``None``.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def path_in(self, *fragments: str) -> bool:
+        """True if the module's path contains any of ``fragments``."""
+        return any(fragment in self.posix_path for fragment in fragments)
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        return any(self.posix_path.endswith(suffix) for suffix in suffixes)
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set :attr:`code`, :attr:`severity`, :attr:`description`,
+    and :attr:`node_types`, then implement :meth:`check`.  A rule may
+    restrict itself to a path scope by overriding :meth:`applies_to`.
+    """
+
+    code: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+    #: AST node classes dispatched to :meth:`check`.
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    # -- helpers -------------------------------------------------------
+
+    def violation(
+        self,
+        ctx: ModuleContext,
+        node: ast.AST,
+        message: str,
+        fix: Optional[Fix] = None,
+        severity: Optional[Severity] = None,
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            severity=severity or self.severity,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            fix=fix,
+        )
+
+
+def _comment_tokens(source: str) -> Iterator[Tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every real comment token.
+
+    Tokenizing (rather than scanning raw lines) keeps suppression
+    syntax inside string literals and docstrings — such as this
+    engine's own documentation — from being parsed as suppressions.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):
+        return  # ast.parse already vetted the file; be permissive here
+
+
+def parse_suppressions(
+    source: str, path: str
+) -> Tuple[Dict[int, Suppression], List[Violation]]:
+    """Extract per-line suppressions and suppression-hygiene findings."""
+    suppressions: Dict[int, Suppression] = {}
+    hygiene: List[Violation] = []
+    for lineno, start_col, comment in _comment_tokens(source):
+        match = _NOQA_RE.search(comment)
+        if match is None:
+            if "jrsnd:" in comment and "noqa" in comment:
+                hygiene.append(
+                    Violation(
+                        rule=SUPPRESSION_CODE,
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=lineno,
+                        col=start_col,
+                        message=(
+                            "malformed suppression; expected "
+                            "'# jrsnd: noqa(CODE) -- justification'"
+                        ),
+                    )
+                )
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        why = (match.group("why") or "").strip()
+        bad_codes = [
+            code for code in codes if not re.fullmatch(r"JRS\d{3}", code)
+        ]
+        if not codes or bad_codes:
+            hygiene.append(
+                Violation(
+                    rule=SUPPRESSION_CODE,
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=lineno,
+                    col=start_col + match.start(),
+                    message=(
+                        "suppression names no valid rule codes "
+                        f"(got {', '.join(bad_codes) or 'nothing'}); "
+                        "expected JRSnnn"
+                    ),
+                )
+            )
+            continue
+        if not why:
+            hygiene.append(
+                Violation(
+                    rule=SUPPRESSION_CODE,
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=lineno,
+                    col=start_col + match.start(),
+                    message=(
+                        "suppression requires a justification: "
+                        "'# jrsnd: noqa("
+                        + ", ".join(codes)
+                        + ") -- <why this is safe>'"
+                    ),
+                )
+            )
+            continue
+        suppressions[lineno] = Suppression(
+            line=lineno, codes=codes, justification=why
+        )
+    return suppressions, hygiene
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+) -> List[Violation]:
+    """Lint one module's source text and return ordered findings."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                rule=SUPPRESSION_CODE,
+                severity=Severity.ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(path, source, tree)
+    suppressions, findings = parse_suppressions(source, path)
+
+    active = [
+        rule
+        for rule in rules
+        if config.enabled(rule.code) and rule.applies_to(ctx)
+    ]
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), ()):
+            findings.extend(rule.check(node, ctx))
+
+    kept: List[Violation] = []
+    for violation in findings:
+        suppression = suppressions.get(violation.line)
+        if (
+            suppression is not None
+            and violation.rule in suppression.codes
+            and violation.rule != SUPPRESSION_CODE
+        ):
+            continue
+        kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return kept
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, deterministically."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates: Iterable[Path] = [root]
+        else:
+            candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Sequence[Rule],
+    config: Optional[LintConfig] = None,
+) -> Tuple[List[Violation], int]:
+    """Lint every file under ``paths``; returns (findings, files)."""
+    violations: List[Violation] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        source = file_path.read_text(encoding="utf-8")
+        violations.extend(
+            lint_source(source, str(file_path), rules, config)
+        )
+    return violations, checked
+
+
+def strip_fixed(
+    violations: Iterable[Violation],
+) -> List[Violation]:
+    """Copies of ``violations`` with fix payloads removed (post-fix
+    re-reporting: the finding stood, the mechanical edit was applied)."""
+    return [replace(v, fix=None) for v in violations]

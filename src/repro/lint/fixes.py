@@ -1,0 +1,93 @@
+"""Mechanical fixing: apply the single-span edits rules attach.
+
+Only rules whose remediation is a pure text substitution attach a
+:class:`~repro.lint.engine.Fix` (today: JRS004's registered-literal →
+``names`` constant rewrite).  Edits are applied bottom-up so earlier
+spans never shift, and a required import line is inserted once per
+file, after the last existing ``repro`` import (or the first import
+block).  Running the fixer twice is a no-op: the rewritten call sites
+no longer produce fixable findings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Violation
+
+__all__ = ["apply_fixes"]
+
+
+def _insert_import(lines: List[str], import_line: str) -> None:
+    """Insert ``import_line`` at the most idiomatic position."""
+    if any(line.strip() == import_line for line in lines):
+        return
+    last_repro = None
+    last_import = None
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if stripped.startswith(("import ", "from ")):
+            last_import = index
+            if stripped.startswith(("from repro", "import repro")):
+                last_repro = index
+    if last_repro is not None:
+        lines.insert(last_repro + 1, import_line)
+    elif last_import is not None:
+        lines.insert(last_import + 1, import_line)
+    else:
+        lines.insert(0, import_line)
+
+
+def _apply_to_text(text: str, fixable: Sequence[Violation]) -> str:
+    lines = text.splitlines(keepends=True)
+    # Bottom-up, right-to-left: spans never shift under later edits.
+    ordered = sorted(
+        (v for v in fixable if v.fix is not None),
+        key=lambda v: (v.fix.line, v.fix.col),  # type: ignore[union-attr]
+        reverse=True,
+    )
+    imports_needed: List[str] = []
+    for violation in ordered:
+        fix = violation.fix
+        assert fix is not None
+        if fix.line != fix.end_line:
+            continue  # multi-line spans are never emitted today
+        row = fix.line - 1
+        line = lines[row]
+        lines[row] = (
+            line[: fix.col] + fix.replacement + line[fix.end_col:]
+        )
+        if fix.new_import and fix.new_import not in imports_needed:
+            imports_needed.append(fix.new_import)
+    if imports_needed:
+        stripped = [line.rstrip("\n") for line in lines]
+        for import_line in imports_needed:
+            _insert_import(stripped, import_line)
+        return "\n".join(stripped) + "\n"
+    return "".join(lines)
+
+
+def apply_fixes(
+    violations: Sequence[Violation],
+) -> Tuple[int, List[str]]:
+    """Apply every attached fix; returns (edits applied, files touched).
+
+    Violations are grouped per file so each file is read and written
+    exactly once.
+    """
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in violations:
+        if violation.fix is not None:
+            by_path.setdefault(violation.path, []).append(violation)
+    touched: List[str] = []
+    applied = 0
+    for path, fixable in sorted(by_path.items()):
+        file_path = Path(path)
+        original = file_path.read_text(encoding="utf-8")
+        updated = _apply_to_text(original, fixable)
+        if updated != original:
+            file_path.write_text(updated, encoding="utf-8")
+            touched.append(path)
+            applied += len(fixable)
+    return applied, touched

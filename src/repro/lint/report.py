@@ -1,0 +1,74 @@
+"""Human and JSON reporters for lint findings.
+
+The JSON document is versioned (``schema: repro.lint/1``) because CI
+uploads it as an artifact and downstream tooling diffs reports across
+commits — the same contract discipline as ``MetricsSnapshot``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Severity, Violation
+
+__all__ = ["render_human", "render_json", "JSON_SCHEMA"]
+
+JSON_SCHEMA = "repro.lint/1"
+
+
+def render_human(
+    violations: Sequence[Violation], files_checked: int
+) -> str:
+    """One ``path:line:col CODE message`` row per finding + summary."""
+    lines: List[str] = []
+    for violation in violations:
+        marker = " [fixable]" if violation.fixable else ""
+        lines.append(
+            f"{violation.path}:{violation.line}:{violation.col + 1} "
+            f"{violation.rule} {violation.severity.value}: "
+            f"{violation.message}{marker}"
+        )
+    errors = sum(
+        1 for v in violations if v.severity is Severity.ERROR
+    )
+    warnings = len(violations) - errors
+    fixable = sum(1 for v in violations if v.fixable)
+    if violations:
+        summary = (
+            f"{len(violations)} finding(s) in {files_checked} file(s): "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+        if fixable:
+            summary += f"; {fixable} fixable with --fix"
+    else:
+        summary = f"{files_checked} file(s) checked: clean"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    violations: Sequence[Violation], files_checked: int
+) -> str:
+    """Stable machine-readable report (sorted, schema-tagged)."""
+    by_rule: Dict[str, int] = dict(
+        sorted(Counter(v.rule for v in violations).items())
+    )
+    document = {
+        "schema": JSON_SCHEMA,
+        "files_checked": files_checked,
+        "counts": {
+            "total": len(violations),
+            "errors": sum(
+                1 for v in violations if v.severity is Severity.ERROR
+            ),
+            "warnings": sum(
+                1 for v in violations if v.severity is Severity.WARNING
+            ),
+            "fixable": sum(1 for v in violations if v.fixable),
+            "by_rule": by_rule,
+        },
+        "violations": [v.to_json() for v in violations],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

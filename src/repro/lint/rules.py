@@ -1,0 +1,487 @@
+"""The JR-SND determinism rule pack (JRS001–JRS007).
+
+Each rule guards one invariant the reproduction's headline claims rest
+on — seeded randomness only, no wall-clock inside the simulated world,
+narrow excepts, registered metric names, no float equality in the
+signal-processing layers, no mutable defaults, and pickle-safe pool
+boundaries.  See ``docs/architecture.md`` ("Static analysis &
+determinism lints") for the rationale table and the policy for adding
+a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.engine import (
+    Fix,
+    LintConfig,
+    ModuleContext,
+    Rule,
+    Severity,
+    Violation,
+)
+from repro.obs import names as _metric_names
+
+__all__ = [
+    "JRS001UnseededRandomness",
+    "JRS002WallClock",
+    "JRS003BroadExcept",
+    "JRS004UnregisteredMetricName",
+    "JRS005FloatEquality",
+    "JRS006MutableDefault",
+    "JRS007PoolBoundaryPickle",
+    "ALL_RULES",
+    "default_rules",
+]
+
+
+class JRS001UnseededRandomness(Rule):
+    """Unseeded randomness breaks run-for-run reproducibility.
+
+    Every stochastic draw must flow from a ``numpy.random.Generator``
+    derived via :mod:`repro.utils.rng`; stdlib ``random.*``, legacy
+    ``numpy.random.*`` module functions, and an argless
+    ``default_rng()`` all read hidden global state.
+    """
+
+    code = "JRS001"
+    severity = Severity.ERROR
+    description = (
+        "no unseeded randomness: stdlib random.*, legacy np.random.*, "
+        "or argless default_rng() outside utils/rng.py"
+    )
+    node_types = (ast.Call,)
+
+    #: numpy.random attributes that are seeded-construction APIs, not
+    #: hidden-global draws.
+    _NUMPY_OK = frozenset(
+        {"default_rng", "SeedSequence", "Generator", "BitGenerator"}
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.path_endswith("utils/rng.py")
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        assert isinstance(node, ast.Call)
+        target = ctx.resolve_call_chain(node.func)
+        if target is None:
+            return
+        if target == "random" or target.startswith("random."):
+            yield self.violation(
+                ctx,
+                node,
+                f"call to stdlib '{target}' reads hidden global RNG "
+                "state; draw from a Generator provided by "
+                "repro.utils.rng instead",
+            )
+            return
+        if not target.startswith("numpy.random."):
+            return
+        attr = target[len("numpy.random."):]
+        if attr == "default_rng":
+            if not node.args and not node.keywords:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "default_rng() without a seed is entropy-seeded "
+                    "and irreproducible; pass a seed or derive via "
+                    "repro.utils.rng",
+                )
+            return
+        if "." not in attr and attr not in self._NUMPY_OK:
+            yield self.violation(
+                ctx,
+                node,
+                f"legacy 'numpy.random.{attr}' uses the hidden global "
+                "RandomState; use a seeded Generator instead",
+            )
+
+
+class JRS002WallClock(Rule):
+    """Wall-clock reads inside the simulated world desynchronize runs.
+
+    Simulation, protocol, and PHY code must tell time via the event
+    loop (``Simulator.now``), never via the host clock — a wall-clock
+    read makes behaviour depend on machine load.
+    """
+
+    code = "JRS002"
+    severity = Severity.ERROR
+    description = (
+        "no wall-clock (time.time, datetime.now, ...) in sim/, "
+        "core/, dsss/"
+    )
+    node_types = (ast.Call,)
+
+    _BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.path_in("/sim/", "/core/", "/dsss/")
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        assert isinstance(node, ast.Call)
+        target = ctx.resolve_call_chain(node.func)
+        if target in self._BANNED:
+            yield self.violation(
+                ctx,
+                node,
+                f"'{target}' reads the host clock inside the simulated "
+                "world; use the event loop's Simulator.now",
+            )
+
+
+class JRS003BroadExcept(Rule):
+    """Broad excepts swallow the invariant breaches the soaks hunt for.
+
+    A ``except Exception`` around protocol or decode logic silently
+    converts a codec bug into 'channel noise'; handlers must name the
+    concrete error families they expect.
+    """
+
+    code = "JRS003"
+    severity = Severity.ERROR
+    description = "no bare/broad except outside the allowlist"
+    node_types = (ast.ExceptHandler,)
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        allowlist = self.config.broad_except_allowlist
+        return not (allowlist and ctx.path_endswith(*allowlist))
+
+    def _broad_name(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Name) and expr.id in self._BROAD:
+            return expr.id
+        if isinstance(expr, ast.Attribute) and expr.attr in self._BROAD:
+            return expr.attr
+        return None
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield self.violation(
+                ctx,
+                node,
+                "bare 'except:' catches everything including "
+                "KeyboardInterrupt; name the concrete error types",
+            )
+            return
+        exprs: Sequence[ast.expr]
+        if isinstance(node.type, ast.Tuple):
+            exprs = node.type.elts
+        else:
+            exprs = [node.type]
+        for expr in exprs:
+            name = self._broad_name(expr)
+            if name is not None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'except {name}' is too broad; name the concrete "
+                    "error types (see repro.errors) or suppress with "
+                    "a justification",
+                )
+
+
+class JRS004UnregisteredMetricName(Rule):
+    """Metric names must come from the ``repro.obs.names`` registry.
+
+    A typo'd counter name silently no-ops — the counter is written but
+    nothing ever reads it.  Literals must be declared in
+    ``obs/names.py``; dynamic names must be built by one of its
+    helpers.  A *registered* literal is only a warning (prefer the
+    constant) and is mechanically rewritten by ``--fix``.
+    """
+
+    code = "JRS004"
+    severity = Severity.ERROR
+    description = (
+        "metric names passed to repro.obs must be declared in "
+        "repro.obs.names (literals registered, dynamics via helpers)"
+    )
+    node_types = (ast.Call,)
+
+    _METHODS = frozenset(
+        {
+            "inc",
+            "gauge",
+            "gauge_max",
+            "observe",
+            "record_seconds",
+            "timer",
+            "event",
+            "increment",
+            "count",
+            "_count",
+            "counter",
+        }
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.path_endswith("obs/names.py")
+
+    def _names_alias(self, ctx: ModuleContext) -> Tuple[str, Optional[str]]:
+        """(attribute prefix, import line to add or None)."""
+        for bound, target in ctx.aliases.items():
+            if target == "repro.obs.names":
+                return bound, None
+        return "_names", "from repro.obs import names as _names"
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        assert isinstance(node, ast.Call)
+        if not isinstance(node.func, ast.Attribute):
+            return
+        if node.func.attr not in self._METHODS:
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+            if not _metric_names.looks_like_metric_name(name):
+                return  # not metric-shaped: list.count("x"), etc.
+            if not _metric_names.is_registered(name):
+                yield self.violation(
+                    ctx,
+                    node.func,
+                    f"metric name '{name}' is not declared in "
+                    "repro.obs.names; a typo here silently no-ops — "
+                    "declare the constant and report through it",
+                )
+                return
+            constant = _metric_names.CONSTANT_FOR.get(name)
+            if constant is None:
+                return  # helper-shaped literal: nothing to rewrite to
+            alias, new_import = self._names_alias(ctx)
+            fix = Fix(
+                line=arg.lineno,
+                col=arg.col_offset,
+                end_line=arg.end_lineno or arg.lineno,
+                end_col=arg.end_col_offset or arg.col_offset,
+                replacement=f"{alias}.{constant}",
+                new_import=new_import,
+            )
+            yield self.violation(
+                ctx,
+                node.func,
+                f"registered metric name '{name}' written as a raw "
+                f"literal; use {alias}.{constant} (auto-fixable)",
+                fix=fix,
+                severity=Severity.WARNING,
+            )
+            return
+        if isinstance(arg, ast.JoinedStr):
+            prefix = ""
+            if arg.values and isinstance(arg.values[0], ast.Constant):
+                prefix = str(arg.values[0].value)
+            if "." in prefix or not prefix:
+                yield self.violation(
+                    ctx,
+                    node.func,
+                    "dynamically built metric name; use a helper from "
+                    "repro.obs.names (e.g. cache_hits(kind)) so the "
+                    "shape stays registered",
+                )
+
+
+class JRS005FloatEquality(Rule):
+    """Exact float equality in the signal-processing layers is a trap.
+
+    Correlation thresholds and GF-polynomial intermediates live in
+    ``float64``; ``==`` against a float literal encodes an accidental
+    bit-pattern dependence.  Compare against integers, use tolerances
+    (``math.isclose``/``np.isclose``), or restructure.
+    """
+
+    code = "JRS005"
+    severity = Severity.ERROR
+    description = "no float ==/!= comparisons in dsss/ and ecc/"
+    node_types = (ast.Compare,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.path_in("/dsss/", "/ecc/")
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        assert isinstance(node, ast.Compare)
+        if not any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        ):
+            return
+        operands = [node.left, *node.comparators]
+        for operand in operands:
+            if isinstance(operand, ast.Constant) and isinstance(
+                operand.value, float
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"float equality against {operand.value!r}; use "
+                    "math.isclose/np.isclose or an integer "
+                    "representation",
+                )
+                return
+
+
+class JRS006MutableDefault(Rule):
+    """A mutable default argument is shared across every call."""
+
+    code = "JRS006"
+    severity = Severity.ERROR
+    description = "no mutable default arguments"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = frozenset(
+        {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+    )
+
+    def _is_mutable(self, default: ast.expr) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(default, ast.Call):
+            func = default.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else ""
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        args = node.args  # type: ignore[attr-defined]
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is not None and self._is_mutable(default):
+                yield self.violation(
+                    ctx,
+                    default,
+                    "mutable default argument is evaluated once and "
+                    "shared across calls; default to None or an "
+                    "immutable value",
+                )
+
+
+class JRS007PoolBoundaryPickle(Rule):
+    """Work shipped to a process pool must be pickle-safe.
+
+    Lambdas, nested functions, and locally defined classes cannot be
+    pickled; handing one to ``pool.map``/``run_parallel`` fails only at
+    runtime, on the largest configured fan-out.
+    """
+
+    code = "JRS007"
+    severity = Severity.ERROR
+    description = (
+        "no lambdas/closures/local classes crossing the process-pool "
+        "boundary"
+    )
+    node_types = (ast.Call,)
+
+    _POOL_METHODS = frozenset(
+        {
+            "map",
+            "map_async",
+            "imap",
+            "imap_unordered",
+            "starmap",
+            "starmap_async",
+            "apply",
+            "apply_async",
+        }
+    )
+    _POOL_FUNCTIONS = frozenset({"run_parallel"})
+    _POOL_KEYWORDS = frozenset({"initializer", "func", "callback"})
+
+    def _boundary_kind(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in self._POOL_METHODS:
+                return f".{func.attr}"
+            return None
+        if isinstance(func, ast.Name) and func.id in self._POOL_FUNCTIONS:
+            return func.id
+        return None
+
+    def _unpicklable(
+        self, arg: ast.expr, ctx: ModuleContext
+    ) -> Optional[str]:
+        if isinstance(arg, ast.Lambda):
+            return "a lambda"
+        if isinstance(arg, ast.Name) and arg.id in ctx.nested_defs:
+            if arg.id in ctx.module_scope_defs:
+                return None  # also defined at module scope: ambiguous
+            return f"locally defined '{arg.id}'"
+        return None
+
+    def check(
+        self, node: ast.AST, ctx: ModuleContext
+    ) -> Iterable[Violation]:
+        assert isinstance(node, ast.Call)
+        boundary = self._boundary_kind(node)
+        if boundary is None:
+            return
+        candidates: List[Tuple[ast.expr, str]] = [
+            (arg, f"argument {i}") for i, arg in enumerate(node.args)
+        ]
+        candidates.extend(
+            (kw.value, f"keyword '{kw.arg}'")
+            for kw in node.keywords
+            if kw.arg in self._POOL_KEYWORDS
+        )
+        for arg, where in candidates:
+            reason = self._unpicklable(arg, ctx)
+            if reason is not None:
+                yield self.violation(
+                    ctx,
+                    arg,
+                    f"{reason} passed to pool boundary '{boundary}' "
+                    f"({where}) cannot be pickled; move it to module "
+                    "scope",
+                )
+
+
+ALL_RULES: Tuple[type, ...] = (
+    JRS001UnseededRandomness,
+    JRS002WallClock,
+    JRS003BroadExcept,
+    JRS004UnregisteredMetricName,
+    JRS005FloatEquality,
+    JRS006MutableDefault,
+    JRS007PoolBoundaryPickle,
+)
+
+#: code -> rule class, for --select/--ignore validation and docs.
+RULES_BY_CODE: Dict[str, type] = {
+    rule.code: rule for rule in ALL_RULES
+}
+
+
+def default_rules(config: LintConfig) -> List[Rule]:
+    """Instantiate the full rule pack against ``config``."""
+    return [rule_cls(config) for rule_cls in ALL_RULES]

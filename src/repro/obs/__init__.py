@@ -21,6 +21,7 @@ See ``docs/architecture.md`` ("Observability") for the reporting map
 and the JSON schema.
 """
 
+from repro.obs import names
 from repro.obs.registry import (
     NULL,
     MetricsRegistry,
@@ -37,6 +38,7 @@ from repro.obs.snapshot import (
 )
 
 __all__ = [
+    "names",
     "MetricsRegistry",
     "NullRegistry",
     "NULL",

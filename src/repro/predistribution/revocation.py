@@ -16,6 +16,7 @@ from typing import Dict, Iterable, Set
 
 from repro.errors import ConfigurationError, RevokedCodeError
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 from repro.utils.validation import check_positive
 
 __all__ = ["RevocationList"]
@@ -82,13 +83,13 @@ class RevocationList:
         self._counters[code_index] += 1
         registry = _metrics()
         if registry.enabled:
-            registry.inc("revocation.invalid_requests")
+            registry.inc(_names.REVOCATION_INVALID_REQUESTS)
         if self._counters[code_index] >= self._gamma:
             self._revoked.add(code_index)
             if registry.enabled:
-                registry.inc("revocation.codes_revoked")
+                registry.inc(_names.REVOCATION_CODES_REVOKED)
                 registry.event(
-                    "revocation.revoked",
+                    _names.REVOCATION_REVOKED,
                     code=int(code_index),
                     counter=self._counters[code_index],
                 )

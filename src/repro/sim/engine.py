@@ -25,6 +25,7 @@ from typing import (
 
 from repro.errors import SimulationError
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 
 __all__ = ["Simulator", "SimObserver", "Event", "Timeout", "Process"]
 
@@ -236,10 +237,10 @@ class Simulator:
             self._events_executed += executed
             registry = _metrics()
             if registry.enabled:
-                registry.inc("sim.events_executed", executed)
-                registry.gauge("sim.time", self._now)
+                registry.inc(_names.SIM_EVENTS_EXECUTED, executed)
+                registry.gauge(_names.SIM_TIME, self._now)
                 registry.gauge_max(
-                    "sim.heap_high_water", self._heap_high_water
+                    _names.SIM_HEAP_HIGH_WATER, self._heap_high_water
                 )
 
     def peek(self) -> Optional[float]:

@@ -33,6 +33,7 @@ from typing import Any, Callable, Hashable, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs import current as _metrics
+from repro.obs import names as _names
 
 __all__ = ["ArtifactCache", "shared_cache", "clear_shared_cache"]
 
@@ -92,11 +93,11 @@ class ArtifactCache:
             self._entries.move_to_end(full_key)
             self._hits += 1
             if registry.enabled:
-                registry.inc(f"cache.{kind}.hits")
+                registry.inc(_names.cache_hits(kind))
             return value
         self._misses += 1
         if registry.enabled:
-            registry.inc(f"cache.{kind}.misses")
+            registry.inc(_names.cache_misses(kind))
         value = builder()
         self._entries[full_key] = value
         if len(self._entries) > self._max_entries:

@@ -6,7 +6,7 @@ import pytest
 
 from repro.adversary.jammer import JammerStrategy
 from repro.core.config import JRSNDConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.parallel import run_parallel
 from repro.experiments.runner import NetworkExperiment
 
@@ -96,6 +96,56 @@ class TestFailureHandling:
         assert [index for index, _ in err.failures] == [1]
         assert "synthetic failure" in err.failures[0][1]
         assert len(err.completed.runs) == 2
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SimulationError("domain failure"),
+            ValueError("numpy shape mismatch"),
+            KeyError("missing pool code"),
+        ],
+        ids=["repro-error", "value-error", "lookup-error"],
+    )
+    def test_trapped_families_come_back_as_data(self, monkeypatch, exc):
+        """Regression for the JRS003 narrowing: ``_one_run`` traps the
+        concrete :data:`WORKER_TRAPPED_ERRORS` families (not a blanket
+        ``except Exception``), and each still travels back tagged with
+        its run index instead of aborting the map."""
+        from repro.errors import ParallelExecutionError
+
+        def failing(self, run_index):
+            if run_index == 1:
+                raise exc
+            return self._execute_run(run_index)
+
+        monkeypatch.setattr(NetworkExperiment, "run_once", failing)
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            run_parallel(SMALL, seed=6, runs=3, processes=1)
+        err = excinfo.value
+        assert [index for index, _ in err.failures] == [1]
+        assert type(exc).__name__ in err.failures[0][1]
+        assert len(err.completed.runs) == 2
+
+    def test_untrapped_exceptions_propagate(self, monkeypatch):
+        """Cancellation and foreign exception types are not swallowed
+        into the failure report: they abort the run immediately."""
+
+        class ForeignPluginError(BaseException):
+            pass
+
+        def failing(self, run_index):
+            raise ForeignPluginError("not part of the worker taxonomy")
+
+        monkeypatch.setattr(NetworkExperiment, "run_once", failing)
+        with pytest.raises(ForeignPluginError):
+            run_parallel(SMALL, seed=6, runs=2, processes=1)
+
+    def test_trapped_families_are_concrete(self):
+        """The worker boundary must never regress to a blanket catch."""
+        from repro.errors import WORKER_TRAPPED_ERRORS
+
+        assert Exception not in WORKER_TRAPPED_ERRORS
+        assert BaseException not in WORKER_TRAPPED_ERRORS
 
     def test_error_pickle_round_trip(self):
         """Regression: the default ``Exception.__reduce__`` only keeps

@@ -1,0 +1,11 @@
+"""--fix fixture: registered literals rewritten to constants."""
+
+from repro.obs import current as _metrics
+
+
+def report() -> None:
+    registry = _metrics()
+    registry.inc("dsss.scans")
+    registry.inc("dndp.established", 2)
+    registry.observe("mndp.recovery_hops", 3)
+    registry.gauge("sim.time", 1.5)

@@ -1,0 +1,17 @@
+"""JRS001 positive fixture: every flavour of unseeded randomness."""
+
+import random
+import numpy as np
+from numpy.random import default_rng
+
+
+def draws():
+    a = random.random()
+    b = random.randint(0, 10)
+    random.seed(7)
+    c = np.random.rand(4)
+    d = np.random.choice([1, 2, 3])
+    np.random.seed(0)
+    e = np.random.default_rng()
+    f = default_rng()
+    return a, b, c, d, e, f

@@ -1,0 +1,15 @@
+"""JRS001 negative fixture: seeded construction only."""
+
+import numpy as np
+from numpy.random import default_rng
+
+from repro.utils.rng import SeedSequencer, derive_rng
+
+
+def draws(rng: np.random.Generator):
+    seeded = np.random.default_rng(42)
+    from_seq = np.random.default_rng(np.random.SeedSequence(7))
+    named = default_rng(seed=3)
+    derived = derive_rng(1, "fixture")
+    child = SeedSequencer(5).rng("fixture")
+    return rng.integers(0, 10), seeded, from_seq, named, derived, child

@@ -1,0 +1,14 @@
+"""JRS002 positive fixture (linted under a sim/ virtual path)."""
+
+import time
+from datetime import date, datetime
+
+
+def timestamps():
+    a = time.time()
+    b = time.time_ns()
+    c = time.perf_counter()
+    d = datetime.now()
+    e = datetime.utcnow()
+    f = date.today()
+    return a, b, c, d, e, f

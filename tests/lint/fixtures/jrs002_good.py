@@ -1,0 +1,7 @@
+"""JRS002 negative fixture: simulated time via the event loop."""
+
+
+def timestamps(sim):
+    started = sim.now
+    sim.call_at(started + 1.5, lambda: None)
+    return started

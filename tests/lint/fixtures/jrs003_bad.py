@@ -1,0 +1,20 @@
+"""JRS003 positive fixture: bare and broad excepts."""
+
+
+def handlers():
+    try:
+        pass
+    except:
+        pass
+    try:
+        pass
+    except Exception:
+        pass
+    try:
+        pass
+    except BaseException as exc:
+        raise exc
+    try:
+        pass
+    except (ValueError, Exception):
+        pass

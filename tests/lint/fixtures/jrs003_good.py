@@ -1,0 +1,18 @@
+"""JRS003 negative fixture: concrete error families only."""
+
+from repro.errors import DecodeError, ProtocolError
+
+
+def handlers():
+    try:
+        pass
+    except DecodeError:
+        pass
+    try:
+        pass
+    except (ProtocolError, ValueError):
+        pass
+    try:
+        pass
+    except OSError as exc:
+        raise exc

@@ -1,0 +1,10 @@
+"""JRS004 positive fixture: typo'd and dynamically built names."""
+
+from repro.obs import current as _metrics
+
+
+def report(kind: str) -> None:
+    registry = _metrics()
+    registry.inc("dsss.scnas")
+    registry.observe("mndp.recovery_hopz", 3)
+    registry.inc(f"cache.{kind}.hits")

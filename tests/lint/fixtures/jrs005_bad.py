@@ -1,0 +1,9 @@
+"""JRS005 positive fixture (linted under a dsss/ virtual path)."""
+
+
+def thresholds(peak: float, energy: float):
+    if peak == 0.75:
+        return True
+    if 1.0 != energy:
+        return False
+    return peak == energy == 0.0

@@ -1,0 +1,11 @@
+"""JRS005 negative fixture: tolerances and integer comparisons."""
+
+import math
+
+
+def thresholds(peak: float, count: int):
+    if math.isclose(peak, 0.75):
+        return True
+    if count == 0:
+        return False
+    return peak >= 0.5

@@ -1,0 +1,9 @@
+"""JRS006 positive fixture: mutable defaults of every common shape."""
+
+
+def collect(items=[], index={}, seen=set(), order=list()):
+    return items, index, seen, order
+
+
+def keyword_only(*, acc=dict()):
+    return acc

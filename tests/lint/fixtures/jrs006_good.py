@@ -1,0 +1,13 @@
+"""JRS006 negative fixture: immutable defaults."""
+
+from typing import Optional, Tuple
+
+
+def collect(
+    items: Tuple[int, ...] = (),
+    index: Optional[dict] = None,
+    label: str = "default",
+    count: int = 0,
+):
+    index = {} if index is None else index
+    return items, index, label, count

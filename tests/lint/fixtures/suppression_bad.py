@@ -1,0 +1,12 @@
+"""Suppression fixture: missing justification and unknown codes."""
+
+
+def boundary():
+    try:
+        pass
+    except Exception:  # jrsnd: noqa(JRS003)
+        pass
+    try:
+        pass
+    except Exception:  # jrsnd: noqa(BOGUS)
+        pass

@@ -1,0 +1,134 @@
+"""CLI tests: exit codes, formats, --fix application and idempotency."""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.report import JSON_SCHEMA
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_cli(*argv: str) -> int:
+    return main(list(argv))
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        assert run_cli(str(target)) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, capsys):
+        code = run_cli(str(FIXTURES / "jrs006_bad.py"))
+        assert code == 1
+        assert "JRS006" in capsys.readouterr().out
+
+    def test_warnings_exit_zero_unless_strict(self, tmp_path, capsys):
+        target = tmp_path / "warn.py"
+        target.write_text(
+            "from repro.obs import current\n"
+            'current().inc("dsss.scans")\n'
+        )
+        assert run_cli(str(target)) == 0
+        assert run_cli(str(target), "--fail-on-warnings") == 1
+        capsys.readouterr()
+
+    def test_missing_path_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("definitely/not/a/path")
+        assert excinfo.value.code == 2
+
+    def test_unknown_rule_code_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli("src", "--select", "JRS999")
+        assert excinfo.value.code == 2
+
+
+class TestFormats:
+    def test_json_schema_and_counts(self, capsys):
+        code = run_cli(
+            str(FIXTURES / "jrs006_bad.py"), "--format", "json"
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == JSON_SCHEMA
+        assert document["files_checked"] == 1
+        assert document["counts"]["errors"] >= 5
+        assert document["counts"]["by_rule"]["JRS006"] >= 5
+        first = document["violations"][0]
+        assert set(first) == {
+            "rule", "severity", "path", "line", "col",
+            "message", "fixable",
+        }
+
+    def test_output_file(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        code = run_cli(
+            str(FIXTURES / "jrs006_bad.py"),
+            "--format", "json", "--output", str(report),
+        )
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        assert json.loads(report.read_text())["schema"] == JSON_SCHEMA
+
+    def test_list_rules(self, capsys):
+        assert run_cli("--list-rules") == 0
+        out = capsys.readouterr().out
+        for code in (
+            "JRS001", "JRS002", "JRS003", "JRS004",
+            "JRS005", "JRS006", "JRS007",
+        ):
+            assert code in out
+        assert "justification" in out
+
+
+class TestFix:
+    def fix_copy(self, tmp_path) -> Path:
+        target = tmp_path / "fix_input.py"
+        shutil.copyfile(FIXTURES / "fix_input.py", target)
+        return target
+
+    def test_fix_rewrites_registered_literals(self, tmp_path, capsys):
+        target = self.fix_copy(tmp_path)
+        assert run_cli(str(target), "--fix") == 0
+        fixed = target.read_text()
+        assert "from repro.obs import names as _names" in fixed
+        assert "_names.DSSS_SCANS" in fixed
+        assert '_names.DNDP_ESTABLISHED, 2' in fixed
+        assert "_names.MNDP_RECOVERY_HOPS" in fixed
+        assert "_names.SIM_TIME" in fixed
+        assert '"dsss.scans"' not in fixed
+        capsys.readouterr()
+
+    def test_fix_is_idempotent(self, tmp_path, capsys):
+        target = self.fix_copy(tmp_path)
+        run_cli(str(target), "--fix")
+        once = target.read_text()
+        run_cli(str(target), "--fix")
+        assert target.read_text() == once
+        capsys.readouterr()
+
+    def test_fixed_file_parses_and_is_clean(self, tmp_path, capsys):
+        target = self.fix_copy(tmp_path)
+        run_cli(str(target), "--fix")
+        compile(target.read_text(), str(target), "exec")
+        assert run_cli(str(target), "--fail-on-warnings") == 0
+        capsys.readouterr()
+
+    def test_fix_leaves_errors_in_report(self, tmp_path, capsys):
+        target = tmp_path / "still_bad.py"
+        target.write_text(
+            "from repro.obs import current\n"
+            'current().inc("dsss.scans")\n'
+            'current().inc("dsss.scnas")\n'
+        )
+        code = run_cli(str(target), "--fix")
+        assert code == 1  # the typo'd name is not mechanically fixable
+        assert "_names.DSSS_SCANS" in target.read_text()
+        assert '"dsss.scnas"' in target.read_text()
+        capsys.readouterr()

@@ -1,0 +1,39 @@
+"""Meta-test: the repository's own source passes its lint gate.
+
+This is the CI contract in miniature — if a change introduces an
+unseeded RNG, a wall-clock read, a broad except, or a typo'd metric
+name anywhere under ``src/``, this test fails locally before the lint
+job does.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import LintConfig, default_rules, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+class TestRepoClean:
+    def test_src_tree_has_no_findings(self):
+        config = LintConfig()
+        violations, files_checked = lint_paths(
+            [str(SRC)], default_rules(config), config
+        )
+        assert files_checked > 80
+        assert violations == [], "\n".join(
+            f"{v.path}:{v.line} {v.rule} {v.message}"
+            for v in violations
+        )
+
+    def test_module_entry_point_exits_clean(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(SRC)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout

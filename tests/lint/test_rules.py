@@ -1,0 +1,171 @@
+"""Per-rule fixture tests: each JRS rule fires on its known-bad
+fixture and stays silent on the corrected version."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, default_rules, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Virtual paths: scoped rules (JRS002, JRS005) key off the module's
+#: location, so fixtures are linted as-if they lived in scope.
+IN_SCOPE = {
+    "JRS001": "src/repro/core/fixture.py",
+    "JRS002": "src/repro/sim/fixture.py",
+    "JRS003": "src/repro/core/fixture.py",
+    "JRS004": "src/repro/experiments/fixture.py",
+    "JRS005": "src/repro/dsss/fixture.py",
+    "JRS006": "src/repro/analysis/fixture.py",
+    "JRS007": "src/repro/experiments/fixture.py",
+}
+
+#: Minimum findings each bad fixture must produce for its own rule.
+EXPECTED_MIN = {
+    "JRS001": 7,
+    "JRS002": 6,
+    "JRS003": 4,
+    "JRS004": 3,
+    "JRS005": 2,
+    "JRS006": 5,
+    "JRS007": 3,
+}
+
+
+def run_fixture(name: str, virtual_path: str):
+    source = (FIXTURES / name).read_text()
+    config = LintConfig()
+    return lint_source(
+        source, virtual_path, default_rules(config), config
+    )
+
+
+@pytest.mark.parametrize("code", sorted(IN_SCOPE))
+class TestRulePack:
+    def test_fires_on_bad_fixture(self, code):
+        violations = run_fixture(
+            f"{code.lower()}_bad.py", IN_SCOPE[code]
+        )
+        own = [v for v in violations if v.rule == code]
+        assert len(own) >= EXPECTED_MIN[code]
+        others = {v.rule for v in violations} - {code}
+        assert not others, f"unexpected cross-rule noise: {others}"
+
+    def test_silent_on_good_fixture(self, code):
+        violations = run_fixture(
+            f"{code.lower()}_good.py", IN_SCOPE[code]
+        )
+        assert violations == []
+
+
+class TestScoping:
+    """Scoped rules must ignore the same code outside their paths."""
+
+    @pytest.mark.parametrize(
+        "fixture, code, out_of_scope_path",
+        [
+            ("jrs002_bad.py", "JRS002",
+             "src/repro/experiments/fixture.py"),
+            ("jrs005_bad.py", "JRS005",
+             "src/repro/analysis/fixture.py"),
+        ],
+    )
+    def test_out_of_scope_is_silent(
+        self, fixture, code, out_of_scope_path
+    ):
+        violations = run_fixture(fixture, out_of_scope_path)
+        assert [v for v in violations if v.rule == code] == []
+
+    def test_jrs001_exempts_rng_module(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        config = LintConfig()
+        rules = default_rules(config)
+        inside = lint_source(
+            source, "src/repro/utils/rng.py", rules, config
+        )
+        outside = lint_source(
+            source, "src/repro/utils/other.py", rules, config
+        )
+        assert inside == []
+        assert [v.rule for v in outside] == ["JRS001"]
+
+    def test_jrs003_allowlist(self):
+        source = "try:\n    pass\nexcept Exception:\n    pass\n"
+        config = LintConfig(
+            broad_except_allowlist=("experiments/parallel.py",)
+        )
+        rules = default_rules(config)
+        allowed = lint_source(
+            source, "src/repro/experiments/parallel.py", rules, config
+        )
+        elsewhere = lint_source(
+            source, "src/repro/core/x.py", rules, config
+        )
+        assert allowed == []
+        assert [v.rule for v in elsewhere] == ["JRS003"]
+
+
+class TestRuleDetails:
+    def test_jrs001_alias_resolution(self):
+        source = (
+            "import numpy.random as npr\n"
+            "import random as rnd\n"
+            "a = npr.randint(3)\n"
+            "b = rnd.choice([1])\n"
+        )
+        violations = run_fixture_source(source)
+        assert [v.rule for v in violations] == ["JRS001", "JRS001"]
+
+    def test_jrs001_seeded_default_rng_ok(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+        )
+        assert run_fixture_source(source) == []
+
+    def test_jrs004_registered_literal_is_fixable_warning(self):
+        source = (
+            "from repro.obs import current\n"
+            'current().inc("dsss.scans")\n'
+        )
+        violations = run_fixture_source(source)
+        assert len(violations) == 1
+        violation = violations[0]
+        assert violation.rule == "JRS004"
+        assert violation.severity.value == "warning"
+        assert violation.fixable
+        assert violation.fix.replacement == "_names.DSSS_SCANS"
+        assert violation.fix.new_import == (
+            "from repro.obs import names as _names"
+        )
+
+    def test_jrs004_reuses_existing_names_alias(self):
+        source = (
+            "from repro.obs import names\n"
+            "from repro.obs import current\n"
+            'current().inc("dsss.scans")\n'
+        )
+        violations = run_fixture_source(source)
+        assert violations[0].fix.replacement == "names.DSSS_SCANS"
+        assert violations[0].fix.new_import is None
+
+    def test_jrs007_module_scope_shadow_is_not_flagged(self):
+        source = (
+            "def worker(x):\n"
+            "    return x\n"
+            "def other():\n"
+            "    def worker(x):\n"
+            "        return x\n"
+            "def go(pool, items):\n"
+            "    return pool.map(worker, items)\n"
+        )
+        assert run_fixture_source(source) == []
+
+
+def run_fixture_source(source: str):
+    config = LintConfig()
+    return lint_source(
+        source, "src/repro/core/fixture.py",
+        default_rules(config), config,
+    )
