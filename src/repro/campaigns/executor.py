@@ -1,0 +1,240 @@
+"""The campaign executor: expand, skip, run, commit, canonicalize.
+
+The control loop is deliberately dumb — all the intelligence lives in
+the determinism guarantees around it:
+
+1. expand the spec into shards (pure function of the spec);
+2. ask the store which shard indices are already committed for this
+   ``(campaign, spec hash, git revision)`` and skip them;
+3. run each remaining shard through
+   :func:`~repro.experiments.parallel.run_parallel` with the point's
+   derived seed and the shard's run-index range;
+4. commit the shard's results and merged deterministic metrics in one
+   transaction;
+5. when every shard is present, mark the campaign complete and
+   atomically replace the working store with its canonical
+   byte-deterministic rebuild.
+
+A SIGKILL anywhere in steps 3-4 loses at most the in-flight shard's
+work; the next ``resume`` re-executes exactly that shard and the final
+store is bit-identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import CampaignStore, current_git_revision
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import run_parallel
+from repro.obs import current
+from repro.obs import names as _names
+from repro.utils.fileio import atomic_write_text
+
+__all__ = ["CampaignStatus", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """What one ``run_campaign`` invocation did."""
+
+    campaign_id: str
+    spec_hash: str
+    git_revision: str
+    shards_total: int
+    shards_skipped: int
+    shards_executed: int
+    runs_executed: int
+    complete: bool
+    canonical_digest: str
+
+    @property
+    def was_noop(self) -> bool:
+        """True when every shard was already in the store."""
+        return self.shards_executed == 0 and self.complete
+
+
+def _self_sigkill() -> None:
+    """Deliver an uncatchable SIGKILL to this process.
+
+    The ``--kill-after-shards`` testing hook uses the real signal (not
+    ``sys.exit``) so the interruption path exercised by tests and the
+    CI smoke is byte-for-byte the one a ``kill -9`` or OOM kill takes:
+    no ``atexit``, no ``finally``, no sqlite connection cleanup.
+    """
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: str,
+    processes: Optional[int] = None,
+    max_shards: Optional[int] = None,
+    kill_after_shards: Optional[int] = None,
+    git_revision: Optional[str] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignStatus:
+    """Launch or resume ``spec`` against the store at ``store_path``.
+
+    Launching and resuming are the same operation: shards already
+    committed under ``(spec.name, spec hash, git revision)`` are
+    skipped, the rest execute in shard-index order.  Re-invoking on a
+    finished campaign is a no-op that leaves the store untouched.
+
+    Parameters
+    ----------
+    processes:
+        Worker processes per shard (forwarded to ``run_parallel``).
+    max_shards:
+        Stop gracefully after executing this many shards (testing and
+        budgeted execution); the campaign stays resumable.
+    kill_after_shards:
+        Testing hook: SIGKILL this process immediately after the
+        N-th shard commit, simulating a hard crash mid-campaign.
+    git_revision:
+        Override the revision key (defaults to ``git rev-parse HEAD``).
+    progress:
+        Optional line sink for human-readable progress.
+    """
+    if max_shards is not None and max_shards < 0:
+        raise ConfigurationError("max_shards must be >= 0")
+    revision = git_revision or current_git_revision()
+    shards = spec.shards()
+    spec_hash = spec.spec_hash()
+    emit = progress or (lambda line: None)
+    registry = current()
+
+    executed = 0
+    runs_executed = 0
+    with CampaignStore(store_path) as store:
+        store.register_campaign(spec, revision)
+        done = store.completed_shards(spec.name, spec_hash, revision)
+        # 'complete' is only ever written by the canonical export, so
+        # it also certifies the file is already in canonical form.
+        already_complete = (
+            store.campaign_status(spec.name, spec_hash, revision)
+            == "complete"
+        )
+        skipped = len(done)
+        if skipped:
+            registry.inc(_names.CAMPAIGNS_RESUMED)
+            registry.inc(_names.CAMPAIGNS_SHARDS_SKIPPED, skipped)
+            emit(
+                f"resuming: {skipped}/{len(shards)} shards already "
+                f"in store"
+            )
+        for shard in shards:
+            if shard.index in done:
+                continue
+            if max_shards is not None and executed >= max_shards:
+                break
+            point = shard.point
+            with registry.timer(_names.CAMPAIGNS_SHARD_SECONDS):
+                result = run_parallel(
+                    spec.point_config(point),
+                    seed=point.seed,
+                    runs=shard.n_runs,
+                    processes=processes,
+                    strategy=spec.point_strategy(point),
+                    mndp_rounds=spec.mndp_rounds,
+                    link_model=spec.point_link_model(point),
+                    collect_metrics=spec.collect_metrics,
+                    compute_backend=spec.compute_backend,
+                    run_indices=shard.run_indices,
+                )
+            metrics = (
+                result.merged_metrics()
+                if spec.collect_metrics else None
+            )
+            store.write_shard(spec, revision, shard, result.runs, metrics)
+            executed += 1
+            runs_executed += shard.n_runs
+            registry.inc(_names.CAMPAIGNS_SHARDS_COMPLETED)
+            registry.inc(_names.CAMPAIGNS_RUNS_EXECUTED, shard.n_runs)
+            registry.inc(_names.CAMPAIGNS_STORE_COMMITS)
+            emit(
+                f"shard {shard.index + 1}/{len(shards)} committed "
+                f"(point {point.index}, runs "
+                f"{shard.run_start}..{shard.run_stop - 1})"
+            )
+            if (
+                kill_after_shards is not None
+                and executed >= kill_after_shards
+            ):
+                emit(f"kill-after-shards={kill_after_shards}: SIGKILL")
+                _self_sigkill()
+        done = store.completed_shards(spec.name, spec_hash, revision)
+        complete = len(done) == len(shards)
+
+    if complete and not already_complete:
+        _canonicalize(
+            store_path, (spec.name, spec_hash, revision)
+        )
+        with CampaignStore(store_path) as store:
+            digest = store.canonical_digest()
+        _write_summary_sidecar(store_path, spec, revision, digest)
+        emit(f"campaign complete; canonical store at {store_path}")
+    else:
+        with CampaignStore(store_path) as store:
+            digest = store.canonical_digest()
+        if complete:
+            emit("campaign already complete; store untouched")
+        else:
+            emit(
+                f"stopped with {len(shards) - len(done)} shards "
+                f"remaining; resume with the same spec to continue"
+            )
+
+    return CampaignStatus(
+        campaign_id=spec.name,
+        spec_hash=spec_hash,
+        git_revision=revision,
+        shards_total=len(shards),
+        shards_skipped=skipped,
+        shards_executed=executed,
+        runs_executed=runs_executed,
+        complete=complete,
+        canonical_digest=digest,
+    )
+
+
+def _canonicalize(store_path, campaign_key) -> None:
+    """Atomically replace the working store with its canonical form,
+    stamping ``campaign_key`` complete in the exported rows."""
+    tmp_path = store_path + ".canonical.tmp"
+    with CampaignStore(store_path) as store:
+        store.export_canonical(tmp_path, mark_complete=campaign_key)
+    os.replace(tmp_path, store_path)
+
+
+def _write_summary_sidecar(
+    store_path: str,
+    spec: CampaignSpec,
+    git_revision: str,
+    digest: str,
+) -> None:
+    """A small JSON sidecar for dashboards and CI artifact diffing.
+
+    Written through the same atomic helper as ``--metrics-out``; an
+    interrupt can never leave a truncated sidecar next to a valid
+    store.
+    """
+    import json
+
+    summary = {
+        "campaign_id": spec.name,
+        "spec_hash": spec.spec_hash(),
+        "git_revision": git_revision,
+        "canonical_digest": digest,
+        "points": len(spec.points()),
+        "shards": len(spec.shards()),
+        "runs_per_point": spec.runs_per_point,
+    }
+    atomic_write_text(
+        store_path + ".summary.json",
+        json.dumps(summary, indent=2, sort_keys=True),
+    )

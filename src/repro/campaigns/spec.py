@@ -1,0 +1,338 @@
+"""Declarative campaign specs and their deterministic expansion.
+
+A spec is data, not code: a base config preset, a grid of axis values,
+runs per point, and a root seed.  Everything downstream — point order,
+shard boundaries, per-point seeds, the content hash — is a pure
+function of that data, which is what makes a campaign resumable: any
+process expanding the same spec produces the same shard list, so a
+store populated by a killed run composes seamlessly with the shards a
+resuming run still has to execute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.adversary.jammer import JammerStrategy
+from repro.core.config import JRSNDConfig
+from repro.core.mndp import COMPUTE_BACKENDS
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import preset_config
+from repro.utils.rng import SeedSequencer
+from repro.utils.validation import check_positive
+
+__all__ = ["GRID_AXES", "CampaignPoint", "Shard", "CampaignSpec"]
+
+#: Sweepable axes: the paper's n / m / l / q / nu plus the jammer
+#: strategy and the link model.  Config axes map straight onto
+#: :class:`JRSNDConfig` fields; the two protocol axes are handled by
+#: the experiment constructor.
+CONFIG_AXES = (
+    "n_nodes",
+    "codes_per_node",
+    "share_count",
+    "n_compromised",
+    "nu",
+)
+PROTOCOL_AXES = ("strategy", "link_model")
+GRID_AXES = CONFIG_AXES + PROTOCOL_AXES
+
+_STRATEGIES = {
+    "reactive": JammerStrategy.REACTIVE,
+    "random": JammerStrategy.RANDOM,
+}
+_LINK_MODELS = ("codes", "independent")
+
+
+@dataclass(frozen=True)
+class CampaignPoint:
+    """One fully resolved grid point of a campaign.
+
+    ``params`` holds the axis values that distinguish this point
+    (config overrides plus strategy/link_model), in sorted-key order;
+    ``seed`` is the point's derived root seed, a pure function of the
+    campaign seed and the point index.
+    """
+
+    index: int
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def params_json(self) -> str:
+        """Canonical JSON of the point's parameters (stable key order)."""
+        return json.dumps(dict(self.params), sort_keys=True,
+                          separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A checkpointable unit of work: a run range of one point."""
+
+    index: int
+    point: CampaignPoint
+    run_start: int
+    run_stop: int
+
+    @property
+    def n_runs(self) -> int:
+        return self.run_stop - self.run_start
+
+    @property
+    def run_indices(self) -> range:
+        return range(self.run_start, self.run_stop)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative, hashable description of one sweep campaign.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier; the store keys results under it.
+    seed:
+        Root seed; every point derives an independent child seed.
+    runs_per_point:
+        Monte Carlo runs per grid point (the paper uses 100).
+    grid:
+        Axis name -> value list; axes are :data:`GRID_AXES`.  The
+        expansion is the cartesian product with axes iterated in
+        sorted-name order and values in their given order.
+    base:
+        Config preset name (``paper`` / ``small`` / ``tiny``, see
+        :data:`repro.experiments.scenarios.CONFIG_PRESETS`).
+    strategy, link_model:
+        Defaults for points whose grid does not sweep them.
+    runs_per_shard:
+        Checkpoint granularity: a point's runs are chunked into shards
+        of at most this many runs (default: one shard per point).
+    mndp_rounds, compute_backend, collect_metrics, sample_latency:
+        Forwarded to :class:`~repro.experiments.runner.NetworkExperiment`.
+    """
+
+    name: str
+    seed: int
+    runs_per_point: int
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    base: str = "paper"
+    strategy: str = "reactive"
+    link_model: str = "codes"
+    runs_per_shard: Optional[int] = None
+    mndp_rounds: int = 1
+    compute_backend: str = "vectorized"
+    collect_metrics: bool = True
+    sample_latency: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("-", "").replace(
+            "_", ""
+        ).isalnum():
+            raise ConfigurationError(
+                f"campaign name must be a non-empty slug, got {self.name!r}"
+            )
+        check_positive("runs_per_point", self.runs_per_point)
+        if self.runs_per_shard is not None:
+            check_positive("runs_per_shard", self.runs_per_shard)
+        check_positive("mndp_rounds", self.mndp_rounds)
+        for axis, values in self.grid.items():
+            if axis not in GRID_AXES:
+                raise ConfigurationError(
+                    f"unknown grid axis {axis!r}; sweepable axes are "
+                    f"{sorted(GRID_AXES)}"
+                )
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ConfigurationError(
+                    f"grid axis {axis!r} needs a non-empty value list"
+                )
+        if self.strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {sorted(_STRATEGIES)}, "
+                f"got {self.strategy!r}"
+            )
+        for value in self.grid.get("strategy", ()):
+            if value not in _STRATEGIES:
+                raise ConfigurationError(
+                    f"grid strategy {value!r} must be one of "
+                    f"{sorted(_STRATEGIES)}"
+                )
+        if self.link_model not in _LINK_MODELS:
+            raise ConfigurationError(
+                f"link_model must be one of {_LINK_MODELS}, "
+                f"got {self.link_model!r}"
+            )
+        for value in self.grid.get("link_model", ()):
+            if value not in _LINK_MODELS:
+                raise ConfigurationError(
+                    f"grid link_model {value!r} must be one of "
+                    f"{_LINK_MODELS}"
+                )
+        if self.compute_backend not in COMPUTE_BACKENDS:
+            raise ConfigurationError(
+                f"compute_backend must be one of {COMPUTE_BACKENDS}, "
+                f"got {self.compute_backend!r}"
+            )
+        # Resolving the preset now surfaces a bad name at spec-build
+        # time instead of deep inside shard 0.
+        preset_config(self.base)
+
+    # -- canonical form and hashing ------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-dict form (grid values as lists)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "runs_per_point": self.runs_per_point,
+            "grid": {
+                axis: list(values)
+                for axis, values in sorted(self.grid.items())
+            },
+            "base": self.base,
+            "strategy": self.strategy,
+            "link_model": self.link_model,
+            "runs_per_shard": self.runs_per_shard,
+            "mndp_rounds": self.mndp_rounds,
+            "compute_backend": self.compute_backend,
+            "collect_metrics": self.collect_metrics,
+            "sample_latency": self.sample_latency,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators.
+
+        Two specs with the same content always serialize to the same
+        bytes, so :meth:`spec_hash` is a content address.
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical JSON (first 16 hex chars)."""
+        digest = hashlib.sha256(self.to_json().encode("utf-8"))
+        return digest.hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        known = {
+            "name", "seed", "runs_per_point", "grid", "base",
+            "strategy", "link_model", "runs_per_shard", "mndp_rounds",
+            "compute_backend", "collect_metrics", "sample_latency",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown campaign spec fields: {sorted(unknown)}"
+            )
+        for required in ("name", "seed", "runs_per_point"):
+            if required not in data:
+                raise ConfigurationError(
+                    f"campaign spec is missing {required!r}"
+                )
+        return cls(
+            name=str(data["name"]),
+            seed=int(data["seed"]),
+            runs_per_point=int(data["runs_per_point"]),
+            grid={
+                str(axis): list(values)
+                for axis, values in dict(data.get("grid", {})).items()
+            },
+            base=str(data.get("base", "paper")),
+            strategy=str(data.get("strategy", "reactive")),
+            link_model=str(data.get("link_model", "codes")),
+            runs_per_shard=(
+                None if data.get("runs_per_shard") is None
+                else int(data["runs_per_shard"])
+            ),
+            mndp_rounds=int(data.get("mndp_rounds", 1)),
+            compute_backend=str(
+                data.get("compute_backend", "vectorized")
+            ),
+            collect_metrics=bool(data.get("collect_metrics", True)),
+            sample_latency=bool(data.get("sample_latency", False)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"campaign spec is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(data, dict):
+            raise ConfigurationError("campaign spec must be a JSON object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    # -- deterministic expansion ---------------------------------------
+
+    def points(self) -> List[CampaignPoint]:
+        """The grid's cartesian product, in deterministic order.
+
+        Axes iterate in sorted-name order, values in spec order; the
+        point index is the product's enumeration order and the point
+        seed derives from ``(campaign seed, point index)`` only.
+        """
+        axes = sorted(self.grid)
+        value_lists = [list(self.grid[axis]) for axis in axes]
+        seeds = SeedSequencer(self.seed)
+        points = []
+        for index, combo in enumerate(
+            itertools.product(*value_lists) if axes else [()]
+        ):
+            params = dict(zip(axes, combo))
+            params.setdefault("strategy", self.strategy)
+            params.setdefault("link_model", self.link_model)
+            points.append(
+                CampaignPoint(
+                    index=index,
+                    params=tuple(sorted(params.items())),
+                    seed=seeds.child(f"point-{index}").seed,
+                )
+            )
+        return points
+
+    def shards(self) -> List[Shard]:
+        """Every point's runs chunked into checkpointable shards."""
+        chunk = self.runs_per_shard or self.runs_per_point
+        shards = []
+        for point in self.points():
+            for start in range(0, self.runs_per_point, chunk):
+                stop = min(start + chunk, self.runs_per_point)
+                shards.append(
+                    Shard(
+                        index=len(shards),
+                        point=point,
+                        run_start=start,
+                        run_stop=stop,
+                    )
+                )
+        return shards
+
+    def point_config(self, point: CampaignPoint) -> JRSNDConfig:
+        """The resolved :class:`JRSNDConfig` for one point."""
+        overrides = {
+            axis: value
+            for axis, value in point.params
+            if axis in CONFIG_AXES
+        }
+        return preset_config(self.base).replace(**overrides)
+
+    def point_strategy(self, point: CampaignPoint) -> JammerStrategy:
+        return _STRATEGIES[point.params_dict["strategy"]]
+
+    def point_link_model(self, point: CampaignPoint) -> str:
+        return str(point.params_dict["link_model"])

@@ -9,7 +9,12 @@ Regenerates each of the paper's evaluation artifacts from the terminal:
   despread / ECC hot path and its artifact caches;
 - ``chaos``    — an invariant-checked fault-injection soak driving a
   seeded :class:`~repro.faults.FaultPlan` against a small event
-  network (exits non-zero if any invariant breaks).
+  network (exits non-zero if any invariant breaks);
+- ``campaign`` — sharded, resumable sweep campaigns
+  (``launch`` / ``resume`` / ``status`` / ``query`` / ``diff``)
+  backed by the :mod:`repro.campaigns` SQLite results store; a killed
+  campaign resumes from completed shards only and finishes with a
+  store bit-identical to an uninterrupted run's.
 
 Every command accepts ``--runs`` (Monte Carlo runs per point; the paper
 uses 100), ``--seed``, and ``--metrics-out <path.json>`` — the latter
@@ -129,6 +134,63 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reordered-delivery probability (0 disables)")
     chaos.add_argument("--no-faults", action="store_true",
                        help="run with the NullFaultPlan (baseline)")
+    campaign = sub.add_parser(
+        "campaign",
+        help="sharded, resumable sweep campaigns backed by a "
+             "SQLite results store",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    for verb, blurb in (
+        ("launch", "start a campaign (skips shards already stored)"),
+        ("resume", "continue an interrupted campaign"),
+    ):
+        runner = campaign_sub.add_parser(verb, help=blurb)
+        runner.add_argument("--spec", metavar="PATH", default=None,
+                            help="campaign spec JSON file")
+        runner.add_argument("--store", metavar="PATH", required=True,
+                            help="SQLite results store")
+        runner.add_argument("--campaign", metavar="NAME", default=None,
+                            help="reuse the spec stored under NAME "
+                                 "instead of --spec")
+        runner.add_argument("--processes", type=int, default=None,
+                            help="worker processes per shard")
+        runner.add_argument("--max-shards", type=int, default=None,
+                            help="stop (resumably) after this many "
+                                 "shards")
+        runner.add_argument("--kill-after-shards", type=int,
+                            default=None,
+                            help="testing hook: SIGKILL this process "
+                                 "after the N-th shard commit")
+        runner.add_argument("--revision", default=None,
+                            help="override the git revision key "
+                                 "(default: git rev-parse HEAD)")
+    status = campaign_sub.add_parser(
+        "status", help="per-campaign shard progress and store digest"
+    )
+    status.add_argument("--store", metavar="PATH", required=True)
+    query = campaign_sub.add_parser(
+        "query", help="per-point aggregated results of a campaign"
+    )
+    query.add_argument("--store", metavar="PATH", required=True)
+    query.add_argument("--campaign", metavar="NAME", required=True)
+    query.add_argument("--revision", default=None,
+                       help="revision to query (default: latest)")
+    diff = campaign_sub.add_parser(
+        "diff",
+        help="per-point deltas of one campaign across two revisions "
+             "or two stores",
+    )
+    diff.add_argument("--store", metavar="PATH", required=True)
+    diff.add_argument("--campaign", metavar="NAME", required=True)
+    diff.add_argument("--revision", default=None,
+                      help="baseline revision (default: latest)")
+    diff.add_argument("--against", default=None,
+                      help="revision to compare against the baseline")
+    diff.add_argument("--other", metavar="PATH", default=None,
+                      help="read the --against side from this store "
+                           "instead")
     return parser
 
 
@@ -276,6 +338,160 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _campaign_spec(args: argparse.Namespace):
+    """Resolve the spec for launch/resume from --spec or --campaign."""
+    from repro.campaigns import CampaignSpec, CampaignStore
+
+    if args.spec is not None:
+        return CampaignSpec.from_file(args.spec)
+    if args.campaign is not None:
+        with CampaignStore(args.store) as store:
+            spec, _revision = store.spec_for(args.campaign)
+        return spec
+    raise SystemExit("campaign launch/resume needs --spec or --campaign")
+
+
+def _campaign_point_rows(results) -> List[dict]:
+    """``point_results`` output flattened into printable table rows."""
+    rows = []
+    for point_index, (params, result) in results.items():
+        row = {"point": point_index}
+        row.update(params)
+        row.update(
+            p_dndp=result.discovery_probability("dndp"),
+            p_mndp=result.discovery_probability("mndp"),
+            p_jrsnd=result.discovery_probability("jrsnd"),
+            t_dndp=result.mean_dndp_latency() or float("nan"),
+            runs=len(result.runs),
+        )
+        rows.append(row)
+    return rows
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Dispatch ``campaign launch|resume|status|query|diff``."""
+    from repro.campaigns import CampaignStore, run_campaign
+    from repro.experiments.reporting import format_kv_block
+
+    if args.campaign_command in ("launch", "resume"):
+        spec = _campaign_spec(args)
+        status = run_campaign(
+            spec,
+            args.store,
+            processes=args.processes,
+            max_shards=args.max_shards,
+            kill_after_shards=args.kill_after_shards,
+            git_revision=args.revision,
+            progress=print,
+        )
+        remaining = (
+            status.shards_total
+            - status.shards_executed
+            - status.shards_skipped
+        )
+        print(format_kv_block(
+            [
+                ("campaign", status.campaign_id),
+                ("spec hash", status.spec_hash),
+                ("revision", status.git_revision),
+                ("shards", f"{remaining} remaining / "
+                           f"{status.shards_executed} executed / "
+                           f"{status.shards_skipped} skipped"),
+                ("runs executed", status.runs_executed),
+                ("complete", status.complete),
+                ("digest", status.canonical_digest),
+            ],
+            title=f"campaign {args.campaign_command}: {status.campaign_id}",
+        ))
+        return 0 if status.complete or args.max_shards is not None else 1
+    if args.campaign_command == "status":
+        with CampaignStore(args.store) as store:
+            campaigns = store.list_campaigns()
+            digest = store.canonical_digest()
+        if not campaigns:
+            print(f"no campaigns in {args.store}")
+            return 0
+        print(format_series_table(
+            [
+                {
+                    "campaign": row["campaign_id"],
+                    "spec_hash": row["spec_hash"],
+                    "revision": row["git_revision"][:12],
+                    "status": row["status"],
+                    "shards": f"{row['shards_done']}/{row['shards_total']}",
+                }
+                for row in campaigns
+            ],
+            title=f"campaigns in {args.store}",
+        ))
+        print(f"\ncanonical digest: {digest}")
+        return 0
+    if args.campaign_command == "query":
+        with CampaignStore(args.store) as store:
+            spec, revision = store.spec_for(
+                args.campaign, args.revision
+            )
+            results = store.point_results(
+                args.campaign, spec.spec_hash(), revision
+            )
+        if not results:
+            print(f"campaign {args.campaign!r} has no committed "
+                  f"shards at revision {revision}")
+            return 1
+        print(format_series_table(
+            _campaign_point_rows(results),
+            title=f"{args.campaign} @ {revision[:12]} "
+                  f"(spec {spec.spec_hash()})",
+        ))
+        return 0
+    if args.campaign_command == "diff":
+        with CampaignStore(args.store) as store:
+            spec, revision = store.spec_for(
+                args.campaign, args.revision
+            )
+            base = store.point_results(
+                args.campaign, spec.spec_hash(), revision
+            )
+        other_path = args.other or args.store
+        with CampaignStore(other_path) as store:
+            other_spec, other_revision = store.spec_for(
+                args.campaign, args.against
+            )
+            other = store.point_results(
+                args.campaign, other_spec.spec_hash(), other_revision
+            )
+        if revision == other_revision and other_path == args.store:
+            print("nothing to diff: both sides are "
+                  f"{args.campaign} @ {revision[:12]}")
+            return 1
+        rows = []
+        for point_index in sorted(set(base) & set(other)):
+            params, result = base[point_index]
+            _, other_result = other[point_index]
+            row = {"point": point_index}
+            row.update(params)
+            for kind in ("dndp", "mndp", "jrsnd"):
+                a = result.discovery_probability(kind)
+                b = other_result.discovery_probability(kind)
+                row[f"d_{kind}"] = b - a
+            rows.append(row)
+        if not rows:
+            print("no common points to diff")
+            return 1
+        print(format_series_table(
+            rows,
+            title=f"{args.campaign}: {revision[:12]} -> "
+                  f"{other_revision[:12]} (delta)",
+        ))
+        missing = sorted(set(base) ^ set(other))
+        if missing:
+            print(f"\npoints only on one side: {missing}")
+        return 0
+    raise SystemExit(
+        f"unknown campaign command {args.campaign_command!r}"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -290,8 +506,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     with context:
         code = _dispatch(args) or 0
     if registry is not None:
-        with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(registry.snapshot().to_json())
+        from repro.utils.fileio import atomic_write_text
+
+        # tmp-file + os.replace: an interrupt mid-write can never leave
+        # a truncated, unparseable snapshot behind.
+        atomic_write_text(args.metrics_out, registry.snapshot().to_json())
         print(f"metrics snapshot written to {args.metrics_out}")
     return code
 
@@ -368,6 +587,8 @@ def _dispatch(args: argparse.Namespace) -> Optional[int]:
         _cmd_dsss(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "campaign":
+        return _cmd_campaign(args)
     elif args.command == "validate":
         from repro.experiments.validation import (
             validate_theorem1_grid,

@@ -33,11 +33,15 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.adversary.jammer import JammerStrategy
 from repro.core.config import JRSNDConfig
-from repro.errors import WORKER_TRAPPED_ERRORS, ParallelExecutionError
+from repro.errors import (
+    WORKER_TRAPPED_ERRORS,
+    ConfigurationError,
+    ParallelExecutionError,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     NetworkExperiment,
@@ -107,6 +111,7 @@ def run_parallel(
     correlation_backend: Optional[str] = None,
     collect_metrics: bool = False,
     compute_backend: str = "vectorized",
+    run_indices: Optional[Sequence[int]] = None,
 ) -> ExperimentResult:
     """Execute ``runs`` snapshots across ``processes`` workers.
 
@@ -117,6 +122,14 @@ def run_parallel(
     and ``compute_backend`` selects the snapshot-pipeline
     implementation just like the serial constructor argument.
 
+    ``run_indices`` selects which run indices to execute (default
+    ``range(runs)``).  A run's randomness depends only on
+    ``(seed, run_index)``, so executing indices ``[4, 5, 6, 7]`` here
+    yields exactly the runs 4-7 of a full ``range(8)`` sweep — this is
+    what lets ``repro.campaigns`` split one sweep point into
+    independently checkpointed shards without perturbing any stream.
+    When given, ``runs`` must equal ``len(run_indices)``.
+
     Raises :class:`~repro.errors.ParallelExecutionError` if any run
     fails, after all tasks have drained — the exception carries every
     failure's index and traceback plus an ``ExperimentResult`` of the
@@ -125,6 +138,15 @@ def run_parallel(
     check_positive("runs", runs)
     if processes is not None:
         check_positive("processes", processes)
+    if run_indices is not None:
+        indices_list = [int(index) for index in run_indices]
+        if len(indices_list) != int(runs):
+            raise ConfigurationError(
+                f"runs ({runs}) must equal len(run_indices) "
+                f"({len(indices_list)})"
+            )
+        if any(index < 0 for index in indices_list):
+            raise ConfigurationError("run_indices must be non-negative")
     workers = min(
         processes or multiprocessing.cpu_count(), int(runs)
     )
@@ -138,7 +160,9 @@ def run_parallel(
         collect_metrics,
         compute_backend,
     )
-    indices = range(int(runs))
+    indices: Sequence[int] = (
+        range(int(runs)) if run_indices is None else indices_list
+    )
     if workers <= 1:
         _init_worker(*init_args)
         outcomes: List[_Outcome] = [_one_run(index) for index in indices]

@@ -10,7 +10,18 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["format_series_table", "format_row"]
+__all__ = ["format_series_table", "format_row", "format_kv_block"]
+
+
+def format_kv_block(pairs: Sequence[tuple], title: str = "") -> str:
+    """Aligned ``key: value`` lines (campaign status, summaries)."""
+    if not pairs:
+        raise ConfigurationError("no pairs to format")
+    width = max(len(str(key)) for key, _ in pairs)
+    lines = [title] if title else []
+    for key, value in pairs:
+        lines.append(f"{str(key).rjust(width)}: {value}")
+    return "\n".join(lines)
 
 
 def format_row(values: Sequence[object], widths: Sequence[int]) -> str:

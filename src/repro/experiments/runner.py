@@ -125,9 +125,20 @@ class ExperimentResult:
         return float(np.mean(values)) if values else 0.0
 
     def std(self, kind: str) -> float:
-        """Across-run standard deviation."""
+        """Across-run *sample* standard deviation (``ddof=1``).
+
+        The paper's error bars come from the Student-t interval in
+        :meth:`confidence_interval`, which is built on the sample
+        variance; reporting the population sigma (``ddof=0``) here made
+        the two disagree and biased the quoted spread low by a factor
+        of ``sqrt((n-1)/n)`` — about 0.5% at the paper's 100 runs but
+        over 18% at the 3-5 run counts the smoke sweeps use.  A single
+        run (or none) carries no spread information and yields 0.0.
+        """
         values = self._series(kind)
-        return float(np.std(values)) if values else 0.0
+        if len(values) < 2:
+            return 0.0
+        return float(np.std(values, ddof=1))
 
     def confidence_interval(
         self, kind: str, confidence: float = 0.95
@@ -138,17 +149,40 @@ class ExperimentResult:
         return mean_confidence_interval(self._series(kind), confidence)
 
     def mean_degree(self) -> float:
-        """Average physical degree across runs."""
+        """Average physical degree across runs (0.0 with no runs).
+
+        ``np.mean([])`` would emit a ``RuntimeWarning`` and return
+        ``nan`` — a value that, once persisted into a results store,
+        poisons every later comparison; an empty aggregate reports 0.0
+        instead.
+        """
+        if not self.runs:
+            return 0.0
         return float(np.mean([r.mean_degree for r in self.runs]))
 
     def mean_dndp_latency(self) -> Optional[float]:
-        """Average sampled direct-discovery latency, if recorded."""
-        values = [
-            r.mean_dndp_latency
+        """Sampled direct-discovery latency averaged across runs.
+
+        Per-run means are weighted by each run's D-NDP success count:
+        a run whose mean came from 900 successful handshakes should
+        dominate one that sampled 3, which the previous unweighted
+        average of per-run means ignored.  Runs without latency
+        sampling (or without a single direct success) contribute
+        nothing; returns ``None`` when no run qualifies instead of
+        letting ``np.mean([])`` produce a ``nan``.
+        """
+        weighted = [
+            (r.mean_dndp_latency, r.dndp_successes)
             for r in self.runs
-            if r.mean_dndp_latency is not None
+            if r.mean_dndp_latency is not None and r.dndp_successes > 0
         ]
-        return float(np.mean(values)) if values else None
+        if not weighted:
+            return None
+        total_weight = sum(weight for _, weight in weighted)
+        return float(
+            sum(value * weight for value, weight in weighted)
+            / total_weight
+        )
 
     def merged_metrics(self) -> MetricsSnapshot:
         """All per-run snapshots folded into experiment totals.

@@ -19,6 +19,7 @@ from repro.core.jrsnd import JRSNDNode
 from repro.crypto.identity import TrustedAuthority
 from repro.crypto.signatures import SignatureScheme
 from repro.dsss.spread_code import CodePool
+from repro.errors import ConfigurationError
 from repro.predistribution.authority import CodeAssignment, PreDistributor
 from repro.sim.engine import Simulator
 from repro.sim.field import Position, RectangularField
@@ -27,7 +28,66 @@ from repro.sim.mobility import uniform_positions
 from repro.sim.trace import TraceRecorder
 from repro.utils.rng import SeedSequencer
 
-__all__ = ["EventNetwork", "build_event_network", "admit_node"]
+__all__ = [
+    "EventNetwork",
+    "build_event_network",
+    "admit_node",
+    "CONFIG_PRESETS",
+    "preset_config",
+]
+
+
+def _paper_config() -> JRSNDConfig:
+    """Table I exactly: 2000 nodes on the 5000 x 5000 m field."""
+    return JRSNDConfig()
+
+
+def _small_config() -> JRSNDConfig:
+    """A 400-node field that keeps full sweeps tractable on a laptop."""
+    return JRSNDConfig(
+        n_nodes=400,
+        codes_per_node=20,
+        share_count=15,
+        n_compromised=10,
+        field_width=2000.0,
+        field_height=2000.0,
+        tx_range=300.0,
+    )
+
+
+def _tiny_config() -> JRSNDConfig:
+    """A 120-node field for CI smoke campaigns (sub-second shards)."""
+    return JRSNDConfig(
+        n_nodes=120,
+        codes_per_node=12,
+        share_count=10,
+        n_compromised=6,
+        field_width=1200.0,
+        field_height=1200.0,
+        tx_range=300.0,
+    )
+
+
+#: Named base configurations a campaign spec's ``base`` field resolves
+#: through.  Presets are factories (not instances) so every expansion
+#: starts from a fresh, validated ``JRSNDConfig``.
+CONFIG_PRESETS = {
+    "paper": _paper_config,
+    "small": _small_config,
+    "tiny": _tiny_config,
+}
+
+
+def preset_config(name: str) -> JRSNDConfig:
+    """The base :class:`JRSNDConfig` registered under ``name``."""
+    try:
+        factory = CONFIG_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown config preset {name!r}; choose one of "
+            f"{sorted(CONFIG_PRESETS)}"
+        ) from None
+    return factory()
 
 
 @dataclass

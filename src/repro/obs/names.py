@@ -128,6 +128,15 @@ EXPERIMENT_DNDP_SUCCESSES = "experiment.dndp_successes"
 EXPERIMENT_MNDP_RECOVERED = "experiment.mndp_recovered"
 EXPERIMENT_MEAN_DEGREE = "experiment.mean_degree"
 
+# -- campaign layer (sharded, resumable sweeps) ------------------------
+
+CAMPAIGNS_SHARDS_COMPLETED = "campaigns.shards_completed"
+CAMPAIGNS_SHARDS_SKIPPED = "campaigns.shards_skipped"
+CAMPAIGNS_RUNS_EXECUTED = "campaigns.runs_executed"
+CAMPAIGNS_SHARD_SECONDS = "campaigns.shard_seconds"
+CAMPAIGNS_STORE_COMMITS = "campaigns.store_commits"
+CAMPAIGNS_RESUMED = "campaigns.resumed"
+
 
 # -- dynamic-name helpers ----------------------------------------------
 

@@ -184,6 +184,27 @@ class MetricsSnapshot:
                 total = total.merge(snap)
         return total
 
+    def deterministic(self) -> "MetricsSnapshot":
+        """This snapshot with every wall-clock-derived field dropped.
+
+        Counters, gauges, histograms, and trace events are pure
+        functions of the seed; timer accumulators are not.  Persistent
+        results stores (``repro.campaigns``) freeze the deterministic
+        view so that a resumed campaign is bit-identical to an
+        uninterrupted one and two runs of the same spec produce
+        byte-equal artifacts.
+        """
+        if not self.timers:
+            return self
+        return MetricsSnapshot(
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            max_gauges=dict(self.max_gauges),
+            timers={},
+            histograms=dict(self.histograms),
+            events=self.events,
+        )
+
     # -- JSON wire format ----------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:

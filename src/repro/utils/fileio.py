@@ -1,0 +1,64 @@
+"""Crash-safe file writes.
+
+Results that feed later analysis — ``--metrics-out`` snapshots, the
+campaign store's JSON sidecars, benchmark records — must never be left
+half-written: a truncated JSON file is worse than a missing one because
+downstream tooling trusts whatever parses.  :func:`atomic_write_text`
+writes the full payload to a temporary file in the *same directory*
+(so the final rename never crosses a filesystem boundary) and promotes
+it with ``os.replace``, which POSIX guarantees is atomic.  An interrupt
+at any point leaves either the old file or the new file, never a mix.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Union
+
+__all__ = ["atomic_write_text", "atomic_write_bytes"]
+
+
+def atomic_write_bytes(path: Union[str, "os.PathLike[str]"], data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    The payload lands in a ``tempfile`` sibling first and is fsynced
+    before the rename, so a crash mid-write cannot truncate an existing
+    file and a crash mid-rename leaves the old content intact.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, target)
+    except OSError:
+        # Leave no orphaned partial temp file behind on failure; the
+        # target itself was never touched.
+        try:
+            os.unlink(tmp_path)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def atomic_write_text(
+    path: Union[str, "os.PathLike[str]"],
+    text: str,
+    *,
+    ensure_newline: bool = True,
+) -> None:
+    """Atomically replace ``path`` with ``text`` (UTF-8).
+
+    With ``ensure_newline`` (the default) a missing trailing newline is
+    appended, so every artifact this package writes is a well-formed
+    text file for ``diff``/``cat``/POSIX tools.
+    """
+    if ensure_newline and not text.endswith("\n"):
+        text += "\n"
+    atomic_write_bytes(path, text.encode("utf-8"))

@@ -1,0 +1,198 @@
+"""End-to-end executor tests: the resume bit-identity guarantee.
+
+The expensive guarantee under test: a campaign killed mid-flight
+(gracefully via ``max_shards`` or violently via SIGKILL) and then
+resumed produces a results store *byte-identical* to an uninterrupted
+run's.  The subprocess test drives the real ``--kill-after-shards``
+CLI hook, which delivers an actual ``SIGKILL`` — no atexit, no sqlite
+cleanup — so the recovery path exercised here is the one a crash or
+OOM kill takes in production.
+"""
+
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaigns import CampaignSpec, CampaignStore, run_campaign
+
+REV = "testrev"
+
+
+def tiny_spec():
+    return CampaignSpec(
+        name="smoke",
+        seed=2011,
+        runs_per_point=4,
+        runs_per_shard=2,
+        base="tiny",
+        grid={"n_compromised": [5, 10]},
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """An uninterrupted campaign's canonical store (path, bytes)."""
+    path = str(tmp_path_factory.mktemp("ref") / "ref.sqlite")
+    status = run_campaign(tiny_spec(), path, git_revision=REV)
+    assert status.complete
+    with open(path, "rb") as handle:
+        return path, handle.read(), status
+
+
+class TestUninterrupted:
+    def test_status_accounting(self, reference):
+        _, _, status = reference
+        assert status.shards_total == 4
+        assert status.shards_executed == 4
+        assert status.shards_skipped == 0
+        assert status.runs_executed == 8
+        assert not status.was_noop
+
+    def test_summary_sidecar_written(self, reference):
+        path, _, status = reference
+        import json
+
+        with open(path + ".summary.json") as handle:
+            summary = json.load(handle)
+        assert summary["campaign_id"] == "smoke"
+        assert summary["canonical_digest"] == status.canonical_digest
+        assert summary["shards"] == 4
+
+
+class TestResume:
+    def test_graceful_stop_then_resume_is_bit_identical(
+        self, tmp_path, reference
+    ):
+        _, expected, ref_status = reference
+        path = str(tmp_path / "partial.sqlite")
+        partial = run_campaign(
+            tiny_spec(), path, max_shards=2, git_revision=REV
+        )
+        assert partial.shards_executed == 2
+        assert not partial.complete
+        resumed = run_campaign(tiny_spec(), path, git_revision=REV)
+        assert resumed.complete
+        assert resumed.shards_skipped == 2
+        assert resumed.shards_executed == 2
+        assert resumed.canonical_digest == ref_status.canonical_digest
+        with open(path, "rb") as handle:
+            assert handle.read() == expected
+
+    def test_sigkill_then_resume_is_bit_identical(
+        self, tmp_path, reference
+    ):
+        """Real SIGKILL mid-campaign via the CLI testing hook."""
+        _, expected, ref_status = reference
+        path = str(tmp_path / "killed.sqlite")
+        spec_path = str(tmp_path / "spec.json")
+        with open(spec_path, "w") as handle:
+            handle.write(tiny_spec().to_json())
+        env = dict(os.environ)
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))),
+            "src",
+        )
+        env["PYTHONPATH"] = repo_src
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "campaign", "launch",
+                "--spec", spec_path, "--store", path,
+                "--revision", REV, "--kill-after-shards", "2",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        # SIGKILL surfaces as -9 (POSIX) or 137 (through a shell).
+        assert proc.returncode in (-9, 137), proc.stderr
+        with CampaignStore(path) as store:
+            spec = tiny_spec()
+            done = store.completed_shards(
+                spec.name, spec.spec_hash(), REV
+            )
+        assert done == frozenset({0, 1})
+        resumed = run_campaign(tiny_spec(), path, git_revision=REV)
+        assert resumed.complete
+        assert resumed.shards_skipped == 2
+        assert resumed.canonical_digest == ref_status.canonical_digest
+        with open(path, "rb") as handle:
+            assert handle.read() == expected
+
+    def test_finished_campaign_rerun_is_a_noop(
+        self, tmp_path, reference
+    ):
+        ref_path, expected, _ = reference
+        path = str(tmp_path / "copy.sqlite")
+        shutil.copyfile(ref_path, path)
+        again = run_campaign(tiny_spec(), path, git_revision=REV)
+        assert again.was_noop
+        assert again.shards_executed == 0
+        with open(path, "rb") as handle:
+            assert handle.read() == expected
+
+
+class TestCli:
+    def test_status_query_diff(self, reference, capsys):
+        from repro.cli import main
+
+        path, _, _ = reference
+        assert main(["campaign", "status", "--store", path]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "complete" in out
+        assert "canonical digest:" in out
+
+        assert main([
+            "campaign", "query", "--store", path,
+            "--campaign", "smoke",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "p_dndp" in out and "n_compromised" in out
+
+        # Diffing a revision against itself is refused.
+        assert main([
+            "campaign", "diff", "--store", path,
+            "--campaign", "smoke",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "nothing to diff" in out
+
+    def test_diff_across_stores(self, reference, tmp_path, capsys):
+        from repro.cli import main
+
+        path, _, _ = reference
+        other = str(tmp_path / "other.sqlite")
+        status = run_campaign(
+            tiny_spec(), other, git_revision="otherrev"
+        )
+        assert status.complete
+        capsys.readouterr()
+        assert main([
+            "campaign", "diff", "--store", path, "--campaign", "smoke",
+            "--against", "otherrev", "--other", other,
+        ]) == 0
+        out = capsys.readouterr().out
+        # Same spec, same seeds: every delta is exactly zero.
+        assert "d_jrsnd" in out
+        assert "0.0000" in out
+
+    def test_resume_reuses_stored_spec(self, tmp_path, reference,
+                                       capsys):
+        from repro.cli import main
+
+        _, expected, _ = reference
+        path = str(tmp_path / "partial.sqlite")
+        run_campaign(
+            tiny_spec(), path, max_shards=1, git_revision=REV
+        )
+        capsys.readouterr()
+        assert main([
+            "campaign", "resume", "--store", path,
+            "--campaign", "smoke", "--revision", REV,
+        ]) == 0
+        with open(path, "rb") as handle:
+            assert handle.read() == expected

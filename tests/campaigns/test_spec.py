@@ -1,0 +1,133 @@
+"""Tests for campaign spec validation, hashing, and expansion."""
+
+import pytest
+
+from repro.campaigns import CampaignSpec, GRID_AXES
+from repro.errors import ConfigurationError
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(
+        name="smoke",
+        seed=2011,
+        runs_per_point=4,
+        runs_per_shard=2,
+        base="tiny",
+        grid={"n_compromised": [5, 10]},
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestValidation:
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ConfigurationError, match="unknown grid axis"):
+            tiny_spec(grid={"warp_factor": [9]})
+
+    def test_rejects_empty_axis_values(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            tiny_spec(grid={"n_compromised": []})
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(ConfigurationError, match="slug"):
+            tiny_spec(name="not a slug!")
+
+    def test_rejects_bad_strategy(self):
+        with pytest.raises(ConfigurationError, match="strategy"):
+            tiny_spec(strategy="psychic")
+
+    def test_rejects_bad_grid_strategy(self):
+        with pytest.raises(ConfigurationError, match="strategy"):
+            tiny_spec(grid={"strategy": ["psychic"]})
+
+    def test_rejects_bad_preset(self):
+        with pytest.raises(ConfigurationError):
+            tiny_spec(base="enormous")
+
+    def test_rejects_unknown_spec_field(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CampaignSpec.from_dict(
+                {"name": "x", "seed": 1, "runs_per_point": 1,
+                 "color": "red"}
+            )
+
+    def test_requires_mandatory_fields(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            CampaignSpec.from_dict({"name": "x", "seed": 1})
+
+
+class TestHashing:
+    def test_hash_is_stable_across_constructions(self):
+        """The hash is a content address: key order and container
+        types must not affect it."""
+        a = tiny_spec(grid={"n_compromised": [5, 10], "nu": [1, 2]})
+        b = tiny_spec(grid={"nu": (1, 2), "n_compromised": (5, 10)})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_changes_with_content(self):
+        assert tiny_spec().spec_hash() != tiny_spec(seed=7).spec_hash()
+        assert (tiny_spec().spec_hash()
+                != tiny_spec(runs_per_point=8).spec_hash())
+
+    def test_json_round_trip_preserves_hash(self):
+        spec = tiny_spec(grid={"n_compromised": [5, 10], "nu": [1, 2]})
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+
+class TestExpansion:
+    def test_point_count_is_cartesian_product(self):
+        spec = tiny_spec(grid={"n_compromised": [5, 10], "nu": [1, 2, 3]})
+        assert len(spec.points()) == 6
+
+    def test_no_grid_is_a_single_point(self):
+        spec = tiny_spec(grid={})
+        points = spec.points()
+        assert len(points) == 1
+        assert points[0].params_dict == {
+            "strategy": "reactive", "link_model": "codes",
+        }
+
+    def test_expansion_is_deterministic(self):
+        spec = tiny_spec(grid={"n_compromised": [5, 10], "nu": [1, 2]})
+        assert spec.points() == spec.points()
+        assert spec.shards() == spec.shards()
+
+    def test_point_seeds_are_distinct_and_seed_derived(self):
+        spec = tiny_spec(grid={"n_compromised": [5, 10], "nu": [1, 2]})
+        seeds = [point.seed for point in spec.points()]
+        assert len(set(seeds)) == len(seeds)
+        other = tiny_spec(seed=7, grid={"n_compromised": [5, 10],
+                                        "nu": [1, 2]})
+        assert seeds != [point.seed for point in other.points()]
+
+    def test_shard_chunking_covers_all_runs(self):
+        spec = tiny_spec(runs_per_point=5, runs_per_shard=2)
+        shards = spec.shards()
+        # 2 points x ceil(5/2) shards
+        assert len(shards) == 6
+        for point_index in (0, 1):
+            ranges = [
+                (shard.run_start, shard.run_stop)
+                for shard in shards
+                if shard.point.index == point_index
+            ]
+            assert ranges == [(0, 2), (2, 4), (4, 5)]
+        assert [shard.index for shard in shards] == list(range(6))
+
+    def test_default_is_one_shard_per_point(self):
+        spec = tiny_spec(runs_per_shard=None)
+        shards = spec.shards()
+        assert len(shards) == 2
+        assert all(shard.n_runs == 4 for shard in shards)
+
+    def test_point_config_applies_overrides(self):
+        spec = tiny_spec()
+        configs = [spec.point_config(p) for p in spec.points()]
+        assert [c.n_compromised for c in configs] == [5, 10]
+
+    def test_axes_registry_matches_paper_parameters(self):
+        for axis in ("n_nodes", "codes_per_node", "share_count",
+                     "n_compromised", "nu", "strategy", "link_model"):
+            assert axis in GRID_AXES

@@ -54,12 +54,88 @@ class TestExperimentResult:
         result = ExperimentResult(runs)
         assert result.discovery_probability("dndp") == pytest.approx(0.6)
         assert result.mean_degree() == pytest.approx(11.0)
-        assert result.std("dndp") == pytest.approx(0.1)
+        # Sample std (ddof=1) of [0.5, 0.7]: sqrt(2 * 0.1^2 / 1).
+        assert result.std("dndp") == pytest.approx(0.1 * np.sqrt(2.0))
 
     def test_unknown_kind(self):
         result = ExperimentResult((RunResult(1, 1, 0, 1.0),))
         with pytest.raises(ConfigurationError):
             result.discovery_probability("nope")
+
+
+class TestStdUsesSampleVariance:
+    """Regression: ``std`` used ``np.std`` with the default ``ddof=0``
+    (population sigma) while ``confidence_interval`` divided by n-1 —
+    the quoted spread and the error bars disagreed, with the std biased
+    low by sqrt((n-1)/n) at the paper's run counts."""
+
+    def test_hand_computed_ddof1(self):
+        runs = tuple(
+            RunResult(100, s, 0, 10.0) for s in (40, 50, 60, 70)
+        )
+        result = ExperimentResult(runs)
+        values = [0.4, 0.5, 0.6, 0.7]
+        mean = sum(values) / 4
+        sample_var = sum((v - mean) ** 2 for v in values) / 3
+        assert result.std("dndp") == pytest.approx(
+            float(np.sqrt(sample_var))
+        )
+        # And it now matches the t-interval's variance estimate:
+        # half-width = t * sqrt(var / n).
+        from scipy import stats as scipy_stats
+
+        _, low, high = result.confidence_interval("dndp")
+        half = scipy_stats.t.ppf(0.975, 3) * np.sqrt(sample_var / 4)
+        assert (high - low) / 2 == pytest.approx(half)
+
+    def test_single_run_yields_zero(self):
+        result = ExperimentResult((RunResult(100, 50, 0, 10.0),))
+        assert result.std("dndp") == 0.0
+
+    def test_no_qualifying_runs_yields_zero(self):
+        # All runs failure-free: the mndp series is empty.
+        result = ExperimentResult((RunResult(10, 10, 0, 5.0),))
+        assert result.std("mndp") == 0.0
+
+
+class TestEmptyAndWeightedAggregation:
+    """Regression: ``mean_degree``/``mean_dndp_latency`` called
+    ``np.mean`` on empty sequences (RuntimeWarning + nan, which a
+    results store would then persist), and the latency mean ignored
+    how many handshakes each run's mean represented."""
+
+    def test_empty_runs_mean_degree_is_zero_and_warning_free(self):
+        import warnings
+
+        result = ExperimentResult(runs=())
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert result.mean_degree() == 0.0
+            assert result.mean_dndp_latency() is None
+
+    def test_no_latency_samples_is_none(self):
+        result = ExperimentResult(
+            (RunResult(100, 50, 10, 10.0), RunResult(100, 60, 5, 9.0))
+        )
+        assert result.mean_dndp_latency() is None
+
+    def test_latency_weighted_by_success_count(self):
+        runs = (
+            RunResult(100, 90, 0, 10.0, mean_dndp_latency=2.0),
+            RunResult(100, 10, 0, 10.0, mean_dndp_latency=4.0),
+        )
+        result = ExperimentResult(runs)
+        # 90 successes at 2.0 s, 10 at 4.0 s -> 2.2 s, not the
+        # unweighted 3.0 s.
+        assert result.mean_dndp_latency() == pytest.approx(2.2)
+
+    def test_zero_success_latency_run_excluded(self):
+        runs = (
+            RunResult(100, 0, 0, 10.0, mean_dndp_latency=9.9),
+            RunResult(100, 50, 0, 10.0, mean_dndp_latency=1.0),
+        )
+        result = ExperimentResult(runs)
+        assert result.mean_dndp_latency() == pytest.approx(1.0)
 
 
 class TestNetworkExperiment:
@@ -221,9 +297,10 @@ class TestMndpAggregationExcludesZeroFailureRuns:
             RunResult(100, 60, 20, 10.0),
         )
         result = ExperimentResult(runs)
-        # Only the two informative runs enter: 0.4 and 0.5.
+        # Only the two informative runs enter: 0.4 and 0.5; sample std
+        # (ddof=1) of those two values is 0.05 * sqrt(2).
         assert result.discovery_probability("mndp") == pytest.approx(0.45)
-        assert result.std("mndp") == pytest.approx(0.05)
+        assert result.std("mndp") == pytest.approx(0.05 * np.sqrt(2.0))
 
     def test_all_runs_zero_failures(self):
         runs = (RunResult(10, 10, 0, 5.0), RunResult(10, 10, 0, 5.0))

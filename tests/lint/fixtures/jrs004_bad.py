@@ -8,3 +8,4 @@ def report(kind: str) -> None:
     registry.inc("dsss.scnas")
     registry.observe("mndp.recovery_hopz", 3)
     registry.inc(f"cache.{kind}.hits")
+    registry.inc("campaigns.shards_comlpeted")

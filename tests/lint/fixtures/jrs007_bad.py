@@ -2,6 +2,8 @@
 
 import multiprocessing
 
+from repro.experiments.parallel import run_parallel
+
 
 def fan_out(items):
     def local_worker(item):
@@ -12,3 +14,7 @@ def fan_out(items):
         tripled = pool.imap_unordered(local_worker, items)
         async_r = pool.apply_async(local_worker, (1,))
     return doubled, list(tripled), async_r
+
+
+def sweep():
+    return run_parallel(lambda: None, 7, 4)

@@ -2,6 +2,8 @@
 
 import multiprocessing
 
+from repro.experiments.parallel import run_parallel
+
 
 def _worker(item):
     return item * 2
@@ -17,3 +19,9 @@ def fan_out(items):
     ) as pool:
         doubled = pool.map(_worker, items)
     return doubled
+
+
+def sweep(configs):
+    return [
+        run_parallel(config, seed=7, runs=2) for config in configs
+    ]

@@ -26,10 +26,10 @@ EXPECTED_MIN = {
     "JRS001": 7,
     "JRS002": 6,
     "JRS003": 4,
-    "JRS004": 3,
+    "JRS004": 4,
     "JRS005": 2,
     "JRS006": 5,
-    "JRS007": 3,
+    "JRS007": 4,
 }
 
 

@@ -1,0 +1,58 @@
+"""Tests for the atomic file-write helpers."""
+
+import os
+
+import pytest
+
+from repro.utils.fileio import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWriteBytes:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(str(target), b"payload")
+        assert target.read_bytes() == b"payload"
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"old")
+        atomic_write_bytes(str(target), b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(str(target), b"payload")
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path,
+                                                  monkeypatch):
+        """Simulate an interrupt mid-write: the original file survives
+        and no orphan temp file remains."""
+        target = tmp_path / "out.bin"
+        target.write_bytes(b"original")
+
+        def exploding_fsync(fd):
+            raise OSError("disk vanished")
+
+        monkeypatch.setattr(os, "fsync", exploding_fsync)
+        with pytest.raises(OSError):
+            atomic_write_bytes(str(target), b"partial")
+        assert target.read_bytes() == b"original"
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+
+class TestAtomicWriteText:
+    def test_appends_trailing_newline(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(str(target), '{"a": 1}')
+        assert target.read_text() == '{"a": 1}\n'
+
+    def test_does_not_double_newline(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(str(target), "line\n")
+        assert target.read_text() == "line\n"
+
+    def test_ensure_newline_false(self, tmp_path):
+        target = tmp_path / "out.txt"
+        atomic_write_text(str(target), "raw", ensure_newline=False)
+        assert target.read_text() == "raw"
