@@ -145,6 +145,7 @@ def run_campaign(
                     collect_metrics=spec.collect_metrics,
                     compute_backend=spec.compute_backend,
                     run_indices=shard.run_indices,
+                    phy_backend=spec.phy_backend,
                 )
             metrics = (
                 result.merged_metrics()

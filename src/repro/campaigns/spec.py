@@ -27,16 +27,17 @@ from repro.utils.validation import check_positive
 
 __all__ = ["GRID_AXES", "CampaignPoint", "Shard", "CampaignSpec"]
 
-#: Sweepable axes: the paper's n / m / l / q / nu plus the jammer
-#: strategy and the link model.  Config axes map straight onto
-#: :class:`JRSNDConfig` fields; the two protocol axes are handled by
-#: the experiment constructor.
+#: Sweepable axes: the paper's n / m / l / q / nu plus the PHY noise
+#: level, the jammer strategy, and the link model.  Config axes map
+#: straight onto :class:`JRSNDConfig` fields; the two protocol axes
+#: are handled by the experiment constructor.
 CONFIG_AXES = (
     "n_nodes",
     "codes_per_node",
     "share_count",
     "n_compromised",
     "nu",
+    "phy_noise_std",
 )
 PROTOCOL_AXES = ("strategy", "link_model")
 GRID_AXES = CONFIG_AXES + PROTOCOL_AXES
@@ -116,6 +117,10 @@ class CampaignSpec:
         of at most this many runs (default: one shard per point).
     mndp_rounds, compute_backend, collect_metrics, sample_latency:
         Forwarded to :class:`~repro.experiments.runner.NetworkExperiment`.
+    phy_backend:
+        Optional PHY override forwarded to the experiment; ``None``
+        (default) keeps the base preset's ``config.phy_backend`` (so a
+        ``*-chipless`` base is not silently overridden).
     """
 
     name: str
@@ -130,6 +135,7 @@ class CampaignSpec:
     compute_backend: str = "vectorized"
     collect_metrics: bool = True
     sample_latency: bool = False
+    phy_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.replace("-", "").replace(
@@ -179,6 +185,14 @@ class CampaignSpec:
                 f"compute_backend must be one of {COMPUTE_BACKENDS}, "
                 f"got {self.compute_backend!r}"
             )
+        if self.phy_backend is not None:
+            from repro.dsss.phy import PHY_BACKENDS
+
+            if self.phy_backend not in PHY_BACKENDS:
+                raise ConfigurationError(
+                    f"phy_backend must be one of {PHY_BACKENDS}, "
+                    f"got {self.phy_backend!r}"
+                )
         # Resolving the preset now surfaces a bad name at spec-build
         # time instead of deep inside shard 0.
         preset_config(self.base)
@@ -203,6 +217,7 @@ class CampaignSpec:
             "compute_backend": self.compute_backend,
             "collect_metrics": self.collect_metrics,
             "sample_latency": self.sample_latency,
+            "phy_backend": self.phy_backend,
         }
 
     def to_json(self) -> str:
@@ -226,6 +241,7 @@ class CampaignSpec:
             "name", "seed", "runs_per_point", "grid", "base",
             "strategy", "link_model", "runs_per_shard", "mndp_rounds",
             "compute_backend", "collect_metrics", "sample_latency",
+            "phy_backend",
         }
         unknown = set(data) - known
         if unknown:
@@ -258,6 +274,10 @@ class CampaignSpec:
             ),
             collect_metrics=bool(data.get("collect_metrics", True)),
             sample_latency=bool(data.get("sample_latency", False)),
+            phy_backend=(
+                None if data.get("phy_backend") is None
+                else str(data["phy_backend"])
+            ),
         )
 
     @classmethod

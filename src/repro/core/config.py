@@ -110,6 +110,23 @@ class JRSNDConfig:
         (default; NumPy GF(256) table-lookup kernels) or ``"naive"``
         (the per-symbol reference loops).  Both produce bit-identical
         codewords, decoded bytes, and error behavior.
+    phy_backend:
+        How the Monte Carlo experiments decide per-message outcomes:
+        ``"message"`` (default; the paper's per-message Bernoulli
+        model), ``"chip"`` (real waveforms on a
+        :class:`~repro.dsss.channel.ChipChannel`, recovered with the
+        sliding-window synchronizer), or ``"chipless"`` (the analytic
+        backend: identical outcomes computed in closed form from
+        correlation statistics, no chips materialised).  ``chip`` and
+        ``chipless`` consume identical rng streams and are
+        outcome-identical at ``phy_noise_std = 0``.
+    phy_noise_std:
+        Per-chip AWGN sigma applied by the chip/chipless PHY backends
+        (0 = noiseless, the default).
+    phy_jam_amplitude:
+        Jam power relative to the legitimate signal in the chip and
+        chipless backends.  2.0 (default) makes a disagreeing jam bit
+        flip the block decision; 1.0 cancels it into an erasure.
     """
 
     n_nodes: int = 2000
@@ -146,6 +163,9 @@ class JRSNDConfig:
     wire_fidelity: bool = False
     correlation_backend: str = "batched"
     ecc_backend: str = "vectorized"
+    phy_backend: str = "message"
+    phy_noise_std: float = 0.0
+    phy_jam_amplitude: float = 2.0
 
     def __post_init__(self) -> None:
         check_positive("n_nodes", self.n_nodes)
@@ -172,8 +192,12 @@ class JRSNDConfig:
         check_positive("z_jamming_signals", self.z_jamming_signals)
         check_positive("revocation_gamma", self.revocation_gamma)
         check_fraction("tau", self.tau)
-        if not 0 < self.tau < 1:
-            raise ConfigurationError(f"tau must be in (0,1), got {self.tau}")
+        if not 0 < self.tau <= 1:
+            # (0, 1], matching the synchronizer/despreader: decisions
+            # use >= tau, and noiseless self-correlation is exactly 1.0.
+            raise ConfigurationError(
+                f"tau must be in (0,1], got {self.tau}"
+            )
         check_positive("field_width", self.field_width)
         check_positive("field_height", self.field_height)
         check_positive("tx_range", self.tx_range)
@@ -201,6 +225,15 @@ class JRSNDConfig:
                 f"ecc_backend must be one of {ECC_BACKENDS}, "
                 f"got {self.ecc_backend!r}"
             )
+        from repro.dsss.phy import PHY_BACKENDS
+
+        if self.phy_backend not in PHY_BACKENDS:
+            raise ConfigurationError(
+                f"phy_backend must be one of {PHY_BACKENDS}, "
+                f"got {self.phy_backend!r}"
+            )
+        check_non_negative("phy_noise_std", self.phy_noise_std)
+        check_positive("phy_jam_amplitude", self.phy_jam_amplitude)
         if self.tx_antennas > self.codes_per_node:
             raise ConfigurationError(
                 "tx_antennas cannot exceed codes_per_node: there are "

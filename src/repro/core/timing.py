@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 
 from repro.core.config import JRSNDConfig
-from repro.dsss.receiver import BufferSchedule
+from repro.dsss.receiver import BufferSchedule, required_hello_rounds
 
 __all__ = ["ProtocolTiming"]
 
@@ -75,9 +75,14 @@ class ProtocolTiming:
     @property
     def hello_rounds(self) -> int:
         """``r = ceil((lambda + 1)(cycle + 1) / cycle)`` — the paper's
-        ``ceil((lambda + 1)(m + 1) / m)`` for one transmit antenna."""
-        cycle = self.code_cycle
-        return math.ceil((self.gap_ratio + 1.0) * (cycle + 1) / cycle)
+        ``ceil((lambda + 1)(m + 1) / m)`` for one transmit antenna.
+
+        Evaluated in exact integer arithmetic
+        (:func:`repro.dsss.receiver.required_hello_rounds`): the float
+        division-then-ceil form can land one round off near integer
+        quotients, which here means an under-covering broadcast.
+        """
+        return required_hello_rounds(self.gap_ratio, self.code_cycle)
 
     @property
     def hello_broadcast_duration(self) -> float:

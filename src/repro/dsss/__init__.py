@@ -23,7 +23,20 @@ from repro.dsss.engine import (
 )
 from repro.dsss.frame import Frame, FrameCodec, MessageType
 from repro.dsss.modulation import BPSKModulator
-from repro.dsss.receiver import BufferSchedule, ScheduleWindow
+from repro.dsss.phy import (
+    PHY_BACKENDS,
+    ChiplessModel,
+    ChiplessPairPHY,
+    ChipPairPHY,
+    PairPHY,
+    make_pair_phy,
+    message_success_probability,
+)
+from repro.dsss.receiver import (
+    BufferSchedule,
+    ScheduleWindow,
+    required_hello_rounds,
+)
 from repro.dsss.spread_code import CodePool, SpreadCode
 from repro.dsss.spreader import despread, spread
 from repro.dsss.synchronizer import SlidingWindowSynchronizer, SyncResult
@@ -48,6 +61,14 @@ __all__ = [
     "SyncResult",
     "BufferSchedule",
     "ScheduleWindow",
+    "required_hello_rounds",
+    "PHY_BACKENDS",
+    "PairPHY",
+    "ChipPairPHY",
+    "ChiplessPairPHY",
+    "ChiplessModel",
+    "make_pair_phy",
+    "message_success_probability",
     "BPSKModulator",
     "Frame",
     "FrameCodec",

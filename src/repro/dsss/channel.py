@@ -177,16 +177,39 @@ class ChipChannel:
             raise SpreadCodeError(
                 f"length {total} clips a transmission ending at {natural}"
             )
+        if self._noise_std > 0 and rng is None:
+            # Checked before any work: a noisy channel without an rng is
+            # a caller error and must fail with a typed, actionable
+            # message instead of an AttributeError deep in the noise
+            # draw (None.normal) after the superposition was built.
+            raise SpreadCodeError(
+                "an rng is required to render a noisy channel "
+                f"(noise_std={self._noise_std})"
+            )
         signal = np.zeros(total, dtype=np.float64)
         for t in self._transmissions:
             chips = t.chips  # already float64 (see add_transmission)
             signal[t.offset : t.offset + chips.size] += t.amplitude * chips
         if self._noise_std > 0:
-            if rng is None:
-                raise SpreadCodeError(
-                    "an rng is required to render a noisy channel"
-                )
             signal += rng.normal(0.0, self._noise_std, size=total)
+        return signal
+
+    def mix(
+        self,
+        length: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Render the superposed signal and reset the channel.
+
+        The one-shot form the per-message PHY paths use: place the
+        message and any jam overlay, ``mix`` once, and the channel is
+        ready for the next message without re-allocating it.  Like
+        :meth:`render`, an ``rng`` is required whenever ``noise_std > 0``
+        and its absence raises a typed :class:`SpreadCodeError` up front
+        (never a bare ``AttributeError`` from the noise draw).
+        """
+        signal = self.render(length=length, rng=rng)
+        self._transmissions.clear()
         return signal
 
     def clear(self) -> None:

@@ -21,12 +21,37 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from fractions import Fraction
+from typing import Iterator, Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.utils.validation import check_positive
 
-__all__ = ["ScheduleWindow", "BufferSchedule"]
+__all__ = ["ScheduleWindow", "BufferSchedule", "required_hello_rounds"]
+
+
+def required_hello_rounds(
+    gap_ratio: Union[float, Fraction], cycle: int
+) -> int:
+    """The Section V-B round count ``r = ceil((lambda + 1)(m + 1) / m)``
+    (with ``m`` generalized to the code cycle), computed exactly.
+
+    The obvious ``math.ceil((lam + 1.0) * (cycle + 1) / cycle)`` goes
+    through two float roundings, and near an integer quotient either can
+    push the value across the boundary: at e.g. ``lam = 3 * 2**50``,
+    ``cycle = 3`` the float product rounds *down* and the formula loses a
+    whole round — under-covering the buffered windows the broadcast must
+    span.  Converting the (exact binary) float to a rational and taking
+    the ceiling with integer floor division (``-(-a // m)``) gives the
+    mathematically exact count for every representable ``gap_ratio``.
+    """
+    check_positive("cycle", cycle)
+    if gap_ratio < 0:
+        raise ConfigurationError(
+            f"gap_ratio must be non-negative, got {gap_ratio}"
+        )
+    numerator = (Fraction(gap_ratio) + 1) * (cycle + 1)
+    return int(-((-numerator) // cycle))
 
 
 @dataclass(frozen=True)

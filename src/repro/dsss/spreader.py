@@ -56,8 +56,11 @@ def despread(
         raise SpreadCodeError(
             f"chip count {chips.size} is not a multiple of N={n}"
         )
-    if not 0 < tau < 1:
-        raise SpreadCodeError(f"tau must be in (0, 1), got {tau}")
+    if not 0 < tau <= 1:
+        # (0, 1]: the bit decisions use >= tau / <= -tau, and an exact
+        # noiseless block correlates to exactly +/-1.0 — tau = 1.0 means
+        # "perfect blocks only", same boundary the synchronizer accepts.
+        raise SpreadCodeError(f"tau must be in (0, 1], got {tau}")
     blocks = chips.reshape(-1, n)
     correlations = blocks @ code.chips.astype(np.float64) / n
     # Vectorized thresholding: decide all blocks at once, then swap the

@@ -97,8 +97,11 @@ class SlidingWindowSynchronizer:
             raise SpreadCodeError(
                 f"all codes must share one chip length, got {lengths}"
             )
-        if not 0 < tau < 1:
-            raise SpreadCodeError(f"tau must be in (0, 1), got {tau}")
+        if not 0 < tau <= 1:
+            # Half-open on the right: the hit mask uses >= tau and a
+            # noiseless self-correlation is exactly 1.0, so tau = 1.0 is
+            # the legitimate "perfect match only" operating point.
+            raise SpreadCodeError(f"tau must be in (0, 1], got {tau}")
         if message_bits <= 0:
             raise SpreadCodeError(
                 f"message_bits must be positive, got {message_bits}"

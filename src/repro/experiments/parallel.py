@@ -67,6 +67,7 @@ def _init_worker(
     correlation_backend: Optional[str],
     collect_metrics: bool,
     compute_backend: str = "vectorized",
+    phy_backend: Optional[str] = None,
 ) -> None:
     """Pool initializer: rebuild the experiment once per worker."""
     global _worker_experiment
@@ -79,6 +80,7 @@ def _init_worker(
         correlation_backend=correlation_backend,
         collect_metrics=collect_metrics,
         compute_backend=compute_backend,
+        phy_backend=phy_backend,
     )
 
 
@@ -112,6 +114,7 @@ def run_parallel(
     collect_metrics: bool = False,
     compute_backend: str = "vectorized",
     run_indices: Optional[Sequence[int]] = None,
+    phy_backend: Optional[str] = None,
 ) -> ExperimentResult:
     """Execute ``runs`` snapshots across ``processes`` workers.
 
@@ -121,6 +124,8 @@ def run_parallel(
     chip-level backend in every worker, exactly as it does serially,
     and ``compute_backend`` selects the snapshot-pipeline
     implementation just like the serial constructor argument.
+    ``phy_backend`` (when set) overrides ``config.phy_backend`` in every
+    worker, selecting the message / chip / chipless D-NDP sampling path.
 
     ``run_indices`` selects which run indices to execute (default
     ``range(runs)``).  A run's randomness depends only on
@@ -159,6 +164,7 @@ def run_parallel(
         correlation_backend,
         collect_metrics,
         compute_backend,
+        phy_backend,
     )
     indices: Sequence[int] = (
         range(int(runs)) if run_indices is None else indices_list

@@ -249,6 +249,17 @@ class NetworkExperiment:
         D-NDP sampling, M-NDP closure); ``"reference"`` keeps the
         original per-item loops.  Both backends consume identical rng
         streams and produce identical :class:`RunResult` values.
+    phy_backend:
+        When set, overrides ``config.phy_backend`` for the D-NDP
+        sampling step (``"codes"`` link model only): ``"message"``
+        keeps the per-message Bernoulli model; ``"chipless"`` computes
+        each pair's success probability in closed form from the
+        correlation statistics and decides all pairs in one batched
+        sweep (one uniform per pair — by far the fastest path);
+        ``"chip"`` spreads, superposes, and re-synchronizes every
+        message of every sub-session on a real
+        :class:`~repro.dsss.channel.ChipChannel` — the slow reference
+        the chipless results are validated against.
     """
 
     def __init__(
@@ -262,6 +273,7 @@ class NetworkExperiment:
         correlation_backend: Optional[str] = None,
         collect_metrics: bool = False,
         compute_backend: str = "vectorized",
+        phy_backend: Optional[str] = None,
     ) -> None:
         check_positive("mndp_rounds", mndp_rounds)
         if strategy not in (JammerStrategy.REACTIVE, JammerStrategy.RANDOM):
@@ -284,6 +296,8 @@ class NetworkExperiment:
             # replace() re-validates, so an unknown backend fails here
             # rather than deep inside a worker process.
             config = config.replace(correlation_backend=correlation_backend)
+        if phy_backend is not None:
+            config = config.replace(phy_backend=phy_backend)
         self._config = config
         self._seeds = SeedSequencer(seed)
         self._strategy = strategy
@@ -368,6 +382,14 @@ class NetworkExperiment:
 
         if self._link_model == "independent":
             direct = self._sample_independent(pairs, seeds.rng("jamming"))
+        elif config.phy_backend == "chipless":
+            direct = self._sample_dndp_chipless(
+                pairs, assignment, jamming, seeds.rng("jamming")
+            )
+        elif config.phy_backend == "chip":
+            direct = self._sample_dndp_chip(
+                pairs, assignment, jamming, seeds
+            )
         else:
             direct = self._sample_dndp(
                 pairs, assignment, jamming, seeds.rng("jamming")
@@ -455,26 +477,11 @@ class NetworkExperiment:
         are identical, so both backends consume the same rng stream and
         return the same outcomes.
         """
-        config = self._config
         if not pairs:
             return np.zeros(0, dtype=bool)
-        membership = np.zeros(
-            (config.n_nodes, assignment.pool_size), dtype=bool
+        membership, compromised = self._build_membership(
+            assignment, jamming
         )
-        node_codes = np.asarray(assignment.node_codes)
-        if node_codes.dtype != object and node_codes.ndim == 2:
-            membership[
-                np.arange(config.n_nodes)[:, None], node_codes
-            ] = True
-        else:
-            for node, codes in enumerate(assignment.node_codes):
-                membership[node, codes] = True
-        compromised = np.zeros(assignment.pool_size, dtype=bool)
-        if jamming.n_compromised:
-            compromised[sorted(
-                c for c in range(assignment.pool_size) if jamming.knows(c)
-            )] = True
-
         pair_array = np.asarray(pairs, dtype=np.int64)
         if self._compute_backend == "vectorized":
             return self._sample_dndp_packed(
@@ -511,6 +518,138 @@ class NetworkExperiment:
                 success[start:stop] = direct | survive_any
             else:
                 success[start:stop] = direct
+        return success
+
+    def _build_membership(
+        self, assignment, jamming: JammingModel
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The node-by-code boolean membership matrix and the
+        compromised-code indicator vector every sampling path shares."""
+        config = self._config
+        membership = np.zeros(
+            (config.n_nodes, assignment.pool_size), dtype=bool
+        )
+        node_codes = np.asarray(assignment.node_codes)
+        if node_codes.dtype != object and node_codes.ndim == 2:
+            membership[
+                np.arange(config.n_nodes)[:, None], node_codes
+            ] = True
+        else:
+            for node, codes in enumerate(assignment.node_codes):
+                membership[node, codes] = True
+        compromised = np.zeros(assignment.pool_size, dtype=bool)
+        if jamming.n_compromised:
+            compromised[sorted(
+                c for c in range(assignment.pool_size) if jamming.knows(c)
+            )] = True
+        return membership, compromised
+
+    def _sample_dndp_chipless(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        assignment,
+        jamming: JammingModel,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """The analytic PHY sweep: all pairs decided in one batch.
+
+        A :class:`~repro.dsss.phy.ChiplessModel` reduces the chipless
+        per-message model to two sub-session probabilities (safe /
+        compromised shared code); each pair's success probability is
+        then ``1 - (1-p_s)^x_s (1-p_c)^x_c`` over its shared-code
+        counts, and one uniform per pair decides the outcome.  Same
+        4096-pair chunks and one ``rng.random(chunk)`` draw per chunk on
+        both compute backends, so reference and vectorized consume
+        identical rng streams and return identical outcomes.
+        """
+        from repro.dsss.phy import ChiplessModel
+
+        if not pairs:
+            return np.zeros(0, dtype=bool)
+        model = ChiplessModel(self._config, jamming)
+        membership, compromised = self._build_membership(
+            assignment, jamming
+        )
+        pair_array = np.asarray(pairs, dtype=np.int64)
+        n_pairs = pair_array.shape[0]
+        success = np.zeros(n_pairs, dtype=bool)
+        vectorized = self._compute_backend == "vectorized"
+        if vectorized:
+            packed = np.packbits(membership, axis=1)
+            comp_packed = np.packbits(compromised)
+            safe_packed = np.packbits(~compromised)
+        registry = current()
+        with registry.timer(_names.PHY_SWEEP_SECONDS):
+            chunk = 4096
+            for start in range(0, n_pairs, chunk):
+                stop = min(start + chunk, n_pairs)
+                if vectorized:
+                    shared = (
+                        packed[pair_array[start:stop, 0]]
+                        & packed[pair_array[start:stop, 1]]
+                    )
+                    safe_count = _POPCOUNT[shared & safe_packed].sum(
+                        axis=1, dtype=np.int64
+                    )
+                    comp_count = _POPCOUNT[shared & comp_packed].sum(
+                        axis=1, dtype=np.int64
+                    )
+                else:
+                    rows_a = membership[pair_array[start:stop, 0]]
+                    rows_b = membership[pair_array[start:stop, 1]]
+                    shared = rows_a & rows_b
+                    safe_count = (shared & ~compromised).sum(axis=1)
+                    comp_count = (shared & compromised).sum(axis=1)
+                probability = model.pair_success_probability(
+                    safe_count, comp_count
+                )
+                success[start:stop] = (
+                    rng.random(stop - start) < probability
+                )
+        if registry.enabled:
+            registry.inc(_names.PHY_PAIRS_SWEPT, n_pairs)
+        return success
+
+    def _sample_dndp_chip(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        assignment,
+        jamming: JammingModel,
+        seeds: SeedSequencer,
+    ) -> np.ndarray:
+        """The chip-level reference: every message of every sub-session
+        of every pair is spread, superposed, jammed, and re-synchronized
+        on a real :class:`~repro.dsss.channel.ChipChannel`.
+
+        Only practical on small fields (or subsampled pair lists); the
+        equivalence suite validates the chipless sweep against it.
+        """
+        from repro.core.dndp import DNDPSampler
+        from repro.dsss.phy import make_pair_phy
+        from repro.dsss.spread_code import CodePool
+
+        if not pairs:
+            return np.zeros(0, dtype=bool)
+        config = self._config
+        pool_seed = int(seeds.rng("phy-pool").integers(0, 2**31 - 1))
+        pool = CodePool.generate(
+            assignment.pool_size, config.code_length, pool_seed
+        )
+        phy = make_pair_phy("chip", config, jamming, pool=pool)
+        sampler = DNDPSampler(config, jamming, phy=phy)
+        membership, _ = self._build_membership(assignment, jamming)
+        rng = seeds.rng("jamming")
+        success = np.zeros(len(pairs), dtype=bool)
+        registry = current()
+        with registry.timer(_names.PHY_SWEEP_SECONDS):
+            for index, (a, b) in enumerate(pairs):
+                shared = np.flatnonzero(membership[a] & membership[b])
+                outcome = sampler.sample_pair(
+                    [int(code) for code in shared], rng
+                )
+                success[index] = outcome.success
+        if registry.enabled:
+            registry.inc(_names.PHY_PAIRS_SWEPT, len(pairs))
         return success
 
     def _sample_dndp_packed(

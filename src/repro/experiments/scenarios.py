@@ -68,6 +68,26 @@ def _tiny_config() -> JRSNDConfig:
     )
 
 
+def _paper_chipless_config() -> JRSNDConfig:
+    """Table I on the analytic PHY: the full 2000-node field with every
+    pair's D-NDP outcome decided by the closed-form chipless sweep."""
+    return JRSNDConfig(phy_backend="chipless")
+
+
+def _tiny_chipless_config() -> JRSNDConfig:
+    """The CI smoke field on the chipless PHY backend."""
+    return JRSNDConfig(
+        n_nodes=120,
+        codes_per_node=12,
+        share_count=10,
+        n_compromised=6,
+        field_width=1200.0,
+        field_height=1200.0,
+        tx_range=300.0,
+        phy_backend="chipless",
+    )
+
+
 #: Named base configurations a campaign spec's ``base`` field resolves
 #: through.  Presets are factories (not instances) so every expansion
 #: starts from a fresh, validated ``JRSNDConfig``.
@@ -75,6 +95,8 @@ CONFIG_PRESETS = {
     "paper": _paper_config,
     "small": _small_config,
     "tiny": _tiny_config,
+    "paper-chipless": _paper_chipless_config,
+    "tiny-chipless": _tiny_chipless_config,
 }
 
 

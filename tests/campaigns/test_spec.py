@@ -55,6 +55,20 @@ class TestValidation:
         with pytest.raises(ConfigurationError, match="missing"):
             CampaignSpec.from_dict({"name": "x", "seed": 1})
 
+    def test_rejects_bad_phy_backend(self):
+        with pytest.raises(ConfigurationError, match="phy_backend"):
+            tiny_spec(phy_backend="analog")
+
+    def test_phy_backend_round_trip(self):
+        spec = tiny_spec(phy_backend="chipless")
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again.phy_backend == "chipless"
+        assert again.spec_hash() == spec.spec_hash()
+        # Default (None) means "use the base preset's backend", so a
+        # tiny-chipless base is not silently overridden.
+        assert tiny_spec().phy_backend is None
+        assert tiny_spec(base="tiny-chipless").phy_backend is None
+
 
 class TestHashing:
     def test_hash_is_stable_across_constructions(self):
@@ -127,7 +141,13 @@ class TestExpansion:
         configs = [spec.point_config(p) for p in spec.points()]
         assert [c.n_compromised for c in configs] == [5, 10]
 
+    def test_phy_noise_axis_applies_to_point_configs(self):
+        spec = tiny_spec(grid={"phy_noise_std": [0.0, 2.0]})
+        configs = [spec.point_config(p) for p in spec.points()]
+        assert [c.phy_noise_std for c in configs] == [0.0, 2.0]
+
     def test_axes_registry_matches_paper_parameters(self):
         for axis in ("n_nodes", "codes_per_node", "share_count",
-                     "n_compromised", "nu", "strategy", "link_model"):
+                     "n_compromised", "nu", "phy_noise_std",
+                     "strategy", "link_model"):
             assert axis in GRID_AXES

@@ -75,6 +75,11 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             JRSNDConfig(tau=0.0)
 
+    def test_tau_one_boundary_accepted(self):
+        # The receivers' hit masks use >= tau and a clean block
+        # correlates to exactly 1.0: the valid range is (0, 1].
+        assert JRSNDConfig(tau=1.0).tau == 1.0
+
     def test_auth_frame_must_fit_mac(self):
         config = JRSNDConfig(auth_frame_bits=60)
         with pytest.raises(ConfigurationError):

@@ -92,6 +92,39 @@ class TestChipChannel:
         with pytest.raises(SpreadCodeError):
             channel.render()
 
+    def test_mix_renders_and_resets(self, rng):
+        code = SpreadCode.random(64, rng)
+        bits = rng.integers(0, 2, size=4, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, code, offset=0)
+        signal = channel.mix()
+        assert despread(signal, code, tau=0.15) == bits.tolist()
+        # The channel is reusable without an explicit clear().
+        assert channel.transmissions == []
+        assert channel.mix().size == 0
+
+    def test_mix_noise_without_rng_is_typed_error(self, rng):
+        # Regression: a noisy channel mixed without an rng used to die
+        # with a bare AttributeError (None.normal) deep in the noise
+        # draw; it must raise SpreadCodeError with the noise level in
+        # the message, before any superposition work.
+        channel = ChipChannel(noise_std=0.5)
+        channel.add_message(
+            np.array([1, 0]), SpreadCode.random(32, rng), offset=0
+        )
+        with pytest.raises(SpreadCodeError, match="noise_std=0.5"):
+            channel.mix()
+        with pytest.raises(SpreadCodeError, match="rng is required"):
+            channel.render()
+
+    def test_mix_noisy_with_rng(self, rng):
+        code = SpreadCode.random(256, rng)
+        bits = rng.integers(0, 2, size=5, dtype=np.int8)
+        channel = ChipChannel(noise_std=0.2)
+        channel.add_message(bits, code, offset=0)
+        assert despread(channel.mix(rng=rng), code, 0.15) == bits.tolist()
+        assert channel.transmissions == []
+
     def test_negative_noise_rejected(self):
         with pytest.raises(SpreadCodeError):
             ChipChannel(noise_std=-0.1)

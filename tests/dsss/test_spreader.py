@@ -59,8 +59,20 @@ class TestDespread:
         with pytest.raises(SpreadCodeError):
             despread(np.zeros(17), code, tau=0.15)
 
-    @pytest.mark.parametrize("tau", [0.0, 1.0, -0.2])
+    @pytest.mark.parametrize("tau", [0.0, 1.0 + 1e-9, -0.2])
     def test_rejects_bad_tau(self, rng, tau):
         code = SpreadCode.random(16, rng)
         with pytest.raises(SpreadCodeError):
             despread(np.zeros(16), code, tau=tau)
+
+    def test_tau_one_boundary_accepted(self, rng):
+        # The decision rule is >= tau and a clean block correlates to
+        # exactly +/-1.0, so tau = 1.0 is the legitimate "perfect
+        # blocks only" operating point — it must not be rejected.
+        code = SpreadCode.random(64, rng)
+        bits = rng.integers(0, 2, size=6, dtype=np.int8)
+        assert despread(spread(bits, code), code, tau=1.0) == bits.tolist()
+        # Any corruption falls below 1.0 and becomes an erasure.
+        signal = spread(bits, code).astype(float)
+        signal[0] = -signal[0]
+        assert despread(signal, code, tau=1.0)[0] is None

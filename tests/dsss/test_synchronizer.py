@@ -258,6 +258,26 @@ class TestValidation:
                 codes, tau=0.15, message_bits=4, confirm_blocks=5
             )
 
+    @pytest.mark.parametrize("tau", [0.0, -0.1, 1.0 + 1e-9])
+    def test_bad_tau(self, rng, tau):
+        codes = _make_codes(rng, n=1, length=64)
+        with pytest.raises(SpreadCodeError):
+            SlidingWindowSynchronizer(codes, tau=tau, message_bits=4)
+
+    def test_tau_one_boundary_locks_clean_message(self, rng):
+        # Regression: tau = 1.0 used to be rejected even though the hit
+        # mask uses >= tau and a clean block correlates to exactly 1.0.
+        # The boundary must be accepted AND still lock a clean message.
+        codes = _make_codes(rng, n=1, length=64)
+        bits = rng.integers(0, 2, size=4, dtype=np.int8)
+        channel = ChipChannel()
+        channel.add_message(bits, codes[0], offset=7)
+        sync = SlidingWindowSynchronizer(codes, tau=1.0, message_bits=4)
+        result = sync.scan(channel.render())
+        assert result is not None
+        assert result.position == 7
+        assert result.bits == bits.tolist()
+
     def test_correlations_per_buffer(self, rng):
         codes = _make_codes(rng, n=5, length=64)
         sync = SlidingWindowSynchronizer(codes, tau=0.15, message_bits=4)

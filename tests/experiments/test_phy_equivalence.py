@@ -1,0 +1,290 @@
+"""Seeded distribution-equivalence of the chip and chipless PHY backends.
+
+The chipless backend's whole claim is that it computes *the same random
+variable* as the chip-level reference without materialising chips.  Two
+layers of evidence:
+
+- **exact** — at ``phy_noise_std = 0`` the two backends consume
+  identical rng streams and must produce bit-for-bit identical outcomes
+  for every message, sub-session, and pair, across jammer strategies
+  and shared-code counts;
+- **distributional** — with noise the chip backend draws per-chip AWGN
+  and the chipless backend the equivalent per-bit ``N(0, sigma/sqrt(N))``
+  correlation noise, so outcomes agree in distribution (checked with a
+  normal-approximation tolerance on survival frequencies).
+
+``tau = 0.25`` keeps the chip scan's false-lock probability at N = 512
+negligible (~1e-12 per position) so stream identity is exact in
+practice, not just in expectation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.jammer import JammerStrategy, JammingModel
+from repro.core.config import JRSNDConfig
+from repro.core.dndp import DNDPSampler
+from repro.dsss.phy import make_pair_phy
+from repro.dsss.spread_code import CodePool
+from repro.experiments.runner import NetworkExperiment
+
+N_COMPROMISED_CODES = 20
+POOL_SEED = 424242
+
+
+def _config(**overrides):
+    base = dict(
+        n_nodes=40,
+        codes_per_node=10,
+        share_count=5,
+        n_compromised=4,
+        tau=0.25,
+        field_width=800.0,
+        field_height=800.0,
+    )
+    base.update(overrides)
+    return JRSNDConfig(**base)
+
+
+def _jamming(strategy):
+    return JammingModel(
+        strategy, frozenset(range(N_COMPROMISED_CODES)), z=8, mu=1.0
+    )
+
+
+@pytest.fixture(scope="module")
+def pool():
+    config = _config()
+    return CodePool.generate(
+        config.pool_size, config.code_length, POOL_SEED
+    )
+
+
+class TestExactEquivalenceNoiseless:
+    @pytest.mark.parametrize("strategy", list(JammerStrategy))
+    def test_subsession_outcomes_identical(self, pool, strategy):
+        config = _config()
+        jamming = _jamming(strategy)
+        chip = make_pair_phy("chip", config, jamming, pool=pool)
+        chipless = make_pair_phy("chipless", config, jamming)
+        rng_chip = np.random.default_rng(2011)
+        rng_chipless = np.random.default_rng(2011)
+        for trial in range(40):
+            code = trial % 40  # alternates compromised and safe codes
+            assert chip.subsession_survives(
+                code, rng_chip
+            ) == chipless.subsession_survives(code, rng_chipless)
+            # Stream identity: both backends consumed exactly the same
+            # number of draws, including across early burst exits.
+            assert rng_chip.integers(1 << 30) == rng_chipless.integers(
+                1 << 30
+            )
+
+    @pytest.mark.parametrize(
+        "strategy", [JammerStrategy.REACTIVE, JammerStrategy.RANDOM]
+    )
+    @pytest.mark.parametrize("n_shared", [1, 3, 6])
+    def test_sample_pair_identical(self, pool, strategy, n_shared):
+        config = _config()
+        jamming = _jamming(strategy)
+        chip_sampler = DNDPSampler(
+            config, jamming,
+            phy=make_pair_phy("chip", config, jamming, pool=pool),
+        )
+        chipless_sampler = DNDPSampler(
+            config, jamming,
+            phy=make_pair_phy("chipless", config, jamming),
+        )
+        rng_chip = np.random.default_rng(99)
+        rng_chipless = np.random.default_rng(99)
+        share_rng = np.random.default_rng(n_shared)
+        for _ in range(12):
+            # Mixed bags of compromised and safe shared codes.
+            shared = share_rng.choice(
+                2 * N_COMPROMISED_CODES, size=n_shared, replace=False
+            )
+            a = chip_sampler.sample_pair(
+                [int(c) for c in shared], rng_chip
+            )
+            b = chipless_sampler.sample_pair(
+                [int(c) for c in shared], rng_chipless
+            )
+            assert a.success == b.success
+            assert a.surviving_codes == b.surviving_codes
+
+    def test_redundancy_off_identical(self, pool):
+        config = _config()
+        jamming = _jamming(JammerStrategy.INTELLIGENT)
+        chip_sampler = DNDPSampler(
+            config, jamming,
+            phy=make_pair_phy("chip", config, jamming, pool=pool),
+        )
+        chipless_sampler = DNDPSampler(
+            config, jamming,
+            phy=make_pair_phy("chipless", config, jamming),
+        )
+        rng_chip = np.random.default_rng(5)
+        rng_chipless = np.random.default_rng(5)
+        for _ in range(10):
+            a = chip_sampler.sample_pair(
+                [1, 2, 25], rng_chip, redundancy=False
+            )
+            b = chipless_sampler.sample_pair(
+                [1, 2, 25], rng_chipless, redundancy=False
+            )
+            assert a.success == b.success
+
+
+class TestDistributionalEquivalenceNoisy:
+    """With AWGN the streams diverge (per-chip vs per-bit draws) but the
+    outcome distributions must agree."""
+
+    @pytest.mark.parametrize(
+        "strategy,noise_std",
+        [
+            (JammerStrategy.REACTIVE, 3.0),
+            (JammerStrategy.RANDOM, 6.0),
+        ],
+    )
+    def test_hello_survival_rates_agree(self, pool, strategy, noise_std):
+        config = _config(phy_noise_std=noise_std)
+        jamming = _jamming(strategy)
+        chip = make_pair_phy("chip", config, jamming, pool=pool)
+        chipless = make_pair_phy("chipless", config, jamming)
+        trials = 150
+        rng_chip = np.random.default_rng(31)
+        rng_chipless = np.random.default_rng(77)
+        chip_rate = sum(
+            chip.hello_received(3, rng_chip) for _ in range(trials)
+        ) / trials
+        chipless_rate = sum(
+            chipless.hello_received(3, rng_chipless)
+            for _ in range(trials)
+        ) / trials
+        pooled = (chip_rate + chipless_rate) / 2
+        sigma = math.sqrt(
+            max(pooled * (1 - pooled), 1e-9) * 2 / trials
+        )
+        assert abs(chip_rate - chipless_rate) < max(5 * sigma, 0.02)
+
+    def test_safe_code_with_noise_agrees(self, pool):
+        config = _config(phy_noise_std=8.0)
+        jamming = _jamming(JammerStrategy.REACTIVE)
+        chip = make_pair_phy("chip", config, jamming, pool=pool)
+        chipless = make_pair_phy("chipless", config, jamming)
+        trials = 150
+        rng_chip = np.random.default_rng(13)
+        rng_chipless = np.random.default_rng(17)
+        code = 30  # safe: noise is the only loss mechanism
+        chip_rate = sum(
+            chip.hello_received(code, rng_chip) for _ in range(trials)
+        ) / trials
+        chipless_rate = sum(
+            chipless.hello_received(code, rng_chipless)
+            for _ in range(trials)
+        ) / trials
+        pooled = (chip_rate + chipless_rate) / 2
+        sigma = math.sqrt(
+            max(pooled * (1 - pooled), 1e-9) * 2 / trials
+        )
+        assert abs(chip_rate - chipless_rate) < max(5 * sigma, 0.02)
+        # The noise must actually be doing something at sigma = 8.
+        assert chipless_rate < 1.0
+
+
+class TestRunnerLevel:
+    """The experiment pipeline on the new backends."""
+
+    def _micro_config(self, **overrides):
+        base = dict(
+            n_nodes=24,
+            codes_per_node=6,
+            share_count=4,
+            n_compromised=3,
+            tau=0.25,
+            field_width=600.0,
+            field_height=600.0,
+        )
+        base.update(overrides)
+        return JRSNDConfig(**base)
+
+    def test_chip_and_chipless_rates_agree(self):
+        config = self._micro_config()
+        chip_successes = 0
+        chipless_successes = 0
+        pairs = 0
+        for seed in range(4):
+            chip = NetworkExperiment(
+                config.replace(phy_backend="chip"),
+                seed=seed,
+                strategy=JammerStrategy.RANDOM,
+            ).run(1).runs[0]
+            chipless = NetworkExperiment(
+                config.replace(phy_backend="chipless"),
+                seed=seed,
+                strategy=JammerStrategy.RANDOM,
+            ).run(1).runs[0]
+            assert chip.n_pairs == chipless.n_pairs  # same placement
+            chip_successes += chip.dndp_successes
+            chipless_successes += chipless.dndp_successes
+            pairs += chip.n_pairs
+        p = (chip_successes + chipless_successes) / (2 * pairs)
+        sigma = math.sqrt(max(p * (1 - p), 1e-9) * 2 / pairs)
+        assert abs(chip_successes - chipless_successes) / pairs < max(
+            5 * sigma, 0.05
+        )
+
+    def test_chipless_reference_equals_vectorized(self):
+        config = self._micro_config(phy_backend="chipless")
+        for strategy in (JammerStrategy.REACTIVE, JammerStrategy.RANDOM):
+            reference = NetworkExperiment(
+                config, seed=3, strategy=strategy,
+                compute_backend="reference",
+            ).run(3)
+            vectorized = NetworkExperiment(
+                config, seed=3, strategy=strategy,
+                compute_backend="vectorized",
+            ).run(3)
+            assert reference == vectorized
+
+    def test_chipless_parallel_equals_serial(self):
+        from repro.experiments.parallel import run_parallel
+
+        config = self._micro_config()
+        serial = NetworkExperiment(
+            config, seed=8, phy_backend="chipless"
+        ).run(3)
+        parallel = run_parallel(
+            config, seed=8, runs=3, processes=2,
+            phy_backend="chipless",
+        )
+        assert serial == parallel
+
+    def test_phy_backend_override_argument(self):
+        config = self._micro_config()
+        experiment = NetworkExperiment(
+            config, seed=1, phy_backend="chipless"
+        )
+        assert experiment.config.phy_backend == "chipless"
+        with pytest.raises(Exception):
+            NetworkExperiment(config, seed=1, phy_backend="bogus")
+
+    def test_chipless_presets_resolve(self):
+        from repro.experiments.scenarios import preset_config
+
+        assert preset_config("tiny-chipless").phy_backend == "chipless"
+        assert preset_config("paper-chipless").phy_backend == "chipless"
+        assert preset_config("paper-chipless").n_nodes == 2000
+
+    def test_phy_metrics_reported(self):
+        from repro.obs import names as _names
+
+        config = self._micro_config(phy_backend="chipless")
+        result = NetworkExperiment(
+            config, seed=2, collect_metrics=True
+        ).run(1)
+        metrics = result.merged_metrics()
+        counters = dict(metrics.counters)
+        assert counters.get(_names.PHY_PAIRS_SWEPT, 0) > 0

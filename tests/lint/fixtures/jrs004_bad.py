@@ -9,3 +9,4 @@ def report(kind: str) -> None:
     registry.observe("mndp.recovery_hopz", 3)
     registry.inc(f"cache.{kind}.hits")
     registry.inc("campaigns.shards_comlpeted")
+    registry.inc("phy.pairs_sweept")

@@ -1,0 +1,84 @@
+"""Property tests for the exact Section V-B round-count arithmetic.
+
+``r = ceil((lambda + 1)(m + 1) / m)`` decides how long a HELLO broadcast
+must repeat to cover a full buffered window; an off-by-one *under* the
+exact value breaks the coverage guarantee.  The float formulation
+``math.ceil((lam + 1.0) * (cycle + 1) / cycle)`` does exactly that near
+integer quotients, which Hypothesis plus a pinned witness keep fixed.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsss.receiver import required_hello_rounds
+from repro.errors import ConfigurationError
+
+
+def _exact(lam: float, cycle: int) -> int:
+    quotient = (Fraction(lam) + 1) * (cycle + 1) / cycle
+    return int(math.ceil(quotient))
+
+
+class TestRequiredHelloRounds:
+    @given(
+        st.floats(min_value=0.0, max_value=1e18, allow_nan=False,
+                  allow_infinity=False),
+        st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_exact_rational_ceiling(self, lam, cycle):
+        assert required_hello_rounds(lam, cycle) == _exact(lam, cycle)
+
+    @given(
+        # Near-integer quotients are where float arithmetic slips:
+        # build lam so that (lam + 1)(cycle + 1) is almost divisible by
+        # cycle, then nudge it across neighboring representables.
+        st.integers(min_value=1, max_value=2**60),
+        st.integers(min_value=2, max_value=64),
+        st.integers(min_value=-2, max_value=2),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_near_integer_quotients(self, scale, cycle, nudge):
+        lam = scale * cycle / (cycle + 1) - 1.0
+        for _ in range(abs(nudge)):
+            lam = math.nextafter(lam, math.inf if nudge > 0 else -math.inf)
+        if lam < 0:
+            lam = 0.0
+        assert required_hello_rounds(lam, cycle) == _exact(lam, cycle)
+
+    def test_pinned_float_regression(self):
+        # lam = 3 * 2**50, cycle = 3: the float product rounds down and
+        # math.ceil lands one full round short of the exact count.
+        lam, cycle = 3377699720527872.0, 3
+        assert lam == 3 * 2**50
+        float_formula = math.ceil((lam + 1.0) * (cycle + 1) / cycle)
+        exact = required_hello_rounds(lam, cycle)
+        assert exact == 4503599627370498
+        assert float_formula == 4503599627370497  # the bug being fixed
+        assert exact == _exact(lam, cycle)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_covers_at_least_the_real_ratio(self, lam, cycle):
+        # r * cycle >= (lam + 1)(cycle + 1): the broadcast spans the
+        # window it is sized for, never less.
+        r = required_hello_rounds(lam, cycle)
+        assert r * cycle >= (Fraction(lam) + 1) * (cycle + 1)
+        # ... and is the *smallest* such integer.
+        assert (r - 1) * cycle < (Fraction(lam) + 1) * (cycle + 1)
+
+    def test_accepts_exact_fractions(self):
+        assert required_hello_rounds(Fraction(5, 2), 2) == 6  # 21/4 -> 6
+        assert required_hello_rounds(0.0, 4) == 2
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            required_hello_rounds(-0.5, 3)
+        with pytest.raises(ConfigurationError):
+            required_hello_rounds(1.0, 0)
