@@ -15,22 +15,40 @@ the determinism guarantees around it:
    atomically replace the working store with its canonical
    byte-deterministic rebuild.
 
-A SIGKILL anywhere in steps 3-4 loses at most the in-flight shard's
-work; the next ``resume`` re-executes exactly that shard and the final
-store is bit-identical to an uninterrupted run's.
+By default the whole grid executes on one persistent
+:class:`~repro.experiments.pool.WorkerPool` (workers and their cached
+experiments survive across shards) and the loop pipelines one shard
+deep: shard N+1 is submitted to the pool *before* shard N's SQLite
+commit runs on the main thread, so commit latency overlaps compute
+instead of serializing with it.  Because a shard's results are a pure
+function of ``(spec, shard)``, the store bytes are unaffected by the
+engine — ``use_pool=False`` (CLI ``--no-pool``) falls back to one
+``run_parallel`` pool per shard and produces an identical store.
+
+A SIGKILL anywhere in steps 3-4 loses at most the in-flight shards'
+work (the committing one, plus the pipelined next one); the next
+``resume`` re-executes exactly those shards and the final store is
+bit-identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
 import os
 import signal
+import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
-from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.spec import CampaignSpec, Shard
 from repro.campaigns.store import CampaignStore, current_git_revision
 from repro.errors import ConfigurationError
-from repro.experiments.parallel import run_parallel
+from repro.experiments.parallel import collect_outcomes, run_parallel
+from repro.experiments.pool import (
+    ExperimentSpec,
+    PendingRun,
+    WorkerPool,
+    available_cpu_count,
+)
 from repro.obs import current
 from repro.obs import names as _names
 from repro.utils.fileio import atomic_write_text
@@ -69,6 +87,25 @@ def _self_sigkill() -> None:
     os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _shard_experiment_spec(
+    spec: CampaignSpec, shard: Shard
+) -> ExperimentSpec:
+    """The pool-side spec for one shard — mirrors the ``run_parallel``
+    arguments of the per-shard path exactly, so both engines build
+    byte-identical experiments."""
+    point = shard.point
+    return ExperimentSpec(
+        config=spec.point_config(point),
+        seed=point.seed,
+        strategy_value=spec.point_strategy(point).value,
+        mndp_rounds=spec.mndp_rounds,
+        link_model=spec.point_link_model(point),
+        collect_metrics=spec.collect_metrics,
+        compute_backend=spec.compute_backend,
+        phy_backend=spec.phy_backend,
+    )
+
+
 def run_campaign(
     spec: CampaignSpec,
     store_path: str,
@@ -77,6 +114,7 @@ def run_campaign(
     kill_after_shards: Optional[int] = None,
     git_revision: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
+    use_pool: bool = True,
 ) -> CampaignStatus:
     """Launch or resume ``spec`` against the store at ``store_path``.
 
@@ -88,7 +126,9 @@ def run_campaign(
     Parameters
     ----------
     processes:
-        Worker processes per shard (forwarded to ``run_parallel``).
+        Worker processes (sizes the persistent pool, or is forwarded
+        per shard to ``run_parallel`` with ``use_pool=False``).
+        Defaults to the CPUs available to this process.
     max_shards:
         Stop gracefully after executing this many shards (testing and
         budgeted execution); the campaign stays resumable.
@@ -99,6 +139,14 @@ def run_campaign(
         Override the revision key (defaults to ``git rev-parse HEAD``).
     progress:
         Optional line sink for human-readable progress.
+    use_pool:
+        Drive every shard through one persistent
+        :class:`~repro.experiments.pool.WorkerPool`, overlapping each
+        shard's commit with the next shard's execution (default).
+        ``False`` restores the per-shard-pool engine; the resulting
+        store is bit-identical either way.  With a single available
+        CPU the persistent pool is skipped automatically — forking one
+        worker to do what the parent could do inline is pure overhead.
     """
     if max_shards is not None and max_shards < 0:
         raise ConfigurationError("max_shards must be >= 0")
@@ -127,47 +175,102 @@ def run_campaign(
                 f"resuming: {skipped}/{len(shards)} shards already "
                 f"in store"
             )
+        pending: List[Shard] = []
         for shard in shards:
             if shard.index in done:
                 continue
-            if max_shards is not None and executed >= max_shards:
+            if max_shards is not None and len(pending) >= max_shards:
                 break
-            point = shard.point
-            with registry.timer(_names.CAMPAIGNS_SHARD_SECONDS):
-                result = run_parallel(
-                    spec.point_config(point),
-                    seed=point.seed,
-                    runs=shard.n_runs,
-                    processes=processes,
-                    strategy=spec.point_strategy(point),
-                    mndp_rounds=spec.mndp_rounds,
-                    link_model=spec.point_link_model(point),
-                    collect_metrics=spec.collect_metrics,
-                    compute_backend=spec.compute_backend,
-                    run_indices=shard.run_indices,
-                    phy_backend=spec.phy_backend,
+            pending.append(shard)
+
+        workers = processes or available_cpu_count()
+        pool: Optional[WorkerPool] = None
+        if use_pool and workers > 1 and pending:
+            pool = WorkerPool(
+                processes=workers, cache_size=spec.pool_cache_size
+            )
+        try:
+            handle: Optional[PendingRun] = None
+            if pool is not None and pending:
+                handle = pool.submit(
+                    _shard_experiment_spec(spec, pending[0]),
+                    pending[0].run_indices,
+                    chunksize=spec.pool_chunksize,
                 )
-            metrics = (
-                result.merged_metrics()
-                if spec.collect_metrics else None
-            )
-            store.write_shard(spec, revision, shard, result.runs, metrics)
-            executed += 1
-            runs_executed += shard.n_runs
-            registry.inc(_names.CAMPAIGNS_SHARDS_COMPLETED)
-            registry.inc(_names.CAMPAIGNS_RUNS_EXECUTED, shard.n_runs)
-            registry.inc(_names.CAMPAIGNS_STORE_COMMITS)
-            emit(
-                f"shard {shard.index + 1}/{len(shards)} committed "
-                f"(point {point.index}, runs "
-                f"{shard.run_start}..{shard.run_stop - 1})"
-            )
-            if (
-                kill_after_shards is not None
-                and executed >= kill_after_shards
-            ):
-                emit(f"kill-after-shards={kill_after_shards}: SIGKILL")
-                _self_sigkill()
+            elapsed_total = 0.0
+            for position, shard in enumerate(pending):
+                point = shard.point
+                started = time.perf_counter()
+                if pool is not None:
+                    assert handle is not None
+                    outcomes = handle.wait()
+                    # Pipeline one shard deep: hand the pool the next
+                    # shard *before* this one's commit, so the SQLite
+                    # transaction below overlaps worker compute.
+                    if position + 1 < len(pending):
+                        nxt = pending[position + 1]
+                        handle = pool.submit(
+                            _shard_experiment_spec(spec, nxt),
+                            nxt.run_indices,
+                            chunksize=spec.pool_chunksize,
+                        )
+                    result = collect_outcomes(outcomes, shard.n_runs)
+                else:
+                    result = run_parallel(
+                        spec.point_config(point),
+                        seed=point.seed,
+                        runs=shard.n_runs,
+                        processes=processes,
+                        strategy=spec.point_strategy(point),
+                        mndp_rounds=spec.mndp_rounds,
+                        link_model=spec.point_link_model(point),
+                        collect_metrics=spec.collect_metrics,
+                        compute_backend=spec.compute_backend,
+                        run_indices=shard.run_indices,
+                        phy_backend=spec.phy_backend,
+                        chunksize=spec.pool_chunksize,
+                    )
+                metrics = (
+                    result.merged_metrics()
+                    if spec.collect_metrics else None
+                )
+                store.write_shard(
+                    spec, revision, shard, result.runs, metrics
+                )
+                elapsed = time.perf_counter() - started
+                elapsed_total += elapsed
+                registry.record_seconds(
+                    _names.CAMPAIGNS_SHARD_SECONDS, elapsed
+                )
+                executed += 1
+                runs_executed += shard.n_runs
+                registry.inc(_names.CAMPAIGNS_SHARDS_COMPLETED)
+                registry.inc(
+                    _names.CAMPAIGNS_RUNS_EXECUTED, shard.n_runs
+                )
+                registry.inc(_names.CAMPAIGNS_STORE_COMMITS)
+                rate = shard.n_runs / elapsed if elapsed > 0 else 0.0
+                eta = (elapsed_total / executed) * (
+                    len(pending) - executed
+                )
+                emit(
+                    f"shard {shard.index + 1}/{len(shards)} committed "
+                    f"(point {point.index}, runs "
+                    f"{shard.run_start}..{shard.run_stop - 1}) "
+                    f"[{rate:.1f} runs/s, ETA {eta:.1f}s]"
+                )
+                if (
+                    kill_after_shards is not None
+                    and executed >= kill_after_shards
+                ):
+                    emit(
+                        f"kill-after-shards={kill_after_shards}: "
+                        f"SIGKILL"
+                    )
+                    _self_sigkill()
+        finally:
+            if pool is not None:
+                pool.close()
         done = store.completed_shards(spec.name, spec_hash, revision)
         complete = len(done) == len(shards)
 

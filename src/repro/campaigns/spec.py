@@ -121,6 +121,13 @@ class CampaignSpec:
         Optional PHY override forwarded to the experiment; ``None``
         (default) keeps the base preset's ``config.phy_backend`` (so a
         ``*-chipless`` base is not silently overridden).
+    pool_cache_size:
+        Constructed experiments each persistent-pool worker keeps warm
+        (LRU); size it at or above the campaign's distinct point count
+        to make every revisit a cache hit.
+    pool_chunksize:
+        Run indices per pool task message; ``None`` (default) lets
+        :func:`~repro.experiments.pool.adaptive_chunksize` choose.
     """
 
     name: str
@@ -136,6 +143,8 @@ class CampaignSpec:
     collect_metrics: bool = True
     sample_latency: bool = False
     phy_backend: Optional[str] = None
+    pool_cache_size: int = 8
+    pool_chunksize: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.replace("-", "").replace(
@@ -148,6 +157,9 @@ class CampaignSpec:
         if self.runs_per_shard is not None:
             check_positive("runs_per_shard", self.runs_per_shard)
         check_positive("mndp_rounds", self.mndp_rounds)
+        check_positive("pool_cache_size", self.pool_cache_size)
+        if self.pool_chunksize is not None:
+            check_positive("pool_chunksize", self.pool_chunksize)
         for axis, values in self.grid.items():
             if axis not in GRID_AXES:
                 raise ConfigurationError(
@@ -218,6 +230,8 @@ class CampaignSpec:
             "collect_metrics": self.collect_metrics,
             "sample_latency": self.sample_latency,
             "phy_backend": self.phy_backend,
+            "pool_cache_size": self.pool_cache_size,
+            "pool_chunksize": self.pool_chunksize,
         }
 
     def to_json(self) -> str:
@@ -241,7 +255,7 @@ class CampaignSpec:
             "name", "seed", "runs_per_point", "grid", "base",
             "strategy", "link_model", "runs_per_shard", "mndp_rounds",
             "compute_backend", "collect_metrics", "sample_latency",
-            "phy_backend",
+            "phy_backend", "pool_cache_size", "pool_chunksize",
         }
         unknown = set(data) - known
         if unknown:
@@ -277,6 +291,11 @@ class CampaignSpec:
             phy_backend=(
                 None if data.get("phy_backend") is None
                 else str(data["phy_backend"])
+            ),
+            pool_cache_size=int(data.get("pool_cache_size", 8)),
+            pool_chunksize=(
+                None if data.get("pool_chunksize") is None
+                else int(data["pool_chunksize"])
             ),
         )
 

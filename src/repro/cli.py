@@ -155,7 +155,12 @@ def build_parser() -> argparse.ArgumentParser:
                             help="reuse the spec stored under NAME "
                                  "instead of --spec")
         runner.add_argument("--processes", type=int, default=None,
-                            help="worker processes per shard")
+                            help="worker processes (sizes the "
+                                 "persistent pool)")
+        runner.add_argument("--no-pool", action="store_true",
+                            help="disable the persistent worker pool "
+                                 "and fork one pool per shard "
+                                 "(results are identical)")
         runner.add_argument("--max-shards", type=int, default=None,
                             help="stop (resumably) after this many "
                                  "shards")
@@ -383,6 +388,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             kill_after_shards=args.kill_after_shards,
             git_revision=args.revision,
             progress=print,
+            use_pool=not args.no_pool,
         )
         remaining = (
             status.shards_total

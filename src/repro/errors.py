@@ -48,6 +48,17 @@ class RevokedCodeError(ReproError):
     """An operation was attempted with a locally revoked spread code."""
 
 
+class WorkerPoolError(ReproError):
+    """The persistent worker-pool machinery itself failed.
+
+    Raised for *infrastructure* failures — a worker process died, the
+    dispatch protocol was violated, or a job was submitted to a closed
+    or broken pool.  Failures of individual Monte Carlo runs are never
+    reported through this class: they travel back as tagged outcome
+    data and surface as :class:`ParallelExecutionError`.
+    """
+
+
 #: The concrete exception families a Monte Carlo worker run may raise
 #: and have reported back as data (index + traceback) instead of
 #: aborting the whole ``multiprocessing`` map: the package's own error

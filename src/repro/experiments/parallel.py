@@ -20,7 +20,16 @@ Robustness and efficiency:
   to a bare mid-map traceback;
 - tasks are consumed with ``imap_unordered`` (fastest drain) and
   reordered deterministically by run index before aggregation, so the
-  returned result is independent of worker scheduling.
+  returned result is independent of worker scheduling;
+- tasks are batched with an adaptive ``chunksize``
+  (:func:`~repro.experiments.pool.adaptive_chunksize`) instead of the
+  implicit 1, cutting per-task IPC on many-run sweeps;
+- a persistent :class:`~repro.experiments.pool.WorkerPool` can be
+  passed as ``pool=`` to reuse warm worker processes (and their cached
+  experiments) across many calls — the campaign executor does this for
+  every shard of a grid.  ``pool=None`` keeps today's self-contained
+  behavior; all three paths (serial, fresh pool, persistent pool) are
+  bit-identical.
 
 With ``collect_metrics=True`` each worker attaches a per-run
 :class:`~repro.obs.MetricsSnapshot` to its ``RunResult`` (the
@@ -42,6 +51,12 @@ from repro.errors import (
     ConfigurationError,
     ParallelExecutionError,
 )
+from repro.experiments.pool import (
+    ExperimentSpec,
+    WorkerPool,
+    adaptive_chunksize,
+    available_cpu_count,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     NetworkExperiment,
@@ -49,7 +64,7 @@ from repro.experiments.runner import (
 )
 from repro.utils.validation import check_positive
 
-__all__ = ["run_parallel"]
+__all__ = ["collect_outcomes", "run_parallel"]
 
 # Per-worker-process experiment, built once by _init_worker so that the
 # configuration is pickled once per worker instead of once per task.
@@ -102,6 +117,35 @@ def _one_run(index: int) -> _Outcome:
         return index, None, traceback.format_exc()
 
 
+def collect_outcomes(
+    outcomes: List[_Outcome], runs: int
+) -> ExperimentResult:
+    """Aggregate tagged outcomes into a result, raising on failures.
+
+    Shared by every execution path (serial, fresh pool, persistent
+    pool): outcomes are reordered deterministically by run index, and
+    any failure raises :class:`~repro.errors.ParallelExecutionError`
+    carrying the runs that did complete.
+    """
+    outcomes.sort(key=lambda outcome: outcome[0])
+    failures = [
+        (index, tb) for index, _, tb in outcomes if tb is not None
+    ]
+    completed = tuple(
+        result for _, result, tb in outcomes if tb is None
+    )
+    if failures:
+        failed_indices = ", ".join(str(index) for index, _ in failures)
+        raise ParallelExecutionError(
+            f"{len(failures)} of {runs} runs failed "
+            f"(indices {failed_indices}); first failure:\n"
+            f"{failures[0][1]}",
+            failures=failures,
+            completed=ExperimentResult(runs=completed),
+        )
+    return ExperimentResult(runs=completed)
+
+
 def run_parallel(
     config: JRSNDConfig,
     seed: int,
@@ -115,10 +159,15 @@ def run_parallel(
     compute_backend: str = "vectorized",
     run_indices: Optional[Sequence[int]] = None,
     phy_backend: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
+    chunksize: Optional[int] = None,
 ) -> ExperimentResult:
     """Execute ``runs`` snapshots across ``processes`` workers.
 
-    ``processes`` defaults to the CPU count (capped at ``runs``).
+    ``processes`` defaults to the CPUs available to *this process*
+    (the scheduler affinity mask where the platform exposes one, via
+    :func:`~repro.experiments.pool.available_cpu_count`), capped at
+    ``runs``.
     Results are identical to ``NetworkExperiment(...).run(runs)``;
     ``correlation_backend`` (when set) overrides the configured
     chip-level backend in every worker, exactly as it does serially,
@@ -134,6 +183,15 @@ def run_parallel(
     what lets ``repro.campaigns`` split one sweep point into
     independently checkpointed shards without perturbing any stream.
     When given, ``runs`` must equal ``len(run_indices)``.
+
+    ``pool`` (when set) executes the runs on a persistent
+    :class:`~repro.experiments.pool.WorkerPool` instead of forking a
+    throwaway ``multiprocessing.Pool``: the workers and their cached
+    experiments survive across calls, so repeated calls for the same
+    parameters skip the per-call rebuild entirely.  ``processes`` is
+    ignored in that case (the pool was sized at construction).
+    ``chunksize`` overrides the adaptive run-indices-per-task batch on
+    either multiprocess path.
 
     Raises :class:`~repro.errors.ParallelExecutionError` if any run
     fails, after all tasks have drained — the exception carries every
@@ -152,8 +210,28 @@ def run_parallel(
             )
         if any(index < 0 for index in indices_list):
             raise ConfigurationError("run_indices must be non-negative")
+    if chunksize is not None:
+        check_positive("chunksize", chunksize)
+    indices: Sequence[int] = (
+        range(int(runs)) if run_indices is None else indices_list
+    )
+    if pool is not None:
+        spec = ExperimentSpec(
+            config=config,
+            seed=seed,
+            strategy_value=strategy.value,
+            mndp_rounds=mndp_rounds,
+            link_model=link_model,
+            correlation_backend=correlation_backend,
+            collect_metrics=collect_metrics,
+            compute_backend=compute_backend,
+            phy_backend=phy_backend,
+        )
+        return collect_outcomes(
+            pool.run(spec, indices, chunksize=chunksize), int(runs)
+        )
     workers = min(
-        processes or multiprocessing.cpu_count(), int(runs)
+        processes or available_cpu_count(), int(runs)
     )
     init_args = (
         config,
@@ -166,33 +244,29 @@ def run_parallel(
         compute_backend,
         phy_backend,
     )
-    indices: Sequence[int] = (
-        range(int(runs)) if run_indices is None else indices_list
-    )
     if workers <= 1:
-        _init_worker(*init_args)
-        outcomes: List[_Outcome] = [_one_run(index) for index in indices]
+        global _worker_experiment
+        try:
+            _init_worker(*init_args)
+            outcomes: List[_Outcome] = [
+                _one_run(index) for index in indices
+            ]
+        finally:
+            # The inline path runs in the *caller's* process: leaving
+            # the built experiment in the module global would leak a
+            # full topology/codec graph into every later caller.
+            _worker_experiment = None
     else:
         with multiprocessing.Pool(
             workers, initializer=_init_worker, initargs=init_args
-        ) as pool:
-            outcomes = list(pool.imap_unordered(_one_run, indices))
-    # Deterministic reordering: aggregation must not depend on which
-    # worker finished first.
-    outcomes.sort(key=lambda outcome: outcome[0])
-    failures = [
-        (index, tb) for index, _, tb in outcomes if tb is not None
-    ]
-    completed = tuple(
-        result for _, result, tb in outcomes if tb is None
-    )
-    if failures:
-        failed_indices = ", ".join(str(index) for index, _ in failures)
-        raise ParallelExecutionError(
-            f"{len(failures)} of {runs} runs failed "
-            f"(indices {failed_indices}); first failure:\n"
-            f"{failures[0][1]}",
-            failures=failures,
-            completed=ExperimentResult(runs=completed),
-        )
-    return ExperimentResult(runs=completed)
+        ) as worker_pool:
+            outcomes = list(
+                worker_pool.imap_unordered(
+                    _one_run,
+                    indices,
+                    chunksize=adaptive_chunksize(
+                        len(indices), workers, chunksize
+                    ),
+                )
+            )
+    return collect_outcomes(outcomes, int(runs))

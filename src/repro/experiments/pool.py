@@ -1,0 +1,545 @@
+"""The persistent warm worker pool behind campaign-scale sweeps.
+
+``run_parallel`` historically created a fresh ``multiprocessing.Pool``
+per call and rebuilt the whole :class:`NetworkExperiment` (topology,
+code pool, codecs, correlation matrices) in every worker via the pool
+initializer.  That is fine for one 100-run sweep point, but a campaign
+is hundreds of *small* shards — and with the chipless PHY backend the
+run bodies are now so cheap that fork + re-pickle + rebuild dominates
+the wall clock.
+
+:class:`WorkerPool` amortizes all of that across a whole campaign:
+
+- **Processes are spawned once** and reused for every shard.  Sizing
+  respects the scheduler's CPU affinity mask
+  (:func:`available_cpu_count`), not the raw machine core count.
+- **Workers cache constructed experiments** in a small LRU keyed by a
+  content hash of the experiment parameters
+  (:meth:`ExperimentSpec.content_key`), so consecutive shards of the
+  same sweep point — and revisits of a point anywhere in the grid —
+  skip the rebuild entirely.  New points are announced with one cheap
+  ``configure`` broadcast carrying the spec; the per-process artifact
+  cache (codecs, correlation matrices, waveforms) stays warm for the
+  pool's whole lifetime.
+- **Submission is asynchronous.**  :meth:`WorkerPool.submit` returns a
+  :class:`PendingRun` immediately while a dispatcher thread feeds the
+  workers demand-driven chunks; the campaign executor uses this to
+  overlap shard N's SQLite commit with shard N+1's execution.
+
+Determinism is untouched: a run's randomness depends only on
+``(seed, run_index)`` and workers execute ``run_once`` exactly as the
+serial and fresh-pool paths do, so all three produce bit-identical
+:class:`~repro.experiments.runner.RunResult` streams (pinned by
+``tests/experiments/test_pool.py``).
+
+Pool activity is observable through the ``pool.*`` counters in
+:mod:`repro.obs.names`: workers spawned, configure broadcasts, warm
+cache hits/misses, and tasks dispatched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import queue
+import threading
+import traceback
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_ready
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.adversary.jammer import JammerStrategy
+from repro.core.config import JRSNDConfig
+from repro.errors import (
+    WORKER_TRAPPED_ERRORS,
+    ConfigurationError,
+    WorkerPoolError,
+)
+from repro.experiments.runner import NetworkExperiment, RunResult
+from repro.obs import current
+from repro.obs import names as _names
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "DEFAULT_CACHE_SIZE",
+    "ExperimentSpec",
+    "PendingRun",
+    "WorkerPool",
+    "adaptive_chunksize",
+    "available_cpu_count",
+]
+
+#: Constructed experiments a worker process keeps warm; beyond this the
+#: least recently used one is dropped (its spec is retained, so a
+#: revisit rebuilds locally without any IPC).
+DEFAULT_CACHE_SIZE = 8
+
+#: Hard cap on run indices shipped per task message, bounding both the
+#: request payload and the ``RunResult`` batch coming back.
+MAX_CHUNKSIZE = 32
+
+_Outcome = Tuple[int, Optional[RunResult], Optional[str]]
+
+
+def available_cpu_count() -> int:
+    """CPUs actually available to this process.
+
+    ``multiprocessing.cpu_count()`` reports the machine, not the
+    process: in a cgroup-limited container or under ``taskset`` it
+    over-spawns workers that then fight for the same few cores.  Where
+    the platform exposes a scheduler affinity mask
+    (``os.sched_getaffinity``), its size is the honest worker budget;
+    elsewhere the machine count remains the best available answer.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            affinity = getaffinity(0)
+        except OSError:
+            affinity = None
+        if affinity:
+            return len(affinity)
+    return multiprocessing.cpu_count()
+
+
+def adaptive_chunksize(
+    n_tasks: int, workers: int, chunksize: Optional[int] = None
+) -> int:
+    """Run indices per task message.
+
+    ``multiprocessing``'s implicit chunksize of 1 costs one IPC round
+    trip per run — pure overhead on many-run shards of cheap runs.
+    Mirroring ``Pool.map``'s heuristic, aim for about four chunks per
+    worker (keeping the tail balanced), capped at :data:`MAX_CHUNKSIZE`
+    so a single reply can never carry an unbounded result batch.  An
+    explicit ``chunksize`` overrides the heuristic.
+    """
+    if chunksize is not None:
+        check_positive("chunksize", chunksize)
+        return int(chunksize)
+    check_positive("workers", workers)
+    if n_tasks <= 0:
+        return 1
+    per_worker = -(-int(n_tasks) // (int(workers) * 4))
+    return max(1, min(MAX_CHUNKSIZE, per_worker))
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything a worker needs to construct one experiment.
+
+    This is the pool's unit of configuration: a picklable value object
+    whose :meth:`content_key` is a content hash over every field that
+    influences results, used to key the per-worker LRU of constructed
+    experiments.  Two shards of the same sweep point produce equal
+    keys, so the second one reuses the first one's warm experiment.
+    """
+
+    config: JRSNDConfig
+    seed: int
+    strategy_value: Any = JammerStrategy.REACTIVE.value
+    mndp_rounds: int = 1
+    link_model: str = "codes"
+    correlation_backend: Optional[str] = None
+    collect_metrics: bool = False
+    compute_backend: str = "vectorized"
+    phy_backend: Optional[str] = None
+
+    def content_key(self) -> str:
+        """Stable hash of ``(config, seed, strategy, ...)`` (16 hex)."""
+        material = repr((
+            sorted(dataclasses.asdict(self.config).items()),
+            int(self.seed),
+            self.strategy_value,
+            int(self.mndp_rounds),
+            self.link_model,
+            self.correlation_backend,
+            bool(self.collect_metrics),
+            self.compute_backend,
+            self.phy_backend,
+        ))
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def build(self) -> NetworkExperiment:
+        """Construct the experiment exactly as ``_init_worker`` does."""
+        return NetworkExperiment(
+            self.config,
+            seed=self.seed,
+            strategy=JammerStrategy(self.strategy_value),
+            mndp_rounds=self.mndp_rounds,
+            link_model=self.link_model,
+            correlation_backend=self.correlation_backend,
+            collect_metrics=self.collect_metrics,
+            compute_backend=self.compute_backend,
+            phy_backend=self.phy_backend,
+        )
+
+
+def _worker_main(
+    pipes: List[Tuple[Any, Any]], index: int, cache_size: int
+) -> None:
+    """Worker process loop: configure specs, run index chunks.
+
+    Specs are retained for the process lifetime (they are tiny);
+    constructed experiments live in an LRU of ``cache_size`` so a pool
+    cycling through many points bounds its memory while revisited
+    points stay warm.  Per-run failures are trapped exactly like
+    ``run_parallel``'s ``_one_run`` and travel back as tagged outcome
+    data; anything else is a pool fault reported as ``fatal``.
+
+    Every worker receives *all* pipe ends and keeps only its own child
+    end.  Under the fork start method each worker inherits the other
+    pipes' file descriptors anyway; if they stayed open, a worker
+    whose parent was SIGKILLed would never observe EOF (a sibling — or
+    the worker itself — still holds a live write end) and the orphaned
+    pool would survive the crash forever.  Closing the foreign ends
+    here makes "parent died" indistinguishable from a clean shutdown:
+    ``recv`` raises ``EOFError`` and the worker exits.
+    """
+    conn = pipes[index][1]
+    for position, (parent_end, child_end) in enumerate(pipes):
+        parent_end.close()
+        if position != index:
+            child_end.close()
+    specs: Dict[str, ExperimentSpec] = {}
+    experiments: "OrderedDict[str, NetworkExperiment]" = OrderedDict()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            tag = message[0]
+            if tag == "stop":
+                break
+            if tag == "configure":
+                specs[message[1]] = message[2]
+                continue
+            if tag != "run":
+                raise WorkerPoolError(
+                    f"unknown pool message tag {tag!r}"
+                )
+            _, key, indices = message
+            experiment = experiments.pop(key, None)
+            if experiment is None:
+                spec = specs.get(key)
+                if spec is None:
+                    raise WorkerPoolError(
+                        f"run task for unconfigured spec key {key!r}"
+                    )
+                experiment = spec.build()
+            experiments[key] = experiment  # most recently used last
+            while len(experiments) > cache_size:
+                experiments.popitem(last=False)
+            outcomes: List[_Outcome] = []
+            for index in indices:
+                try:
+                    outcomes.append(
+                        (index, experiment.run_once(index), None)
+                    )
+                except WORKER_TRAPPED_ERRORS:
+                    outcomes.append(
+                        (index, None, traceback.format_exc())
+                    )
+            conn.send(("done", outcomes))
+    except BaseException:  # jrsnd: noqa(JRS003) -- worker crash containment: every failure must reach the parent as a 'fatal' report before this process exits
+        try:
+            conn.send(("fatal", traceback.format_exc()))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+class PendingRun:
+    """Handle for one submitted job; resolved by the dispatcher."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._outcomes: Optional[List[_Outcome]] = None
+        self._error: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        """True once the job has finished (successfully or not)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> List[_Outcome]:
+        """Block until the job resolves; return its tagged outcomes.
+
+        Outcomes are ``(run_index, RunResult | None, traceback | None)``
+        triples in completion order — callers sort by index, exactly as
+        ``run_parallel`` does for ``imap_unordered``.
+        """
+        if not self._event.wait(timeout):
+            raise WorkerPoolError(
+                f"pool job did not finish within {timeout} s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._outcomes is not None
+        return self._outcomes
+
+    def _finish(self, outcomes: List[_Outcome]) -> None:
+        self._outcomes = outcomes
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+@dataclass
+class _Job:
+    spec: ExperimentSpec
+    indices: List[int]
+    chunksize: Optional[int]
+    handle: PendingRun
+
+
+class WorkerPool:
+    """A pool of long-lived worker processes with warm experiments.
+
+    Create one per campaign (or once per caller of ``run_parallel``)
+    and reuse it across every shard::
+
+        with WorkerPool(processes=4) as pool:
+            for shard in shards:
+                result = run_parallel(..., pool=pool)
+
+    Jobs execute one at a time in submission order on a dispatcher
+    thread that hands idle workers demand-driven index chunks, so a
+    slow worker never stalls the fast ones.  The pool is *broken* by
+    any infrastructure failure (a worker death, a protocol violation)
+    and refuses further submissions; per-run failures do not break it.
+
+    Parameters
+    ----------
+    processes:
+        Worker process count; defaults to :func:`available_cpu_count`.
+    cache_size:
+        Constructed experiments each worker keeps warm (LRU).
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if processes is None:
+            processes = available_cpu_count()
+        check_positive("processes", processes)
+        check_positive("cache_size", cache_size)
+        context = multiprocessing.get_context()
+        pipes = [
+            context.Pipe(duplex=True) for _ in range(int(processes))
+        ]
+        self._conns: List[Any] = [parent for parent, _ in pipes]
+        self._processes: List[Any] = []
+        for index in range(int(processes)):
+            process = context.Process(
+                target=_worker_main,
+                args=(pipes, index, int(cache_size)),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        for _, child_end in pipes:
+            child_end.close()
+        current().inc(_names.POOL_WORKERS_SPAWNED, int(processes))
+        self._delivered: Set[str] = set()
+        self._jobs: "queue.Queue[Optional[_Job]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._broken = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="repro-pool-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def processes(self) -> int:
+        """Worker process count."""
+        return len(self._processes)
+
+    @property
+    def broken(self) -> bool:
+        """True once an infrastructure failure has disabled the pool."""
+        with self._lock:
+            return self._broken
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the dispatcher and workers; idempotent.
+
+        In-flight jobs finish first — their handles stay valid after
+        the pool closes, only new submissions are refused.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._jobs.put(None)
+        self._dispatcher.join(timeout=60.0)
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (OSError, ValueError):
+                pass  # worker already gone
+        for process in self._processes:
+            process.join(timeout=10.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        spec: ExperimentSpec,
+        run_indices: Sequence[int],
+        chunksize: Optional[int] = None,
+    ) -> PendingRun:
+        """Queue ``run_indices`` of ``spec``; returns immediately.
+
+        The caller may submit the next job before waiting on this one —
+        the campaign executor relies on that to commit shard N while
+        the workers are already draining shard N+1.
+        """
+        indices = [int(index) for index in run_indices]
+        if not indices:
+            raise ConfigurationError("run_indices must be non-empty")
+        if any(index < 0 for index in indices):
+            raise ConfigurationError("run_indices must be non-negative")
+        if chunksize is not None:
+            check_positive("chunksize", chunksize)
+        with self._lock:
+            if self._broken:
+                raise WorkerPoolError(
+                    "worker pool is broken (a worker died or the "
+                    "dispatch protocol failed); create a new pool"
+                )
+            if self._closed:
+                raise ConfigurationError(
+                    "worker pool is closed; create a new pool"
+                )
+            handle = PendingRun()
+            self._jobs.put(
+                _Job(
+                    spec=spec,
+                    indices=indices,
+                    chunksize=chunksize,
+                    handle=handle,
+                )
+            )
+        return handle
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        run_indices: Sequence[int],
+        chunksize: Optional[int] = None,
+    ) -> List[_Outcome]:
+        """Synchronous convenience: ``submit(...).wait()``."""
+        return self.submit(spec, run_indices, chunksize).wait()
+
+    # -- dispatcher ----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                return
+            try:
+                outcomes = self._execute(job)
+            except BaseException as error:  # jrsnd: noqa(JRS003) -- dispatcher thread boundary: any failure must resolve the pending handle, not die silently in a daemon thread
+                with self._lock:
+                    self._broken = True
+                job.handle._fail(error)
+                self._fail_pending(error)
+                return
+            job.handle._finish(outcomes)
+
+    @staticmethod
+    def _send(conn: Any, message: Tuple[Any, ...]) -> None:
+        try:
+            conn.send(message)
+        except (OSError, ValueError) as error:
+            raise WorkerPoolError(
+                f"a pool worker's pipe is closed (worker killed or "
+                f"crashed): {error}"
+            ) from error
+
+    def _execute(self, job: _Job) -> List[_Outcome]:
+        registry = current()
+        key = job.spec.content_key()
+        if key in self._delivered:
+            registry.inc(_names.POOL_WARM_HITS)
+        else:
+            # One configure broadcast replaces what used to be a full
+            # fork + config re-pickle + experiment rebuild per worker.
+            for conn in self._conns:
+                self._send(conn, ("configure", key, job.spec))
+            self._delivered.add(key)
+            registry.inc(_names.POOL_WARM_MISSES)
+            registry.inc(_names.POOL_RECONFIGURES, len(self._conns))
+        chunk = adaptive_chunksize(
+            len(job.indices), len(self._conns), job.chunksize
+        )
+        chunks: Deque[List[int]] = deque(
+            job.indices[start : start + chunk]
+            for start in range(0, len(job.indices), chunk)
+        )
+        idle: Deque[Any] = deque(self._conns)
+        busy: Set[Any] = set()
+        outcomes: List[_Outcome] = []
+        while chunks or busy:
+            while chunks and idle:
+                conn = idle.popleft()
+                self._send(conn, ("run", key, chunks.popleft()))
+                busy.add(conn)
+                registry.inc(_names.POOL_TASKS_DISPATCHED)
+            for conn in _wait_ready(list(busy)):
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    raise WorkerPoolError(
+                        "a pool worker exited unexpectedly "
+                        "(killed or crashed before replying)"
+                    ) from None
+                if message[0] == "fatal":
+                    raise WorkerPoolError(
+                        f"pool worker failed:\n{message[1]}"
+                    )
+                outcomes.extend(message[1])
+                busy.discard(conn)
+                idle.append(conn)
+        return outcomes
+
+    def _fail_pending(self, error: BaseException) -> None:
+        """Resolve every queued-but-unstarted handle after a break."""
+        while True:
+            try:
+                job = self._jobs.get_nowait()
+            except queue.Empty:
+                return
+            if job is not None:
+                job.handle._fail(
+                    WorkerPoolError(
+                        f"worker pool broken by an earlier failure: "
+                        f"{error}"
+                    )
+                )

@@ -413,6 +413,7 @@ class JRS007PoolBoundaryPickle(Rule):
             "starmap_async",
             "apply",
             "apply_async",
+            "submit",
         }
     )
     _POOL_FUNCTIONS = frozenset({"run_parallel"})

@@ -147,6 +147,14 @@ CAMPAIGNS_SHARD_SECONDS = "campaigns.shard_seconds"
 CAMPAIGNS_STORE_COMMITS = "campaigns.store_commits"
 CAMPAIGNS_RESUMED = "campaigns.resumed"
 
+# -- persistent worker pool (warm campaign engine) ---------------------
+
+POOL_WORKERS_SPAWNED = "pool.workers_spawned"
+POOL_RECONFIGURES = "pool.reconfigures"
+POOL_WARM_HITS = "pool.warm_hits"
+POOL_WARM_MISSES = "pool.warm_misses"
+POOL_TASKS_DISPATCHED = "pool.tasks_dispatched"
+
 
 # -- dynamic-name helpers ----------------------------------------------
 

@@ -136,6 +136,98 @@ class TestResume:
             assert handle.read() == expected
 
 
+class TestPersistentPoolEngine:
+    """The pooled engine must be invisible in the store bytes.
+
+    The module-scoped ``reference`` store is built with the default
+    engine (inline on this CI's single CPU), so comparing against it
+    is a cross-engine identity check, not a self-comparison.
+    """
+
+    def test_pool_store_is_bit_identical(self, tmp_path, reference):
+        _, expected, ref_status = reference
+        path = str(tmp_path / "pooled.sqlite")
+        status = run_campaign(
+            tiny_spec(), path, processes=2, git_revision=REV
+        )
+        assert status.complete
+        assert status.canonical_digest == ref_status.canonical_digest
+        with open(path, "rb") as handle:
+            assert handle.read() == expected
+
+    def test_no_pool_store_is_bit_identical(self, tmp_path, reference):
+        _, expected, _ = reference
+        path = str(tmp_path / "nopool.sqlite")
+        status = run_campaign(
+            tiny_spec(), path, processes=2, git_revision=REV,
+            use_pool=False,
+        )
+        assert status.complete
+        with open(path, "rb") as handle:
+            assert handle.read() == expected
+
+    def test_progress_reports_rate_and_eta(self, tmp_path):
+        import re
+
+        lines = []
+        run_campaign(
+            tiny_spec(), str(tmp_path / "progress.sqlite"),
+            processes=2, git_revision=REV, progress=lines.append,
+        )
+        committed = [line for line in lines if "committed" in line]
+        assert len(committed) == 4
+        for line in committed:
+            assert re.search(
+                r"\[\d+(\.\d+)? runs/s, ETA \d+(\.\d+)?s\]", line
+            ), line
+
+    def test_sigkill_mid_pooled_run_then_pooled_resume(
+        self, tmp_path, reference
+    ):
+        """Kill/resume byte-identity with the pool on both sides of
+        the crash: the pipelined in-flight shard is simply lost and
+        re-executed."""
+        _, expected, ref_status = reference
+        path = str(tmp_path / "killed.sqlite")
+        spec_path = str(tmp_path / "spec.json")
+        with open(spec_path, "w") as handle:
+            handle.write(tiny_spec().to_json())
+        env = dict(os.environ)
+        repo_src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))),
+            "src",
+        )
+        env["PYTHONPATH"] = repo_src
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "campaign", "launch",
+                "--spec", spec_path, "--store", path,
+                "--revision", REV, "--kill-after-shards", "2",
+                "--processes", "2",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode in (-9, 137), proc.stderr
+        with CampaignStore(path) as store:
+            spec = tiny_spec()
+            done = store.completed_shards(
+                spec.name, spec.spec_hash(), REV
+            )
+        assert done == frozenset({0, 1})
+        resumed = run_campaign(
+            tiny_spec(), path, processes=2, git_revision=REV
+        )
+        assert resumed.complete
+        assert resumed.shards_skipped == 2
+        assert resumed.canonical_digest == ref_status.canonical_digest
+        with open(path, "rb") as handle:
+            assert handle.read() == expected
+
+
 class TestCli:
     def test_status_query_diff(self, reference, capsys):
         from repro.cli import main

@@ -1,0 +1,285 @@
+"""Tests for the persistent warm worker pool.
+
+The load-bearing property is the equivalence gate: serial, fresh-pool,
+and persistent-pool execution must produce bit-identical outcomes and
+per-run metrics, for one call and across many reusing calls.
+"""
+
+import os
+
+import pytest
+
+import repro.experiments.parallel as parallel_module
+from repro.core.config import JRSNDConfig
+from repro.errors import (
+    ConfigurationError,
+    ParallelExecutionError,
+    WorkerPoolError,
+)
+from repro.experiments.parallel import run_parallel
+from repro.experiments.pool import (
+    ExperimentSpec,
+    WorkerPool,
+    adaptive_chunksize,
+    available_cpu_count,
+)
+from repro.experiments.runner import NetworkExperiment
+from repro.obs import installed
+from repro.obs import names as _names
+from repro.obs.registry import MetricsRegistry
+
+TINY = JRSNDConfig(
+    n_nodes=120,
+    codes_per_node=12,
+    share_count=10,
+    n_compromised=5,
+    field_width=1200.0,
+    field_height=1200.0,
+    tx_range=260.0,
+)
+TINY_B = TINY.replace(n_compromised=10)
+
+
+@pytest.fixture
+def pool():
+    with WorkerPool(processes=2) as warm_pool:
+        yield warm_pool
+
+
+class TestAvailableCpuCount:
+    def test_positive(self):
+        assert available_cpu_count() >= 1
+
+    def test_uses_affinity_mask_when_available(self, monkeypatch):
+        monkeypatch.setattr(
+            os, "sched_getaffinity", lambda pid: {0, 2, 5},
+            raising=False,
+        )
+        assert available_cpu_count() == 3
+
+    def test_falls_back_without_affinity(self, monkeypatch):
+        """Platforms without ``sched_getaffinity`` (macOS, Windows)
+        fall back to the machine count."""
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        import multiprocessing
+
+        assert available_cpu_count() == multiprocessing.cpu_count()
+
+    def test_falls_back_on_oserror(self, monkeypatch):
+        def broken(pid):
+            raise OSError("no affinity for you")
+
+        monkeypatch.setattr(
+            os, "sched_getaffinity", broken, raising=False
+        )
+        import multiprocessing
+
+        assert available_cpu_count() == multiprocessing.cpu_count()
+
+
+class TestAdaptiveChunksize:
+    def test_targets_four_chunks_per_worker(self):
+        assert adaptive_chunksize(100, 2) == 13
+        assert adaptive_chunksize(8, 2) == 1
+        assert adaptive_chunksize(64, 4) == 4
+
+    def test_bounds(self):
+        assert adaptive_chunksize(0, 2) == 1
+        assert adaptive_chunksize(10_000, 2) == 32
+
+    def test_explicit_override(self):
+        assert adaptive_chunksize(100, 2, chunksize=5) == 5
+        with pytest.raises(ConfigurationError):
+            adaptive_chunksize(100, 2, chunksize=0)
+
+
+class TestExperimentSpec:
+    def test_content_key_is_stable(self):
+        a = ExperimentSpec(config=TINY, seed=7)
+        b = ExperimentSpec(config=TINY, seed=7)
+        assert a.content_key() == b.content_key()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 8},
+            {"config": TINY_B},
+            {"mndp_rounds": 2},
+            {"link_model": "independent"},
+            {"collect_metrics": True},
+            {"phy_backend": "chipless"},
+        ],
+    )
+    def test_content_key_covers_every_axis(self, override):
+        base = ExperimentSpec(config=TINY, seed=7)
+        kwargs = {"config": TINY, "seed": 7}
+        kwargs.update(override)
+        changed = ExperimentSpec(**kwargs)
+        assert base.content_key() != changed.content_key()
+
+    def test_build_matches_direct_construction(self):
+        spec = ExperimentSpec(config=TINY, seed=7)
+        built = spec.build().run(2)
+        direct = NetworkExperiment(TINY, seed=7).run(2)
+        assert built.runs == direct.runs
+
+
+class TestEquivalence:
+    def test_serial_fresh_and_persistent_are_identical(self, pool):
+        """The headline gate: all three engines, same bits."""
+        serial = run_parallel(
+            TINY, seed=11, runs=4, processes=1, collect_metrics=True
+        )
+        fresh = run_parallel(
+            TINY, seed=11, runs=4, processes=2, collect_metrics=True
+        )
+        warm = run_parallel(
+            TINY, seed=11, runs=4, collect_metrics=True, pool=pool
+        )
+        assert serial.runs == fresh.runs == warm.runs
+        assert (
+            serial.merged_metrics().counters
+            == fresh.merged_metrics().counters
+            == warm.merged_metrics().counters
+        )
+
+    def test_reuse_across_points_and_revisits(self, pool):
+        """A pool cycling through several points — and revisiting the
+        first — keeps producing exactly the serial results."""
+        plan = [(TINY, 3), (TINY_B, 5), (TINY, 3)]
+        for config, seed in plan:
+            serial = NetworkExperiment(
+                config, seed=seed, collect_metrics=True
+            ).run(3)
+            warm = run_parallel(
+                config, seed=seed, runs=3,
+                collect_metrics=True, pool=pool,
+            )
+            assert warm.runs == serial.runs
+            assert (
+                warm.merged_metrics().counters
+                == serial.merged_metrics().counters
+            )
+
+    def test_run_indices_subset(self, pool):
+        full = run_parallel(TINY, seed=11, runs=6, processes=1)
+        part = run_parallel(
+            TINY, seed=11, runs=3, run_indices=[2, 3, 4], pool=pool
+        )
+        assert part.runs == full.runs[2:5]
+
+    def test_lru_eviction_keeps_results_correct(self):
+        """cache_size=1 forces rebuild-on-revisit; only speed may
+        change, never bits."""
+        with WorkerPool(processes=2, cache_size=1) as small_pool:
+            for config in (TINY, TINY_B, TINY):
+                serial = NetworkExperiment(config, seed=5).run(2)
+                warm = run_parallel(
+                    config, seed=5, runs=2, pool=small_pool
+                )
+                assert warm.runs == serial.runs
+
+
+class TestPoolMetrics:
+    def test_counters_observe_reuse(self):
+        registry = MetricsRegistry()
+        with installed(registry):
+            with WorkerPool(processes=2) as pool:
+                run_parallel(TINY, seed=11, runs=4, pool=pool)
+                run_parallel(TINY, seed=11, runs=4, pool=pool)
+                run_parallel(TINY_B, seed=11, runs=4, pool=pool)
+            counters = registry.snapshot().counters
+        assert counters[_names.POOL_WORKERS_SPAWNED] == 2
+        assert counters[_names.POOL_WARM_MISSES] == 2
+        assert counters[_names.POOL_WARM_HITS] == 1
+        # One configure broadcast per miss reaches every worker.
+        assert counters[_names.POOL_RECONFIGURES] == 4
+        assert counters[_names.POOL_TASKS_DISPATCHED] >= 3
+
+    def test_pool_counters_never_enter_run_snapshots(self):
+        """pool.* is parent-side observability; per-run metrics (the
+        bytes that land in campaign stores) must not contain it."""
+        registry = MetricsRegistry()
+        with installed(registry):
+            with WorkerPool(processes=2) as pool:
+                result = run_parallel(
+                    TINY, seed=11, runs=2,
+                    collect_metrics=True, pool=pool,
+                )
+        for run in result.runs:
+            assert not any(
+                name.startswith("pool.")
+                for name in run.metrics.counters
+            )
+
+
+class TestFailureSemantics:
+    @staticmethod
+    def _failing_run_once(self, run_index):
+        if run_index == 1:
+            raise RuntimeError(f"synthetic failure in run {run_index}")
+        return self._execute_run(run_index)
+
+    def test_run_failures_do_not_break_the_pool(self, monkeypatch):
+        """Per-run failures come back as tagged data (exactly like the
+        fresh-pool path) and the pool stays usable."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("requires fork start method")
+        monkeypatch.setattr(
+            NetworkExperiment, "run_once", self._failing_run_once
+        )
+        with WorkerPool(processes=2) as pool:
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                run_parallel(TINY, seed=11, runs=3, pool=pool)
+            err = excinfo.value
+            assert [index for index, _ in err.failures] == [1]
+            assert len(err.completed.runs) == 2
+            assert not pool.broken
+            # The forked workers keep the patched run_once, so reuse
+            # the pool on an index that does not trip it: the pool
+            # still accepts and executes work after run failures.
+            again = run_parallel(
+                TINY, seed=11, runs=1, run_indices=[0], pool=pool
+            )
+            assert len(again.runs) == 1
+
+    def test_submit_after_close_is_refused(self):
+        pool = WorkerPool(processes=2)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            pool.submit(ExperimentSpec(config=TINY, seed=7), [0])
+
+    def test_empty_indices_refused(self, pool):
+        with pytest.raises(ConfigurationError):
+            pool.submit(ExperimentSpec(config=TINY, seed=7), [])
+
+    def test_dead_worker_breaks_the_pool(self, pool):
+        """Infrastructure failure (a worker killed mid-job) surfaces
+        as WorkerPoolError and poisons later submissions."""
+        for process in pool._processes:
+            process.terminate()
+            process.join(timeout=10.0)
+        with pytest.raises(WorkerPoolError):
+            pool.run(ExperimentSpec(config=TINY, seed=7), [0, 1])
+        with pytest.raises(WorkerPoolError):
+            pool.submit(ExperimentSpec(config=TINY, seed=7), [0])
+
+
+class TestInlinePathLeak:
+    def test_single_worker_path_clears_module_global(self):
+        """Regression: the workers<=1 path used to leave the built
+        experiment in ``_worker_experiment`` after returning."""
+        run_parallel(TINY, seed=6, runs=2, processes=1)
+        assert parallel_module._worker_experiment is None
+
+    def test_cleared_even_when_runs_fail(self, monkeypatch):
+        def failing(self, run_index):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(NetworkExperiment, "run_once", failing)
+        with pytest.raises(ParallelExecutionError):
+            run_parallel(TINY, seed=6, runs=2, processes=1)
+        assert parallel_module._worker_experiment is None

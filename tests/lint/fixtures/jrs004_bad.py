@@ -10,3 +10,4 @@ def report(kind: str) -> None:
     registry.inc(f"cache.{kind}.hits")
     registry.inc("campaigns.shards_comlpeted")
     registry.inc("phy.pairs_sweept")
+    registry.inc("pool.warm_hitz")

@@ -10,6 +10,7 @@ def report(kind: str, name: str) -> None:
     registry.observe(_names.MNDP_RECOVERY_HOPS, 3)
     registry.inc(_names.CAMPAIGNS_SHARDS_COMPLETED)
     registry.inc(_names.PHY_PAIRS_SWEPT)
+    registry.inc(_names.POOL_WARM_HITS)
     registry.inc(_names.cache_hits(kind))
     registry.inc(name)  # forwarder: literal checked at its call site
     ["a", "b"].count("a")

@@ -18,3 +18,7 @@ def fan_out(items):
 
 def sweep():
     return run_parallel(lambda: None, 7, 4)
+
+
+def warm_sweep(pool, items):
+    return pool.submit(lambda item: item * 2, items)

@@ -25,3 +25,7 @@ def sweep(configs):
     return [
         run_parallel(config, seed=7, runs=2) for config in configs
     ]
+
+
+def warm_sweep(pool, spec, items):
+    return pool.submit(spec, items)
