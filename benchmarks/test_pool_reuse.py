@@ -25,6 +25,7 @@ import os
 import time
 
 from repro.campaigns import CampaignSpec, run_campaign
+from repro.experiments.pool import SupervisionPolicy
 from repro.experiments.reporting import format_series_table
 from repro.obs import MetricsRegistry, installed
 from repro.obs import names as _names
@@ -65,7 +66,7 @@ def _bench_spec(runs_per_point: int, seed: int) -> CampaignSpec:
     )
 
 
-def _time_campaign(spec, store_path, use_pool):
+def _time_campaign(spec, store_path, use_pool, supervision=None):
     """``(elapsed, status, pool counters)`` for one full campaign."""
     registry = MetricsRegistry()
     start = time.perf_counter()
@@ -76,6 +77,7 @@ def _time_campaign(spec, store_path, use_pool):
             processes=WORKERS,
             git_revision="bench",
             use_pool=use_pool,
+            supervision=supervision,
         )
     elapsed = time.perf_counter() - start
     counters = registry.snapshot().counters
@@ -172,4 +174,81 @@ def test_persistent_pool_shard_throughput(
     assert speedup >= floor, (
         f"persistent pool only {speedup:.2f}x the per-shard-pool "
         f"baseline (floor {floor}x)"
+    )
+
+
+#: Supervision may cost at most this much wall clock.  The only
+#: supervision machinery on the fault-free hot path is the soft-timeout
+#: sweep (a deadline-polled wait instead of a blocking one); with
+#: ``run_timeout=None`` the dispatcher blocks exactly as an
+#: unsupervised pool would.  The throughput floor above separately
+#: guards the absolute engine speed against the recorded trajectory.
+OVERHEAD_CEILING = 1.05
+SMOKE_OVERHEAD_CEILING = 1.25
+
+
+def test_supervision_overhead(benchmark, seed, bench_record, tmp_path):
+    runs_per_point = 8 if _smoke() else 32
+    ceiling = (
+        SMOKE_OVERHEAD_CEILING if _smoke() else OVERHEAD_CEILING
+    )
+    spec = _bench_spec(runs_per_point, seed + 1)
+    blocking = SupervisionPolicy()  # run_timeout=None: blocking waits
+    polling = SupervisionPolicy(run_timeout=60.0)  # never fires
+
+    def measure():
+        warm = _bench_spec(2, seed + 1)
+        _time_campaign(
+            warm, str(tmp_path / "warm.sqlite"), use_pool=True,
+            supervision=blocking,
+        )
+        base_t, base_status, _ = _time_campaign(
+            spec, str(tmp_path / "blocking.sqlite"), use_pool=True,
+            supervision=blocking,
+        )
+        timed_t, timed_status, _ = _time_campaign(
+            spec, str(tmp_path / "polling.sqlite"), use_pool=True,
+            supervision=polling,
+        )
+        return base_t, base_status, timed_t, timed_status
+
+    base_t, base_status, timed_t, timed_status = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+
+    assert base_status.complete and timed_status.complete
+    assert (
+        timed_status.canonical_digest == base_status.canonical_digest
+    )
+    overhead = timed_t / base_t
+    print()
+    print(format_series_table(
+        [{
+            "blocking_s": base_t,
+            "polling_s": timed_t,
+            "overhead": overhead,
+        }],
+        title="Supervision overhead: blocking vs timeout-polled waits",
+    ))
+    supervision_record = {
+        "blocking_seconds": round(base_t, 4),
+        "timeout_polled_seconds": round(timed_t, 4),
+        "overhead_ratio": round(overhead, 3),
+        "ceiling": ceiling,
+        "smoke": _smoke(),
+    }
+    bench_record("supervision_overhead", **supervision_record)
+    # Fold into the shared artifact written by the throughput bench.
+    try:
+        with open(BENCH_JSON) as handle:
+            artifact = json.load(handle)
+    except (OSError, ValueError):
+        artifact = {}
+    artifact["supervision_overhead"] = supervision_record
+    atomic_write_text(
+        BENCH_JSON, json.dumps(artifact, indent=2, sort_keys=True)
+    )
+    assert overhead <= ceiling, (
+        f"supervision (timeout-polled waits) cost {overhead:.3f}x "
+        f"the blocking baseline (ceiling {ceiling}x)"
     )

@@ -29,6 +29,24 @@ A SIGKILL anywhere in steps 3-4 loses at most the in-flight shards'
 work (the committing one, plus the pipelined next one); the next
 ``resume`` re-executes exactly those shards and the final store is
 bit-identical to an uninterrupted run's.
+
+Self-healing (the supervision layer):
+
+- Worker deaths inside a shard are absorbed by the pool supervisor
+  (respawn + seed-pure retry, see
+  :class:`~repro.experiments.pool.SupervisionPolicy`); the executor
+  never sees them.
+- A run that exhausts its retry budget comes back as a **quarantined**
+  failure: the executor persists one failure record per poisoned run,
+  leaves the shard uncommitted, and moves on.  Plain resume skips
+  quarantined shards; ``retry_quarantined=True`` clears the records
+  and re-executes them.
+- Supervision itself giving up (respawn budget exhausted, spawn
+  failure) triggers **graceful degradation** instead of an exception:
+  persistent pool → fresh per-shard pool → serial in-process
+  execution, each step announced loudly on the progress sink and
+  recorded as an infrastructure event.  Because every engine produces
+  bit-identical results, degradation changes throughput, never bytes.
 """
 
 from __future__ import annotations
@@ -36,16 +54,27 @@ from __future__ import annotations
 import os
 import signal
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.campaigns.spec import CampaignSpec, Shard
-from repro.campaigns.store import CampaignStore, current_git_revision
-from repro.errors import ConfigurationError
+from repro.campaigns.store import (
+    INFRASTRUCTURE_KIND,
+    QUARANTINE_KIND,
+    CampaignStore,
+    current_git_revision,
+)
+from repro.errors import (
+    ConfigurationError,
+    ParallelExecutionError,
+    WorkerPoolError,
+    is_quarantined_failure,
+)
 from repro.experiments.parallel import collect_outcomes, run_parallel
 from repro.experiments.pool import (
     ExperimentSpec,
     PendingRun,
+    SupervisionPolicy,
     WorkerPool,
     available_cpu_count,
 )
@@ -69,6 +98,12 @@ class CampaignStatus:
     runs_executed: int
     complete: bool
     canonical_digest: str
+    #: Quarantine records present in the store when this invocation
+    #: returned (store-wide for this key, not just this invocation).
+    runs_quarantined: int = 0
+    shards_quarantined: int = 0
+    #: Engine-degradation messages emitted by this invocation.
+    degraded: Tuple[str, ...] = field(default=())
 
     @property
     def was_noop(self) -> bool:
@@ -115,6 +150,9 @@ def run_campaign(
     git_revision: Optional[str] = None,
     progress: Optional[Callable[[str], None]] = None,
     use_pool: bool = True,
+    retry_quarantined: bool = False,
+    supervision: Optional[SupervisionPolicy] = None,
+    execution_faults: Any = None,
 ) -> CampaignStatus:
     """Launch or resume ``spec`` against the store at ``store_path``.
 
@@ -147,6 +185,20 @@ def run_campaign(
         store is bit-identical either way.  With a single available
         CPU the persistent pool is skipped automatically — forking one
         worker to do what the parent could do inline is pure overhead.
+    retry_quarantined:
+        Clear this campaign's quarantine records and re-execute their
+        shards.  Plain resume (the default) skips quarantined shards —
+        a run that repeatedly killed its worker will do so again
+        unless something changed.
+    supervision:
+        Pool supervision policy override.  Defaults to a policy built
+        from the spec's ``max_run_retries`` / ``run_timeout`` knobs,
+        so retry budgets are part of the campaign's declarative
+        description.
+    execution_faults:
+        Test-only chaos hook forwarded to the worker boundary (see
+        :mod:`repro.faults.execution`); the serial fallback ignores it
+        (there is no worker process to kill).
     """
     if max_shards is not None and max_shards < 0:
         raise ConfigurationError("max_shards must be >= 0")
@@ -155,11 +207,45 @@ def run_campaign(
     spec_hash = spec.spec_hash()
     emit = progress or (lambda line: None)
     registry = current()
+    policy = supervision or SupervisionPolicy(
+        max_run_retries=spec.max_run_retries,
+        run_timeout=spec.run_timeout,
+    )
 
     executed = 0
     runs_executed = 0
+    degradations: List[str] = []
     with CampaignStore(store_path) as store:
+        if store.salvaged:
+            emit(
+                f"!! store {store_path} was damaged and has been "
+                f"salvaged to its last committed shard set "
+                f"({store.salvaged}); lost shards will re-execute"
+            )
         store.register_campaign(spec, revision)
+
+        def _record_degradation(
+            stage_from: str, stage_to: str, shard_index: int,
+            error: BaseException,
+        ) -> str:
+            """Announce + persist one engine-degradation event."""
+            registry.inc(_names.POOL_DEGRADED)
+            message = (
+                f"supervision gave up on engine {stage_from!r} at "
+                f"shard {shard_index} ({error}); degrading to "
+                f"{stage_to!r}"
+            )
+            emit("!! " + message)
+            # Negative run indices enumerate degradation events so
+            # several steps down the ladder at one shard all persist.
+            store.record_failure(
+                spec.name, spec_hash, revision, shard_index,
+                -(len(degradations) + 1),
+                INFRASTRUCTURE_KIND, 0, message,
+            )
+            degradations.append(message)
+            return stage_to
+
         done = store.completed_shards(spec.name, spec_hash, revision)
         # 'complete' is only ever written by the canonical export, so
         # it also certifies the file is already in canonical form.
@@ -175,61 +261,180 @@ def run_campaign(
                 f"resuming: {skipped}/{len(shards)} shards already "
                 f"in store"
             )
+        quarantined_shards = store.quarantined_shards(
+            spec.name, spec_hash, revision
+        )
+        if quarantined_shards and retry_quarantined:
+            cleared = store.clear_failures(
+                spec.name, spec_hash, revision, kind=QUARANTINE_KIND
+            )
+            emit(
+                f"retry-quarantined: cleared {cleared} quarantine "
+                f"record(s); re-executing "
+                f"{len(quarantined_shards)} shard(s)"
+            )
+            quarantined_shards = frozenset()
+        elif quarantined_shards:
+            emit(
+                f"skipping {len(quarantined_shards)} quarantined "
+                f"shard(s); resume with --retry-quarantined to "
+                f"re-execute them"
+            )
         pending: List[Shard] = []
         for shard in shards:
             if shard.index in done:
+                continue
+            if shard.index in quarantined_shards:
                 continue
             if max_shards is not None and len(pending) >= max_shards:
                 break
             pending.append(shard)
 
         workers = processes or available_cpu_count()
+        # The engine ladder: "pool" (persistent, pipelined) degrades
+        # to "per-shard" (fresh supervised pool per shard) degrades to
+        # "serial" (in-process).  All three are bit-identical.
+        engine = (
+            "pool" if use_pool and workers > 1 and pending
+            else "per-shard"
+        )
         pool: Optional[WorkerPool] = None
-        if use_pool and workers > 1 and pending:
-            pool = WorkerPool(
-                processes=workers, cache_size=spec.pool_cache_size
-            )
+        if engine == "pool":
+            try:
+                pool = WorkerPool(
+                    processes=workers,
+                    cache_size=spec.pool_cache_size,
+                    policy=policy,
+                    execution_faults=execution_faults,
+                )
+            except (WorkerPoolError, OSError) as error:
+                engine = _record_degradation(
+                    "pool", "per-shard", pending[0].index, error
+                )
         try:
             handle: Optional[PendingRun] = None
-            if pool is not None and pending:
-                handle = pool.submit(
-                    _shard_experiment_spec(spec, pending[0]),
-                    pending[0].run_indices,
-                    chunksize=spec.pool_chunksize,
-                )
             elapsed_total = 0.0
             for position, shard in enumerate(pending):
                 point = shard.point
                 started = time.perf_counter()
-                if pool is not None:
-                    assert handle is not None
-                    outcomes = handle.wait()
-                    # Pipeline one shard deep: hand the pool the next
-                    # shard *before* this one's commit, so the SQLite
-                    # transaction below overlaps worker compute.
-                    if position + 1 < len(pending):
-                        nxt = pending[position + 1]
-                        handle = pool.submit(
-                            _shard_experiment_spec(spec, nxt),
-                            nxt.run_indices,
-                            chunksize=spec.pool_chunksize,
+                result = None
+                quarantined_here = False
+                while result is None and not quarantined_here:
+                    try:
+                        if engine == "pool":
+                            assert pool is not None
+                            if handle is None:
+                                handle = pool.submit(
+                                    _shard_experiment_spec(spec, shard),
+                                    shard.run_indices,
+                                    chunksize=spec.pool_chunksize,
+                                )
+                            outcomes = handle.wait()
+                            handle = None
+                            # Pipeline one shard deep: hand the pool
+                            # the next shard *before* this one's
+                            # commit, so the SQLite transaction below
+                            # overlaps worker compute.
+                            if position + 1 < len(pending):
+                                nxt = pending[position + 1]
+                                try:
+                                    handle = pool.submit(
+                                        _shard_experiment_spec(
+                                            spec, nxt
+                                        ),
+                                        nxt.run_indices,
+                                        chunksize=spec.pool_chunksize,
+                                    )
+                                except WorkerPoolError:
+                                    # Degrade when we reach it; this
+                                    # shard's outcomes are intact.
+                                    handle = None
+                            result = collect_outcomes(
+                                outcomes, shard.n_runs
+                            )
+                        else:
+                            result = run_parallel(
+                                spec.point_config(point),
+                                seed=point.seed,
+                                runs=shard.n_runs,
+                                processes=(
+                                    workers if engine == "per-shard"
+                                    else 1
+                                ),
+                                strategy=spec.point_strategy(point),
+                                mndp_rounds=spec.mndp_rounds,
+                                link_model=spec.point_link_model(
+                                    point
+                                ),
+                                collect_metrics=spec.collect_metrics,
+                                compute_backend=spec.compute_backend,
+                                run_indices=shard.run_indices,
+                                phy_backend=spec.phy_backend,
+                                chunksize=spec.pool_chunksize,
+                                supervision=policy,
+                                execution_faults=(
+                                    execution_faults
+                                    if engine == "per-shard" else None
+                                ),
+                            )
+                    except (WorkerPoolError, OSError) as error:
+                        # Infrastructure failure: supervision itself
+                        # gave up.  Step down the ladder and re-run
+                        # this shard (identical bits on any engine).
+                        registry.inc(_names.CAMPAIGNS_SHARDS_RETRIED)
+                        if engine == "pool":
+                            engine = _record_degradation(
+                                "pool", "per-shard", shard.index,
+                                error,
+                            )
+                            handle = None
+                            if pool is not None:
+                                pool.close()
+                                pool = None
+                        elif engine == "per-shard":
+                            engine = _record_degradation(
+                                "per-shard", "serial", shard.index,
+                                error,
+                            )
+                        else:
+                            raise
+                    except ParallelExecutionError as error:
+                        quarantined = [
+                            (index, tb)
+                            for index, tb in error.failures
+                            if is_quarantined_failure(tb)
+                        ]
+                        if len(quarantined) != len(error.failures):
+                            # Genuine run failures (bad config, bug in
+                            # a component) are not supervision's
+                            # domain: surface them unchanged.
+                            raise
+                        for run_index, tb in quarantined:
+                            store.record_failure(
+                                spec.name, spec_hash, revision,
+                                shard.index, run_index,
+                                QUARANTINE_KIND,
+                                policy.max_run_retries + 1, tb,
+                            )
+                        registry.inc(
+                            _names.CAMPAIGNS_SHARDS_QUARANTINED
                         )
-                    result = collect_outcomes(outcomes, shard.n_runs)
-                else:
-                    result = run_parallel(
-                        spec.point_config(point),
-                        seed=point.seed,
-                        runs=shard.n_runs,
-                        processes=processes,
-                        strategy=spec.point_strategy(point),
-                        mndp_rounds=spec.mndp_rounds,
-                        link_model=spec.point_link_model(point),
-                        collect_metrics=spec.collect_metrics,
-                        compute_backend=spec.compute_backend,
-                        run_indices=shard.run_indices,
-                        phy_backend=spec.phy_backend,
-                        chunksize=spec.pool_chunksize,
-                    )
+                        registry.inc(
+                            _names.CAMPAIGNS_RUNS_QUARANTINED,
+                            len(quarantined),
+                        )
+                        emit(
+                            f"!! shard {shard.index + 1}/"
+                            f"{len(shards)}: {len(quarantined)} "
+                            f"run(s) quarantined (worker killed or "
+                            f"hung on every attempt); shard left "
+                            f"uncommitted — resume with "
+                            f"--retry-quarantined to re-execute"
+                        )
+                        quarantined_here = True
+                if quarantined_here:
+                    continue
+                assert result is not None
                 metrics = (
                     result.merged_metrics()
                     if spec.collect_metrics else None
@@ -273,7 +478,14 @@ def run_campaign(
                 pool.close()
         done = store.completed_shards(spec.name, spec_hash, revision)
         complete = len(done) == len(shards)
+        quarantine_records = store.failure_records(
+            spec.name, spec_hash, revision, kind=QUARANTINE_KIND
+        )
 
+    runs_quarantined = len(quarantine_records)
+    shards_quarantined = len(
+        {record["shard_index"] for record in quarantine_records}
+    )
     if complete and not already_complete:
         _canonicalize(
             store_path, (spec.name, spec_hash, revision)
@@ -288,9 +500,15 @@ def run_campaign(
         if complete:
             emit("campaign already complete; store untouched")
         else:
+            remaining = len(shards) - len(done)
+            note = (
+                f" ({shards_quarantined} of them quarantined)"
+                if shards_quarantined else ""
+            )
             emit(
-                f"stopped with {len(shards) - len(done)} shards "
-                f"remaining; resume with the same spec to continue"
+                f"stopped with {remaining} shards "
+                f"remaining{note}; resume with the same spec to "
+                f"continue"
             )
 
     return CampaignStatus(
@@ -303,6 +521,9 @@ def run_campaign(
         runs_executed=runs_executed,
         complete=complete,
         canonical_digest=digest,
+        runs_quarantined=runs_quarantined,
+        shards_quarantined=shards_quarantined,
+        degraded=tuple(degradations),
     )
 
 

@@ -128,6 +128,14 @@ class CampaignSpec:
     pool_chunksize:
         Run indices per pool task message; ``None`` (default) lets
         :func:`~repro.experiments.pool.adaptive_chunksize` choose.
+    max_run_retries:
+        Times the pool supervisor retries a run whose worker died
+        before quarantining it as a tagged failure (see
+        :class:`~repro.experiments.pool.SupervisionPolicy`).
+    run_timeout:
+        Per-run soft timeout in seconds; a worker silent that long is
+        classified hung, killed, and its runs retried.  ``None``
+        (default) disables the timeout sweep entirely.
     """
 
     name: str
@@ -145,6 +153,8 @@ class CampaignSpec:
     phy_backend: Optional[str] = None
     pool_cache_size: int = 8
     pool_chunksize: Optional[int] = None
+    max_run_retries: int = 2
+    run_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name or not self.name.replace("-", "").replace(
@@ -160,6 +170,13 @@ class CampaignSpec:
         check_positive("pool_cache_size", self.pool_cache_size)
         if self.pool_chunksize is not None:
             check_positive("pool_chunksize", self.pool_chunksize)
+        if self.max_run_retries < 0:
+            raise ConfigurationError(
+                f"max_run_retries must be >= 0, "
+                f"got {self.max_run_retries}"
+            )
+        if self.run_timeout is not None:
+            check_positive("run_timeout", self.run_timeout)
         for axis, values in self.grid.items():
             if axis not in GRID_AXES:
                 raise ConfigurationError(
@@ -232,6 +249,8 @@ class CampaignSpec:
             "phy_backend": self.phy_backend,
             "pool_cache_size": self.pool_cache_size,
             "pool_chunksize": self.pool_chunksize,
+            "max_run_retries": self.max_run_retries,
+            "run_timeout": self.run_timeout,
         }
 
     def to_json(self) -> str:
@@ -256,6 +275,7 @@ class CampaignSpec:
             "strategy", "link_model", "runs_per_shard", "mndp_rounds",
             "compute_backend", "collect_metrics", "sample_latency",
             "phy_backend", "pool_cache_size", "pool_chunksize",
+            "max_run_retries", "run_timeout",
         }
         unknown = set(data) - known
         if unknown:
@@ -296,6 +316,11 @@ class CampaignSpec:
             pool_chunksize=(
                 None if data.get("pool_chunksize") is None
                 else int(data["pool_chunksize"])
+            ),
+            max_run_retries=int(data.get("max_run_retries", 2)),
+            run_timeout=(
+                None if data.get("run_timeout") is None
+                else float(data["run_timeout"])
             ),
         )
 

@@ -21,12 +21,35 @@ Two properties carry the resume guarantees:
   file.  A fresh SQLite database built by the same insert sequence is
   byte-deterministic, so a resumed campaign's final store is
   *bit-identical* to an uninterrupted run's.
+
+Robustness (schema v2):
+
+- a ``failures`` table records **quarantined runs** (runs benched by
+  the pool supervisor after repeatedly killing their worker) and
+  **infrastructure events** (engine degradations), keyed like every
+  other row so resume logic can skip — or, with
+  ``--retry-quarantined``, clear and re-execute — poisoned shards;
+- every open runs ``PRAGMA integrity_check`` plus a spec-hash check
+  over the stored campaign rows; a store that fails either (torn by a
+  crash mid-page, bit-rotted, hand-edited) is **salvaged**: every
+  readable, internally consistent shard (shard row + its full run
+  complement) is carried into a rebuilt file that atomically replaces
+  the damaged one, so a resume re-executes only what was actually
+  lost;
+- v1 stores migrate in place (the new table is created and the
+  version stamped); unknown versions are still refused.
+
+Canonical form is unaffected: quarantine rows block completion (their
+shards never commit) and infrastructure events are execution telemetry,
+excluded from the canonical export — so a completed campaign's bytes
+are identical whether or not supervision had to intervene on the way.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import sqlite3
 import subprocess
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -34,11 +57,18 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.campaigns.spec import CampaignSpec, Shard
 from repro.errors import ConfigurationError
 from repro.experiments.runner import ExperimentResult, RunResult
-from repro.obs import MetricsSnapshot
+from repro.obs import MetricsSnapshot, current
+from repro.obs import names as _names
 
-__all__ = ["CampaignStore", "current_git_revision", "STORE_SCHEMA_VERSION"]
+__all__ = [
+    "CampaignStore",
+    "current_git_revision",
+    "STORE_SCHEMA_VERSION",
+    "QUARANTINE_KIND",
+    "INFRASTRUCTURE_KIND",
+]
 
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -75,7 +105,37 @@ CREATE TABLE IF NOT EXISTS runs (
     PRIMARY KEY (campaign_id, spec_hash, git_revision, run_index,
                  shard_index)
 );
+CREATE TABLE IF NOT EXISTS failures (
+    campaign_id  TEXT NOT NULL,
+    spec_hash    TEXT NOT NULL,
+    git_revision TEXT NOT NULL,
+    shard_index  INTEGER NOT NULL,
+    run_index    INTEGER NOT NULL,
+    kind         TEXT NOT NULL,
+    attempts     INTEGER NOT NULL,
+    detail       TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, spec_hash, git_revision, shard_index,
+                 run_index, kind)
+);
 """
+
+#: Column arity per table — the salvage path uses it to reject rows
+#: recovered with a damaged shape.
+_TABLE_ARITY = {
+    "campaigns": 5,
+    "shards": 9,
+    "runs": 10,
+    "failures": 8,
+}
+
+#: Failure-record kinds (the store is agnostic; these are the two the
+#: executor writes).
+QUARANTINE_KIND = "quarantine"
+INFRASTRUCTURE_KIND = "infrastructure"
+
+
+class _StoreCorruption(Exception):
+    """Internal: the file failed integrity/consistency verification."""
 
 
 def current_git_revision(cwd: Optional[str] = None) -> str:
@@ -101,10 +161,21 @@ class CampaignStore:
     visible.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, salvage: bool = True) -> None:
         self._path = path
-        self._conn = sqlite3.connect(path)
-        self._ensure_schema(self._conn)
+        #: Human-readable reason when this open had to salvage the
+        #: file, else ``None`` — callers surface it in progress output.
+        self.salvaged: Optional[str] = None
+        try:
+            self._conn = self._open_verified(path)
+        except _StoreCorruption as damage:
+            if not salvage:
+                raise ConfigurationError(
+                    f"campaign store {path} failed verification: "
+                    f"{damage}"
+                ) from damage
+            self._conn = self._salvage(path, str(damage))
+            self.salvaged = str(damage)
 
     @property
     def path(self) -> str:
@@ -124,18 +195,222 @@ class CampaignStore:
         # Fix the page size *before* the first table exists so working
         # and canonical stores share their on-disk geometry everywhere.
         conn.execute("PRAGMA page_size = 4096")
-        conn.executescript(_SCHEMA)
         (version,) = conn.execute("PRAGMA user_version").fetchone()
-        if version == 0:
-            conn.execute(
-                f"PRAGMA user_version = {STORE_SCHEMA_VERSION}"
-            )
-            conn.commit()
-        elif version != STORE_SCHEMA_VERSION:
+        if version not in (0, 1, STORE_SCHEMA_VERSION):
             raise ConfigurationError(
                 f"campaign store schema v{version} is not supported "
                 f"(expected v{STORE_SCHEMA_VERSION})"
             )
+        # ``IF NOT EXISTS`` throughout makes this both the fresh-file
+        # bootstrap and the v1 → v2 migration (v2 only adds the
+        # ``failures`` table; existing rows are untouched).
+        conn.executescript(_SCHEMA)
+        if version != STORE_SCHEMA_VERSION:
+            conn.execute(
+                f"PRAGMA user_version = {STORE_SCHEMA_VERSION}"
+            )
+            conn.commit()
+
+    # -- open-time verification and salvage ----------------------------
+
+    @classmethod
+    def _open_verified(cls, path: str) -> sqlite3.Connection:
+        """Open ``path`` and verify it, or raise :class:`_StoreCorruption`.
+
+        Verification is two-layered: SQLite's own ``PRAGMA
+        integrity_check`` catches physical damage (torn pages, broken
+        b-trees), and re-hashing every stored ``spec_json`` against its
+        ``spec_hash`` column catches logical damage that leaves the
+        pages well-formed.  Unsupported schema *versions* are a policy
+        refusal, not damage — they raise ``ConfigurationError`` and are
+        never salvaged.
+        """
+        conn = sqlite3.connect(path)
+        try:
+            try:
+                findings = conn.execute(
+                    "PRAGMA integrity_check"
+                ).fetchall()
+            except sqlite3.DatabaseError as error:
+                raise _StoreCorruption(f"unreadable database: {error}")
+            if findings != [("ok",)]:
+                summary = "; ".join(
+                    str(row[0]) for row in findings[:3]
+                )
+                raise _StoreCorruption(
+                    f"integrity_check failed: {summary}"
+                )
+            try:
+                cls._ensure_schema(conn)
+                mismatched = cls._spec_hash_mismatches(conn)
+                torn = cls._torn_shards(conn)
+            except sqlite3.DatabaseError as error:
+                raise _StoreCorruption(f"damaged schema: {error}")
+            if mismatched:
+                raise _StoreCorruption(
+                    "spec hash does not match stored spec for: "
+                    + ", ".join(mismatched)
+                )
+            if torn:
+                raise _StoreCorruption(
+                    "shards missing run rows (torn commit): "
+                    + ", ".join(torn)
+                )
+        except BaseException:  # jrsnd: noqa(JRS003) -- verification failed for *any* reason: close the handle, then re-raise unchanged
+            conn.close()
+            raise
+        return conn
+
+    @staticmethod
+    def _spec_hash_mismatches(conn: sqlite3.Connection) -> List[str]:
+        mismatched = []
+        for campaign_id, spec_hash, revision, spec_json in conn.execute(
+            "SELECT campaign_id, spec_hash, git_revision, spec_json "
+            "FROM campaigns"
+        ):
+            digest = hashlib.sha256(
+                str(spec_json).encode("utf-8")
+            ).hexdigest()[:16]
+            if digest != spec_hash:
+                mismatched.append(f"{campaign_id}@{revision}")
+        return mismatched
+
+    @staticmethod
+    def _torn_shards(conn: sqlite3.Connection) -> List[str]:
+        """Shards whose run-row count disagrees with their range.
+
+        Shard commits are single transactions, so a healthy store can
+        never disagree — a mismatch means the file lost rows to
+        corruption that left the pages themselves well-formed.
+        """
+        torn = []
+        for (campaign_id, spec_hash, revision, shard_index, run_start,
+             run_stop) in conn.execute(
+            "SELECT campaign_id, spec_hash, git_revision, "
+            "shard_index, run_start, run_stop FROM shards"
+        ).fetchall():
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM runs WHERE campaign_id = ? "
+                "AND spec_hash = ? AND git_revision = ? "
+                "AND shard_index = ?",
+                (campaign_id, spec_hash, revision, shard_index),
+            ).fetchone()
+            if count != run_stop - run_start:
+                torn.append(
+                    f"shard {shard_index} of {campaign_id}@{revision}"
+                )
+        return torn
+
+    @staticmethod
+    def _readable_rows(
+        conn: sqlite3.Connection, table: str
+    ) -> List[Tuple[Any, ...]]:
+        """Best-effort row dump: stop at the first unreadable row."""
+        rows: List[Tuple[Any, ...]] = []
+        try:
+            cursor = conn.execute(f"SELECT * FROM {table}")
+        except sqlite3.DatabaseError:
+            return rows
+        arity = _TABLE_ARITY[table]
+        while True:
+            try:
+                row = cursor.fetchone()
+            except sqlite3.DatabaseError:
+                break
+            if row is None:
+                break
+            if len(row) == arity:
+                rows.append(tuple(row))
+        return rows
+
+    @classmethod
+    def _salvage(cls, path: str, why: str) -> sqlite3.Connection:
+        """Rebuild a damaged store from its readable, consistent rows.
+
+        Keeps exactly the **last committed shard set**: a campaign row
+        survives only if its spec hash verifies, a shard row only if
+        its full run complement (``run_stop - run_start`` rows) was
+        readable, and run/failure rows only under a surviving parent.
+        Surviving campaigns are demoted to ``running`` so a resumed
+        executor re-executes the lost shards and re-canonicalizes.
+        The rebuilt file atomically replaces the damaged one.
+        """
+        current().inc(_names.CAMPAIGNS_STORE_SALVAGED)
+        recovered: Dict[str, List[Tuple[Any, ...]]] = {
+            table: [] for table in _TABLE_ARITY
+        }
+        try:
+            damaged: Optional[sqlite3.Connection] = sqlite3.connect(
+                path
+            )
+        except sqlite3.DatabaseError:
+            damaged = None
+        if damaged is not None:
+            for table in recovered:
+                recovered[table] = cls._readable_rows(damaged, table)
+            try:
+                damaged.close()
+            except sqlite3.DatabaseError:
+                pass
+        campaigns = []
+        for row in recovered["campaigns"]:
+            campaign_id, spec_hash, revision, spec_json, _status = row
+            digest = hashlib.sha256(
+                str(spec_json).encode("utf-8")
+            ).hexdigest()[:16]
+            if digest == spec_hash:
+                campaigns.append(
+                    (campaign_id, spec_hash, revision, spec_json,
+                     "running")
+                )
+        keys = {row[:3] for row in campaigns}
+        runs_per_shard: Dict[Tuple[Any, ...], int] = {}
+        for row in recovered["runs"]:
+            shard_key = row[:4]
+            runs_per_shard[shard_key] = (
+                runs_per_shard.get(shard_key, 0) + 1
+            )
+        shards = [
+            row
+            for row in recovered["shards"]
+            if row[:3] in keys
+            and runs_per_shard.get(row[:4], 0)
+            == int(row[7]) - int(row[6])
+        ]
+        shard_keys = {row[:4] for row in shards}
+        runs = [
+            row for row in recovered["runs"] if row[:4] in shard_keys
+        ]
+        failures = [
+            row for row in recovered["failures"] if row[:3] in keys
+        ]
+        rebuilt = path + ".salvage.tmp"
+        if os.path.exists(rebuilt):
+            os.unlink(rebuilt)
+        conn = sqlite3.connect(rebuilt)
+        try:
+            cls._ensure_schema(conn)
+            with conn:
+                for table, rows in (
+                    ("campaigns", campaigns),
+                    ("shards", shards),
+                    ("runs", runs),
+                    ("failures", failures),
+                ):
+                    placeholders = ", ".join(
+                        "?" * _TABLE_ARITY[table]
+                    )
+                    conn.executemany(
+                        f"INSERT INTO {table} "
+                        f"VALUES ({placeholders})",
+                        sorted(rows),
+                    )
+        except BaseException:  # jrsnd: noqa(JRS003) -- the half-built salvage file must not leak an open handle; re-raised unchanged
+            conn.close()
+            raise
+        conn.close()
+        os.replace(rebuilt, path)
+        return sqlite3.connect(path)
 
     # -- campaign lifecycle --------------------------------------------
 
@@ -249,6 +524,99 @@ class CampaignStore:
                     )
                 ],
             )
+
+    # -- failure records ------------------------------------------------
+
+    def record_failure(
+        self,
+        campaign_id: str,
+        spec_hash: str,
+        git_revision: str,
+        shard_index: int,
+        run_index: int,
+        kind: str,
+        attempts: int,
+        detail: str,
+    ) -> None:
+        """Upsert one failure record (quarantine or infrastructure).
+
+        ``run_index`` is the quarantined run for ``kind="quarantine"``;
+        infrastructure events use negative indices (``-1``, ``-2``,
+        ...) — they describe the engine, not a run — so several events
+        at one shard coexist under the primary key.
+        """
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO failures "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    campaign_id, spec_hash, git_revision,
+                    int(shard_index), int(run_index), kind,
+                    int(attempts), detail,
+                ),
+            )
+
+    def failure_records(
+        self,
+        campaign_id: str,
+        spec_hash: str,
+        git_revision: str,
+        kind: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Failure records for this key, ordered deterministically."""
+        query = (
+            "SELECT shard_index, run_index, kind, attempts, detail "
+            "FROM failures WHERE campaign_id = ? AND spec_hash = ? "
+            "AND git_revision = ?"
+        )
+        params: List[Any] = [campaign_id, spec_hash, git_revision]
+        if kind is not None:
+            query += " AND kind = ?"
+            params.append(kind)
+        query += " ORDER BY shard_index, run_index, kind"
+        return [
+            {
+                "shard_index": shard_index,
+                "run_index": run_index,
+                "kind": row_kind,
+                "attempts": attempts,
+                "detail": detail,
+            }
+            for shard_index, run_index, row_kind, attempts, detail
+            in self._conn.execute(query, params)
+        ]
+
+    def quarantined_shards(
+        self, campaign_id: str, spec_hash: str, git_revision: str
+    ) -> frozenset:
+        """Indices of shards holding at least one quarantined run."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT shard_index FROM failures "
+            "WHERE campaign_id = ? AND spec_hash = ? "
+            "AND git_revision = ? AND kind = ?",
+            (campaign_id, spec_hash, git_revision, QUARANTINE_KIND),
+        ).fetchall()
+        return frozenset(index for (index,) in rows)
+
+    def clear_failures(
+        self,
+        campaign_id: str,
+        spec_hash: str,
+        git_revision: str,
+        kind: Optional[str] = None,
+    ) -> int:
+        """Delete failure records for this key; returns rows removed."""
+        query = (
+            "DELETE FROM failures WHERE campaign_id = ? "
+            "AND spec_hash = ? AND git_revision = ?"
+        )
+        params: List[Any] = [campaign_id, spec_hash, git_revision]
+        if kind is not None:
+            query += " AND kind = ?"
+            params.append(kind)
+        with self._conn:
+            cursor = self._conn.execute(query, params)
+        return int(cursor.rowcount)
 
     # -- queries --------------------------------------------------------
 
@@ -378,7 +746,7 @@ class CampaignStore:
 
     def _all_rows(self) -> Dict[str, List[Tuple[Any, ...]]]:
         tables = {}
-        for table in ("campaigns", "shards", "runs"):
+        for table in ("campaigns", "shards", "runs", "failures"):
             columns = [
                 info[1]
                 for info in self._conn.execute(
@@ -427,9 +795,14 @@ class CampaignStore:
         replaces it, so a crash at any instant leaves either a
         resumable working store or a finished canonical one, never an
         ambiguous in-between.
-        """
-        import os
 
+        Infrastructure failure records (engine degradations) are
+        execution telemetry, not campaign content: they are dropped
+        from the export so a campaign that had to degrade mid-flight
+        still canonicalizes byte-identically to an undisturbed one.
+        Quarantine records *are* content (they block completion) and
+        are carried through.
+        """
         if os.path.exists(path):
             os.unlink(path)
         conn = sqlite3.connect(path)
@@ -450,8 +823,13 @@ class CampaignStore:
                     )
                     for row in rows["campaigns"]
                 ]
+            rows["failures"] = [
+                row for row in rows["failures"]
+                if row[5] != INFRASTRUCTURE_KIND
+            ]
             with conn:
-                for table in ("campaigns", "shards", "runs"):
+                for table in ("campaigns", "shards", "runs",
+                              "failures"):
                     if not rows[table]:
                         continue
                     placeholders = ", ".join(

@@ -171,10 +171,33 @@ def build_parser() -> argparse.ArgumentParser:
         runner.add_argument("--revision", default=None,
                             help="override the git revision key "
                                  "(default: git rev-parse HEAD)")
+        runner.add_argument("--retry-quarantined",
+                            action="store_true",
+                            help="clear quarantine records and "
+                                 "re-execute their shards (default: "
+                                 "quarantined shards are skipped)")
+        runner.add_argument("--chaos-kill-rate", type=float,
+                            default=0.0, metavar="P",
+                            help="testing hook: each run SIGKILLs its "
+                                 "worker with probability P (seeded)")
+        runner.add_argument("--chaos-kill-seed", type=int, default=0,
+                            metavar="SEED",
+                            help="seed for --chaos-kill-rate draws")
+        runner.add_argument("--chaos-max-kills", type=int, default=1,
+                            metavar="N",
+                            help="kills per selected run before it is "
+                                 "allowed through (keep at or below "
+                                 "the spec's max_run_retries for a "
+                                 "clean finish)")
     status = campaign_sub.add_parser(
         "status", help="per-campaign shard progress and store digest"
     )
     status.add_argument("--store", metavar="PATH", required=True)
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable status (shards done/"
+                             "pending, quarantined runs, degradation "
+                             "events); exit code 3 when quarantined "
+                             "runs exist")
     query = campaign_sub.add_parser(
         "query", help="per-point aggregated results of a campaign"
     )
@@ -380,6 +403,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
     if args.campaign_command in ("launch", "resume"):
         spec = _campaign_spec(args)
+        execution_faults = None
+        if args.chaos_kill_rate:
+            from repro.faults import ExecutionFaultPlan, WorkerKiller
+
+            execution_faults = ExecutionFaultPlan((
+                WorkerKiller(
+                    seed=args.chaos_kill_seed,
+                    rate=args.chaos_kill_rate,
+                    max_kills=args.chaos_max_kills,
+                ),
+            ))
         status = run_campaign(
             spec,
             args.store,
@@ -389,6 +423,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             git_revision=args.revision,
             progress=print,
             use_pool=not args.no_pool,
+            retry_quarantined=args.retry_quarantined,
+            execution_faults=execution_faults,
         )
         remaining = (
             status.shards_total
@@ -404,16 +440,83 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                            f"{status.shards_executed} executed / "
                            f"{status.shards_skipped} skipped"),
                 ("runs executed", status.runs_executed),
+                ("runs quarantined", status.runs_quarantined),
+                ("degradations", len(status.degraded)),
                 ("complete", status.complete),
                 ("digest", status.canonical_digest),
             ],
             title=f"campaign {args.campaign_command}: {status.campaign_id}",
         ))
+        if status.runs_quarantined:
+            return 3
         return 0 if status.complete or args.max_shards is not None else 1
     if args.campaign_command == "status":
+        import json as _json
+
+        from repro.campaigns.store import (
+            INFRASTRUCTURE_KIND,
+            QUARANTINE_KIND,
+        )
+
         with CampaignStore(args.store) as store:
             campaigns = store.list_campaigns()
             digest = store.canonical_digest()
+            details = []
+            for row in campaigns:
+                key = (
+                    row["campaign_id"], row["spec_hash"],
+                    row["git_revision"],
+                )
+                details.append((
+                    row,
+                    store.failure_records(*key, kind=QUARANTINE_KIND),
+                    store.failure_records(
+                        *key, kind=INFRASTRUCTURE_KIND
+                    ),
+                ))
+        total_quarantined = sum(
+            len(quarantine) for _, quarantine, _ in details
+        )
+        if args.json:
+            payload = {
+                "store": args.store,
+                "canonical_digest": digest,
+                "runs_quarantined": total_quarantined,
+                "campaigns": [
+                    {
+                        "campaign_id": row["campaign_id"],
+                        "spec_hash": row["spec_hash"],
+                        "git_revision": row["git_revision"],
+                        "status": row["status"],
+                        "shards_done": row["shards_done"],
+                        "shards_total": row["shards_total"],
+                        "shards_pending": (
+                            row["shards_total"] - row["shards_done"]
+                        ),
+                        "runs_quarantined": len(quarantine),
+                        "shards_quarantined": len(
+                            {
+                                record["shard_index"]
+                                for record in quarantine
+                            }
+                        ),
+                        "quarantined_runs": [
+                            {
+                                "shard_index": record["shard_index"],
+                                "run_index": record["run_index"],
+                                "attempts": record["attempts"],
+                            }
+                            for record in quarantine
+                        ],
+                        "degradation_events": [
+                            record["detail"] for record in infra
+                        ],
+                    }
+                    for row, quarantine, infra in details
+                ],
+            }
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+            return 3 if total_quarantined else 0
         if not campaigns:
             print(f"no campaigns in {args.store}")
             return 0
@@ -425,13 +528,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     "revision": row["git_revision"][:12],
                     "status": row["status"],
                     "shards": f"{row['shards_done']}/{row['shards_total']}",
+                    "quarantined": len(quarantine),
                 }
-                for row in campaigns
+                for row, quarantine, _ in details
             ],
             title=f"campaigns in {args.store}",
         ))
         print(f"\ncanonical digest: {digest}")
-        return 0
+        return 3 if total_quarantined else 0
     if args.campaign_command == "query":
         with CampaignStore(args.store) as store:
             spec, revision = store.spec_for(

@@ -49,14 +49,43 @@ class RevokedCodeError(ReproError):
 
 
 class WorkerPoolError(ReproError):
-    """The persistent worker-pool machinery itself failed.
+    """The worker-pool machinery itself failed beyond repair.
 
-    Raised for *infrastructure* failures — a worker process died, the
-    dispatch protocol was violated, or a job was submitted to a closed
-    or broken pool.  Failures of individual Monte Carlo runs are never
-    reported through this class: they travel back as tagged outcome
-    data and surface as :class:`ParallelExecutionError`.
+    The execution plane classifies failures into three families:
+
+    - **transient** — a worker died or hung but supervision absorbed
+      it: the worker was respawned and the affected runs were retried
+      (bit-identically, runs are seed-pure).  Transient failures never
+      raise; they are visible only as ``pool.workers_respawned`` /
+      ``pool.runs_retried`` counters.
+    - **quarantine** — a run exceeded its retry budget (it keeps
+      killing or hanging its worker).  The run is reported as a tagged
+      failure outcome carrying :data:`QUARANTINE_MARKER` and surfaces
+      through :class:`ParallelExecutionError`; the pool survives.
+    - **infrastructure** — supervision itself failed (respawn budget
+      exhausted, spawn failures, a closed/broken pool).  Only this
+      family raises ``WorkerPoolError``; the campaign executor reacts
+      by degrading to a simpler engine rather than aborting.
     """
+
+
+#: Prefix tagging a failure traceback as a *quarantined* run: one that
+#: repeatedly killed or hung its worker and was benched after
+#: exhausting its retry budget, rather than a run that raised.
+QUARANTINE_MARKER = "[quarantined]"
+
+
+def quarantine_failure(run_index, attempts, reason):
+    """The tagged failure text for a quarantined run."""
+    return (
+        f"{QUARANTINE_MARKER} run {run_index} killed or hung its "
+        f"worker on all {attempts} attempts; last failure: {reason}"
+    )
+
+
+def is_quarantined_failure(traceback_text):
+    """True if a failure traceback marks a quarantined run."""
+    return str(traceback_text).startswith(QUARANTINE_MARKER)
 
 
 #: The concrete exception families a Monte Carlo worker run may raise

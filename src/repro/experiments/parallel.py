@@ -11,25 +11,29 @@ serial path because each run's randomness depends only on
 Robustness and efficiency:
 
 - the experiment parameters (including the full ``JRSNDConfig``) are
-  shipped to each worker **once** via the pool initializer instead of
+  shipped to each worker **once** via a configure broadcast instead of
   being re-pickled with every task — a task is just a run index;
-- workers never let an exception escape into ``pool.imap``: failures
-  come back tagged with their run index, and after all tasks drain the
-  completed runs are preserved on the raised
+- workers never let a run exception escape the dispatch protocol:
+  failures come back tagged with their run index, and after all tasks
+  drain the completed runs are preserved on the raised
   :class:`~repro.errors.ParallelExecutionError` instead of being lost
   to a bare mid-map traceback;
-- tasks are consumed with ``imap_unordered`` (fastest drain) and
+- outcomes arrive in completion order (fastest drain) and are
   reordered deterministically by run index before aggregation, so the
   returned result is independent of worker scheduling;
 - tasks are batched with an adaptive ``chunksize``
   (:func:`~repro.experiments.pool.adaptive_chunksize`) instead of the
   implicit 1, cutting per-task IPC on many-run sweeps;
+- both multiprocess paths run on the supervised
+  :class:`~repro.experiments.pool.WorkerPool` — a worker death is
+  respawned and its runs retried (seed-pure, so bit-identical) rather
+  than aborting the sweep;
 - a persistent :class:`~repro.experiments.pool.WorkerPool` can be
   passed as ``pool=`` to reuse warm worker processes (and their cached
   experiments) across many calls — the campaign executor does this for
-  every shard of a grid.  ``pool=None`` keeps today's self-contained
-  behavior; all three paths (serial, fresh pool, persistent pool) are
-  bit-identical.
+  every shard of a grid.  ``pool=None`` keeps the self-contained
+  behavior (a fresh per-call pool); all three paths (serial, fresh
+  pool, persistent pool) are bit-identical.
 
 With ``collect_metrics=True`` each worker attaches a per-run
 :class:`~repro.obs.MetricsSnapshot` to its ``RunResult`` (the
@@ -40,7 +44,6 @@ identical to a serial instrumented run of the same seed.
 
 from __future__ import annotations
 
-import multiprocessing
 import traceback
 from typing import Any, List, Optional, Sequence, Tuple
 
@@ -53,8 +56,8 @@ from repro.errors import (
 )
 from repro.experiments.pool import (
     ExperimentSpec,
+    SupervisionPolicy,
     WorkerPool,
-    adaptive_chunksize,
     available_cpu_count,
 )
 from repro.experiments.runner import (
@@ -161,6 +164,8 @@ def run_parallel(
     phy_backend: Optional[str] = None,
     pool: Optional[WorkerPool] = None,
     chunksize: Optional[int] = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    execution_faults: Any = None,
 ) -> ExperimentResult:
     """Execute ``runs`` snapshots across ``processes`` workers.
 
@@ -185,11 +190,16 @@ def run_parallel(
     When given, ``runs`` must equal ``len(run_indices)``.
 
     ``pool`` (when set) executes the runs on a persistent
-    :class:`~repro.experiments.pool.WorkerPool` instead of forking a
-    throwaway ``multiprocessing.Pool``: the workers and their cached
-    experiments survive across calls, so repeated calls for the same
-    parameters skip the per-call rebuild entirely.  ``processes`` is
-    ignored in that case (the pool was sized at construction).
+    :class:`~repro.experiments.pool.WorkerPool` instead of a throwaway
+    one: the workers and their cached experiments survive across
+    calls, so repeated calls for the same parameters skip the per-call
+    rebuild entirely.  ``processes`` is ignored in that case (the pool
+    was sized at construction).  Without a ``pool``, multi-worker
+    execution still runs on a (fresh, per-call) supervised
+    ``WorkerPool``, so worker deaths are respawned/retried rather than
+    aborting the sweep; ``supervision`` tunes that policy and
+    ``execution_faults`` is the test-only chaos hook, both ignored
+    when a persistent ``pool`` is passed (it carries its own).
     ``chunksize`` overrides the adaptive run-indices-per-task batch on
     either multiprocess path.
 
@@ -215,39 +225,38 @@ def run_parallel(
     indices: Sequence[int] = (
         range(int(runs)) if run_indices is None else indices_list
     )
+    spec = ExperimentSpec(
+        config=config,
+        seed=seed,
+        strategy_value=strategy.value,
+        mndp_rounds=mndp_rounds,
+        link_model=link_model,
+        correlation_backend=correlation_backend,
+        collect_metrics=collect_metrics,
+        compute_backend=compute_backend,
+        phy_backend=phy_backend,
+    )
     if pool is not None:
-        spec = ExperimentSpec(
-            config=config,
-            seed=seed,
-            strategy_value=strategy.value,
-            mndp_rounds=mndp_rounds,
-            link_model=link_model,
-            correlation_backend=correlation_backend,
-            collect_metrics=collect_metrics,
-            compute_backend=compute_backend,
-            phy_backend=phy_backend,
-        )
         return collect_outcomes(
             pool.run(spec, indices, chunksize=chunksize), int(runs)
         )
     workers = min(
         processes or available_cpu_count(), int(runs)
     )
-    init_args = (
-        config,
-        seed,
-        strategy.value,
-        mndp_rounds,
-        link_model,
-        correlation_backend,
-        collect_metrics,
-        compute_backend,
-        phy_backend,
-    )
     if workers <= 1:
         global _worker_experiment
         try:
-            _init_worker(*init_args)
+            _init_worker(
+                config,
+                seed,
+                strategy.value,
+                mndp_rounds,
+                link_model,
+                correlation_backend,
+                collect_metrics,
+                compute_backend,
+                phy_backend,
+            )
             outcomes: List[_Outcome] = [
                 _one_run(index) for index in indices
             ]
@@ -257,16 +266,17 @@ def run_parallel(
             # full topology/codec graph into every later caller.
             _worker_experiment = None
     else:
-        with multiprocessing.Pool(
-            workers, initializer=_init_worker, initargs=init_args
-        ) as worker_pool:
-            outcomes = list(
-                worker_pool.imap_unordered(
-                    _one_run,
-                    indices,
-                    chunksize=adaptive_chunksize(
-                        len(indices), workers, chunksize
-                    ),
-                )
+        # The fresh path is a throwaway *supervised* pool, not a raw
+        # ``multiprocessing.Pool``: a worker SIGKILLed mid-map would
+        # wedge ``imap_unordered`` forever, whereas the supervisor
+        # respawns the worker and retries its runs (bit-identically —
+        # a run's randomness depends only on ``(seed, run_index)``).
+        with WorkerPool(
+            processes=workers,
+            policy=supervision,
+            execution_faults=execution_faults,
+        ) as fresh_pool:
+            outcomes = fresh_pool.run(
+                spec, indices, chunksize=chunksize
             )
     return collect_outcomes(outcomes, int(runs))

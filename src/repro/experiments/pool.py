@@ -1,4 +1,4 @@
-"""The persistent warm worker pool behind campaign-scale sweeps.
+"""The supervised, persistent warm worker pool behind campaign sweeps.
 
 ``run_parallel`` historically created a fresh ``multiprocessing.Pool``
 per call and rebuilt the whole :class:`NetworkExperiment` (topology,
@@ -26,15 +26,42 @@ the wall clock.
   workers demand-driven chunks; the campaign executor uses this to
   overlap shard N's SQLite commit with shard N+1's execution.
 
+**Supervision.**  An overnight campaign is only as reliable as its
+least reliable process, so the dispatcher does not treat a worker
+death as fatal.  Under a :class:`SupervisionPolicy`:
+
+- a dead worker (EOF mid-chunk, broken pipe, ``fatal`` report) is
+  **respawned** and its in-flight runs are **retried** as singleton
+  chunks under bounded exponential backoff — runs are seed-pure, so a
+  retried run is bit-identical to an undisturbed one;
+- a run that keeps killing its worker past ``max_run_retries`` is
+  **quarantined**: it comes back as a tagged failure outcome carrying
+  :data:`~repro.errors.QUARANTINE_MARKER` (surfacing through
+  ``ParallelExecutionError``) instead of sinking the pool;
+- an optional per-chunk soft timeout (``run_timeout``) classifies a
+  **hung** worker, which is killed, counted, and respawned like a
+  crash;
+- only *infrastructure* failures — the per-job respawn budget
+  exhausted, a spawn failure, the pool closed mid-job — raise
+  :class:`~repro.errors.WorkerPoolError` and break the pool.
+
+An :class:`~repro.faults.execution.ExecutionFaultPlan` can be attached
+at construction (test-only hook): workers call its ``before_run`` hook
+ahead of every run attempt, which is how the seeded ``WorkerKiller`` /
+``RunHang`` / ``SlowWorker`` injectors drive the supervisor
+deterministically in tests and chaos CI.
+
 Determinism is untouched: a run's randomness depends only on
 ``(seed, run_index)`` and workers execute ``run_once`` exactly as the
 serial and fresh-pool paths do, so all three produce bit-identical
 :class:`~repro.experiments.runner.RunResult` streams (pinned by
-``tests/experiments/test_pool.py``).
+``tests/experiments/test_pool.py``) — with or without respawns in
+between.
 
 Pool activity is observable through the ``pool.*`` counters in
-:mod:`repro.obs.names`: workers spawned, configure broadcasts, warm
-cache hits/misses, and tasks dispatched.
+:mod:`repro.obs.names`: workers spawned/respawned/timed-out/
+force-killed, configure broadcasts, warm cache hits/misses, tasks
+dispatched, runs retried, and runs quarantined.
 """
 
 from __future__ import annotations
@@ -45,11 +72,21 @@ import multiprocessing
 import os
 import queue
 import threading
+import time
 import traceback
 from collections import OrderedDict, deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_ready
-from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.adversary.jammer import JammerStrategy
 from repro.core.config import JRSNDConfig
@@ -57,6 +94,7 @@ from repro.errors import (
     WORKER_TRAPPED_ERRORS,
     ConfigurationError,
     WorkerPoolError,
+    quarantine_failure,
 )
 from repro.experiments.runner import NetworkExperiment, RunResult
 from repro.obs import current
@@ -67,6 +105,7 @@ __all__ = [
     "DEFAULT_CACHE_SIZE",
     "ExperimentSpec",
     "PendingRun",
+    "SupervisionPolicy",
     "WorkerPool",
     "adaptive_chunksize",
     "available_cpu_count",
@@ -128,6 +167,74 @@ def adaptive_chunksize(
 
 
 @dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the pool reacts when workers die, hang, or wedge.
+
+    Parameters
+    ----------
+    max_run_retries:
+        How many times one run may kill (or hang) its worker and still
+        be re-dispatched.  A run failing attempt ``max_run_retries``
+        (i.e. on its ``max_run_retries + 1``-th try) is quarantined as
+        a tagged failure outcome.
+    max_respawns:
+        Per-job respawn budget.  More worker deaths than this within a
+        single job is an infrastructure failure: the pool breaks with
+        ``WorkerPoolError`` (the campaign executor then degrades to a
+        simpler engine).
+    backoff_base / backoff_factor / backoff_max:
+        Bounded exponential backoff slept by the dispatcher after each
+        *consecutive* worker death — ``base * factor**(n-1)`` capped at
+        ``backoff_max`` — so a crash-looping machine is not hammered
+        with respawn storms.  The counter resets on any completed
+        chunk.
+    run_timeout:
+        Optional per-chunk soft timeout (seconds).  A worker holding a
+        chunk longer than this is classified as hung, killed, and
+        respawned; its runs are retried/quarantined exactly like a
+        crash.  ``None`` (default) disables the timeout and the
+        dispatcher blocks without polling.
+    close_grace:
+        Per-escalation-step grace (seconds) used when reaping worker
+        processes: join → ``terminate()`` → ``kill()``.
+    """
+
+    max_run_retries: int = 2
+    max_respawns: int = 16
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    run_timeout: Optional[float] = None
+    close_grace: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_run_retries < 0:
+            raise ConfigurationError(
+                f"max_run_retries must be >= 0, got {self.max_run_retries}"
+            )
+        if self.max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff bounds must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.run_timeout is not None:
+            check_positive("run_timeout", self.run_timeout)
+        check_positive("close_grace", self.close_grace)
+
+    def retry_delay(self, consecutive_deaths: int) -> float:
+        """Backoff before the dispatch following the n-th straight death."""
+        if consecutive_deaths <= 0 or self.backoff_base == 0:
+            return 0.0
+        exponent = self.backoff_factor ** (consecutive_deaths - 1)
+        return float(min(self.backoff_max, self.backoff_base * exponent))
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """Everything a worker needs to construct one experiment.
 
@@ -179,7 +286,10 @@ class ExperimentSpec:
 
 
 def _worker_main(
-    pipes: List[Tuple[Any, Any]], index: int, cache_size: int
+    conn: Any,
+    close_conns: List[Any],
+    cache_size: int,
+    faults: Any = None,
 ) -> None:
     """Worker process loop: configure specs, run index chunks.
 
@@ -190,20 +300,24 @@ def _worker_main(
     ``run_parallel``'s ``_one_run`` and travel back as tagged outcome
     data; anything else is a pool fault reported as ``fatal``.
 
-    Every worker receives *all* pipe ends and keeps only its own child
-    end.  Under the fork start method each worker inherits the other
-    pipes' file descriptors anyway; if they stayed open, a worker
-    whose parent was SIGKILLed would never observe EOF (a sibling — or
-    the worker itself — still holds a live write end) and the orphaned
-    pool would survive the crash forever.  Closing the foreign ends
-    here makes "parent died" indistinguishable from a clean shutdown:
-    ``recv`` raises ``EOFError`` and the worker exits.
+    ``close_conns`` carries every *parent-side* pipe end this process
+    inherited (its own and those of already-running siblings) and is
+    closed immediately.  If those ends stayed open, a worker whose
+    parent was SIGKILLed would never observe EOF (a sibling — or the
+    worker itself — still holds a live write end) and the orphaned
+    pool would survive the crash forever.  Closing them makes "parent
+    died" indistinguishable from a clean shutdown: ``recv`` raises
+    ``EOFError`` and the worker exits.  The same argument covers
+    respawned workers: each new worker closes every older sibling's
+    parent end, so its own parent end is held by the parent alone.
+
+    ``faults`` is the execution-plane chaos hook: when set, its
+    ``before_run(index, attempt)`` runs ahead of every run attempt —
+    the seeded injectors use it to kill, hang, or slow this process at
+    deterministic points.
     """
-    conn = pipes[index][1]
-    for position, (parent_end, child_end) in enumerate(pipes):
-        parent_end.close()
-        if position != index:
-            child_end.close()
+    for foreign in close_conns:
+        foreign.close()
     specs: Dict[str, ExperimentSpec] = {}
     experiments: "OrderedDict[str, NetworkExperiment]" = OrderedDict()
     try:
@@ -222,7 +336,7 @@ def _worker_main(
                 raise WorkerPoolError(
                     f"unknown pool message tag {tag!r}"
                 )
-            _, key, indices = message
+            _, key, index_attempts = message
             experiment = experiments.pop(key, None)
             if experiment is None:
                 spec = specs.get(key)
@@ -235,7 +349,9 @@ def _worker_main(
             while len(experiments) > cache_size:
                 experiments.popitem(last=False)
             outcomes: List[_Outcome] = []
-            for index in indices:
+            for index, attempt in index_attempts:
+                if faults is not None:
+                    faults.before_run(index, attempt)
                 try:
                     outcomes.append(
                         (index, experiment.run_once(index), None)
@@ -261,10 +377,28 @@ class PendingRun:
         self._event = threading.Event()
         self._outcomes: Optional[List[_Outcome]] = None
         self._error: Optional[BaseException] = None
+        self._cancelled = False
 
     def done(self) -> bool:
         """True once the job has finished (successfully or not)."""
         return self._event.is_set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once the job has been cancelled by a timed-out wait."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Withdraw the job: the dispatcher skips it if not yet started.
+
+        A job already executing runs to completion (its results are
+        simply discarded with this handle); a queued job is resolved
+        with ``WorkerPoolError`` instead of occupying the pool.  This
+        is what :meth:`wait` does on timeout, closing the old
+        outstanding-slot leak where a timed-out job stayed registered
+        with the dispatcher and could race the caller's next job.
+        """
+        self._cancelled = True
 
     def wait(self, timeout: Optional[float] = None) -> List[_Outcome]:
         """Block until the job resolves; return its tagged outcomes.
@@ -272,10 +406,16 @@ class PendingRun:
         Outcomes are ``(run_index, RunResult | None, traceback | None)``
         triples in completion order — callers sort by index, exactly as
         ``run_parallel`` does for ``imap_unordered``.
+
+        On timeout the job is cancelled (see :meth:`cancel`) before
+        ``WorkerPoolError`` is raised, so it cannot fire late into a
+        dispatcher slot the caller has mentally reclaimed.
         """
         if not self._event.wait(timeout):
+            self.cancel()
             raise WorkerPoolError(
-                f"pool job did not finish within {timeout} s"
+                f"pool job did not finish within {timeout} s; the job "
+                f"was cancelled (skipped unless already running)"
             )
         if self._error is not None:
             raise self._error
@@ -299,8 +439,18 @@ class _Job:
     handle: PendingRun
 
 
+@dataclass
+class _Worker:
+    """One live worker process and its parent-side pipe end."""
+
+    slot: int
+    process: Any
+    conn: Any
+    delivered: Set[str] = field(default_factory=set)
+
+
 class WorkerPool:
-    """A pool of long-lived worker processes with warm experiments.
+    """A supervised pool of long-lived workers with warm experiments.
 
     Create one per campaign (or once per caller of ``run_parallel``)
     and reuse it across every shard::
@@ -311,9 +461,11 @@ class WorkerPool:
 
     Jobs execute one at a time in submission order on a dispatcher
     thread that hands idle workers demand-driven index chunks, so a
-    slow worker never stalls the fast ones.  The pool is *broken* by
-    any infrastructure failure (a worker death, a protocol violation)
-    and refuses further submissions; per-run failures do not break it.
+    slow worker never stalls the fast ones.  Worker deaths and hangs
+    are absorbed by the :class:`SupervisionPolicy` (respawn + retry +
+    quarantine); the pool only becomes *broken* — refusing further
+    submissions — on an infrastructure failure such as an exhausted
+    respawn budget.  Per-run failures never break it.
 
     Parameters
     ----------
@@ -321,35 +473,37 @@ class WorkerPool:
         Worker process count; defaults to :func:`available_cpu_count`.
     cache_size:
         Constructed experiments each worker keeps warm (LRU).
+    policy:
+        Supervision knobs; defaults to ``SupervisionPolicy()``.
+    execution_faults:
+        Test-only :class:`~repro.faults.execution.ExecutionFaultPlan`
+        delivered to every worker (original and respawned alike).
     """
 
     def __init__(
         self,
         processes: Optional[int] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        policy: Optional[SupervisionPolicy] = None,
+        execution_faults: Any = None,
     ) -> None:
         if processes is None:
             processes = available_cpu_count()
         check_positive("processes", processes)
         check_positive("cache_size", cache_size)
-        context = multiprocessing.get_context()
-        pipes = [
-            context.Pipe(duplex=True) for _ in range(int(processes))
-        ]
-        self._conns: List[Any] = [parent for parent, _ in pipes]
-        self._processes: List[Any] = []
-        for index in range(int(processes)):
-            process = context.Process(
-                target=_worker_main,
-                args=(pipes, index, int(cache_size)),
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
-        for _, child_end in pipes:
-            child_end.close()
-        current().inc(_names.POOL_WORKERS_SPAWNED, int(processes))
-        self._delivered: Set[str] = set()
+        self._policy = policy or SupervisionPolicy()
+        self._cache_size = int(cache_size)
+        if execution_faults is not None and not getattr(
+            execution_faults, "enabled", True
+        ):
+            execution_faults = None  # inert plan == no plan (bit-identical)
+        self._faults = execution_faults
+        self._context = multiprocessing.get_context()
+        self._workers: List[_Worker] = []
+        for slot in range(int(processes)):
+            self._workers.append(self._spawn_worker(slot))
+        self._specs: Dict[str, ExperimentSpec] = {}
+        self._job_respawns = 0
         self._jobs: "queue.Queue[Optional[_Job]]" = queue.Queue()
         self._lock = threading.Lock()
         self._closed = False
@@ -366,7 +520,12 @@ class WorkerPool:
     @property
     def processes(self) -> int:
         """Worker process count."""
-        return len(self._processes)
+        return len(self._workers)
+
+    @property
+    def _processes(self) -> List[Any]:
+        """The live worker ``Process`` objects (testing/debug aid)."""
+        return [worker.process for worker in self._workers]
 
     @property
     def broken(self) -> bool:
@@ -383,27 +542,63 @@ class WorkerPool:
     def close(self) -> None:
         """Stop the dispatcher and workers; idempotent.
 
-        In-flight jobs finish first — their handles stay valid after
-        the pool closes, only new submissions are refused.
+        An in-flight job is given ``close_grace`` seconds to finish;
+        after that shutdown escalates per worker — join, then
+        ``terminate()``, then ``kill()`` — so a wedged or
+        SIGTERM-ignoring worker can not leak past close.  Workers that
+        needed ``kill()`` are surfaced on the
+        ``pool.workers_force_killed`` counter.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        grace = self._policy.close_grace
         self._jobs.put(None)
-        self._dispatcher.join(timeout=60.0)
-        for conn in self._conns:
+        self._dispatcher.join(timeout=grace)
+        for worker in self._workers:
             try:
-                conn.send(("stop",))
+                worker.conn.send(("stop",))
             except (OSError, ValueError):
                 pass  # worker already gone
-        for process in self._processes:
-            process.join(timeout=10.0)
-        for process in self._processes:
-            if process.is_alive():
-                process.terminate()
-        for conn in self._conns:
-            conn.close()
+        force_killed = 0
+        for worker in self._workers:
+            if self._stop_process(worker.process, grace):
+                force_killed += 1
+        if force_killed:
+            current().inc(
+                _names.POOL_WORKERS_FORCE_KILLED, force_killed
+            )
+        if self._dispatcher.is_alive():
+            # The workers are gone now, so a dispatcher that was stuck
+            # waiting on one unwinds via EOF and exits promptly.
+            self._dispatcher.join(timeout=grace)
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    @staticmethod
+    def _stop_process(
+        process: Any, grace: float, suspect: bool = False
+    ) -> bool:
+        """Reap ``process``: join → terminate → kill escalation.
+
+        Returns True if SIGKILL was required.  ``suspect`` skips the
+        polite join — used for workers already classified as hung.
+        """
+        if not suspect:
+            process.join(timeout=grace)
+            if not process.is_alive():
+                return False
+        process.terminate()
+        process.join(timeout=grace)
+        if not process.is_alive():
+            return False
+        process.kill()
+        process.join(timeout=grace)
+        return True
 
     # -- submission ----------------------------------------------------
 
@@ -429,8 +624,9 @@ class WorkerPool:
         with self._lock:
             if self._broken:
                 raise WorkerPoolError(
-                    "worker pool is broken (a worker died or the "
-                    "dispatch protocol failed); create a new pool"
+                    "worker pool is broken (respawn budget exhausted "
+                    "or the dispatch protocol failed); create a new "
+                    "pool"
                 )
             if self._closed:
                 raise ConfigurationError(
@@ -456,6 +652,88 @@ class WorkerPool:
         """Synchronous convenience: ``submit(...).wait()``."""
         return self.submit(spec, run_indices, chunksize).wait()
 
+    # -- worker management ---------------------------------------------
+
+    def _spawn_worker(self, slot: int) -> _Worker:
+        """Start one worker process wired for orphan-free shutdown."""
+        parent_end, child_end = self._context.Pipe(duplex=True)
+        close_conns = [
+            worker.conn for worker in getattr(self, "_workers", [])
+        ]
+        close_conns.append(parent_end)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_end,
+                close_conns,
+                self._cache_size,
+                self._faults,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        current().inc(_names.POOL_WORKERS_SPAWNED)
+        return _Worker(slot=slot, process=process, conn=parent_end)
+
+    def _respawn(self, slot: int, reason: str, hung: bool = False) -> None:
+        """Replace the worker in ``slot`` after a death or hang.
+
+        Raises ``WorkerPoolError`` (infrastructure) when the pool is
+        closing, the per-job respawn budget is exhausted, or the
+        replacement itself cannot be spawned.
+        """
+        with self._lock:
+            closing = self._closed
+        worker = self._workers[slot]
+        self._stop_process(worker.process, self._policy.close_grace,
+                           suspect=hung)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if closing:
+            raise WorkerPoolError(
+                "worker pool closed while a job was in flight"
+            )
+        self._job_respawns += 1
+        if self._job_respawns > self._policy.max_respawns:
+            raise WorkerPoolError(
+                f"respawn budget exhausted ({self._policy.max_respawns}"
+                f" worker deaths in one job); last failure: {reason}"
+            )
+        try:
+            self._workers[slot] = self._spawn_worker(slot)
+        except (OSError, ValueError) as error:
+            raise WorkerPoolError(
+                f"could not respawn pool worker {slot}: {error}"
+            ) from error
+        current().inc(_names.POOL_WORKERS_RESPAWNED)
+
+    def _deliver(
+        self,
+        worker: _Worker,
+        key: str,
+        chunk: List[int],
+        attempts: Dict[int, int],
+    ) -> bool:
+        """Send (configure if needed +) a run chunk; False if the pipe
+        is dead — the caller respawns and the chunk stays queued."""
+        try:
+            if key not in worker.delivered:
+                worker.conn.send(
+                    ("configure", key, self._specs[key])
+                )
+                worker.delivered.add(key)
+                current().inc(_names.POOL_RECONFIGURES)
+            worker.conn.send(
+                ("run", key,
+                 [(index, attempts[index]) for index in chunk])
+            )
+        except (OSError, ValueError):
+            return False
+        return True
+
     # -- dispatcher ----------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -463,6 +741,14 @@ class WorkerPool:
             job = self._jobs.get()
             if job is None:
                 return
+            if job.handle.cancelled:
+                job.handle._fail(
+                    WorkerPoolError(
+                        "pool job was cancelled by a timed-out wait "
+                        "before it started"
+                    )
+                )
+                continue
             try:
                 outcomes = self._execute(job)
             except BaseException as error:  # jrsnd: noqa(JRS003) -- dispatcher thread boundary: any failure must resolve the pending handle, not die silently in a daemon thread
@@ -473,61 +759,169 @@ class WorkerPool:
                 return
             job.handle._finish(outcomes)
 
-    @staticmethod
-    def _send(conn: Any, message: Tuple[Any, ...]) -> None:
-        try:
-            conn.send(message)
-        except (OSError, ValueError) as error:
-            raise WorkerPoolError(
-                f"a pool worker's pipe is closed (worker killed or "
-                f"crashed): {error}"
-            ) from error
-
     def _execute(self, job: _Job) -> List[_Outcome]:
         registry = current()
+        policy = self._policy
         key = job.spec.content_key()
-        if key in self._delivered:
+        if key in self._specs:
             registry.inc(_names.POOL_WARM_HITS)
         else:
-            # One configure broadcast replaces what used to be a full
-            # fork + config re-pickle + experiment rebuild per worker.
-            for conn in self._conns:
-                self._send(conn, ("configure", key, job.spec))
-            self._delivered.add(key)
+            self._specs[key] = job.spec
             registry.inc(_names.POOL_WARM_MISSES)
-            registry.inc(_names.POOL_RECONFIGURES, len(self._conns))
+        self._job_respawns = 0
+        # Configure broadcast up front: one cheap spec message per
+        # worker missing this key replaces what used to be a full
+        # fork + config re-pickle + experiment rebuild per worker.
+        for slot in range(len(self._workers)):
+            while key not in self._workers[slot].delivered:
+                worker = self._workers[slot]
+                try:
+                    worker.conn.send(("configure", key, job.spec))
+                    worker.delivered.add(key)
+                    registry.inc(_names.POOL_RECONFIGURES)
+                except (OSError, ValueError):
+                    self._respawn(
+                        slot, "worker gone before configure"
+                    )
         chunk = adaptive_chunksize(
-            len(job.indices), len(self._conns), job.chunksize
+            len(job.indices), len(self._workers), job.chunksize
         )
-        chunks: Deque[List[int]] = deque(
+        attempts: Dict[int, int] = {
+            int(index): 0 for index in job.indices
+        }
+        pending: Deque[List[int]] = deque(
             job.indices[start : start + chunk]
             for start in range(0, len(job.indices), chunk)
         )
-        idle: Deque[Any] = deque(self._conns)
-        busy: Set[Any] = set()
+        in_flight: Dict[int, Tuple[List[int], float]] = {}
         outcomes: List[_Outcome] = []
-        while chunks or busy:
-            while chunks and idle:
-                conn = idle.popleft()
-                self._send(conn, ("run", key, chunks.popleft()))
-                busy.add(conn)
-                registry.inc(_names.POOL_TASKS_DISPATCHED)
-            for conn in _wait_ready(list(busy)):
-                try:
-                    message = conn.recv()
-                except EOFError:
-                    raise WorkerPoolError(
-                        "a pool worker exited unexpectedly "
-                        "(killed or crashed before replying)"
-                    ) from None
-                if message[0] == "fatal":
-                    raise WorkerPoolError(
-                        f"pool worker failed:\n{message[1]}"
+        consecutive_deaths = 0
+        while pending or in_flight:
+            # -- dispatch to idle workers ------------------------------
+            for slot in range(len(self._workers)):
+                if not pending:
+                    break
+                if slot in in_flight:
+                    continue
+                worker = self._workers[slot]
+                chunk_indices = pending[0]
+                if self._deliver(worker, key, chunk_indices, attempts):
+                    pending.popleft()
+                    in_flight[slot] = (
+                        chunk_indices, time.monotonic()
                     )
-                outcomes.extend(message[1])
-                busy.discard(conn)
-                idle.append(conn)
+                    registry.inc(_names.POOL_TASKS_DISPATCHED)
+                else:
+                    # Dead before the chunk was even dispatched: the
+                    # chunk carries no blame (stays queued as-is); the
+                    # respawn budget still bounds this.
+                    consecutive_deaths += 1
+                    self._respawn(
+                        slot, "worker gone before dispatch"
+                    )
+            if not in_flight:
+                continue
+            # -- wait for replies (bounded by the soft timeout) --------
+            conn_to_slot = {
+                self._workers[slot].conn: slot for slot in in_flight
+            }
+            timeout: Optional[float] = None
+            if policy.run_timeout is not None:
+                now = time.monotonic()
+                deadline = min(
+                    started + policy.run_timeout
+                    for _, started in in_flight.values()
+                )
+                timeout = max(0.001, deadline - now)
+            ready = _wait_ready(list(conn_to_slot), timeout)
+            if not ready:
+                # Soft timeout expired: classify hung workers, kill
+                # and respawn them, retry/quarantine their runs.
+                assert policy.run_timeout is not None
+                now = time.monotonic()
+                for slot in list(in_flight):
+                    chunk_indices, started = in_flight[slot]
+                    if now - started < policy.run_timeout:
+                        continue
+                    registry.inc(_names.POOL_WORKERS_TIMED_OUT)
+                    consecutive_deaths += 1
+                    del in_flight[slot]
+                    reason = (
+                        f"chunk exceeded the {policy.run_timeout} s "
+                        f"soft timeout (hung worker killed)"
+                    )
+                    self._respawn(slot, reason, hung=True)
+                    self._absorb_failure(
+                        chunk_indices, attempts, pending, outcomes,
+                        reason, registry,
+                    )
+                self._backoff(consecutive_deaths)
+                continue
+            for conn in ready:
+                slot = conn_to_slot[conn]
+                if slot not in in_flight:
+                    continue  # already handled this sweep
+                try:
+                    message: Optional[Tuple[Any, ...]] = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                if message is not None and message[0] == "done":
+                    in_flight.pop(slot)
+                    outcomes.extend(message[1])
+                    consecutive_deaths = 0
+                    continue
+                # EOF (killed / crashed) or a 'fatal' report: either
+                # way this worker is done for — respawn it and put the
+                # blame on the runs it was holding.
+                chunk_indices, _ = in_flight.pop(slot)
+                reason = (
+                    "worker died mid-chunk (killed or crashed "
+                    "before replying)"
+                    if message is None
+                    else f"worker fault:\n{message[1]}"
+                )
+                consecutive_deaths += 1
+                self._respawn(slot, reason)
+                self._absorb_failure(
+                    chunk_indices, attempts, pending, outcomes,
+                    reason, registry,
+                )
+                self._backoff(consecutive_deaths)
         return outcomes
+
+    def _absorb_failure(
+        self,
+        chunk_indices: List[int],
+        attempts: Dict[int, int],
+        pending: Deque[List[int]],
+        outcomes: List[_Outcome],
+        reason: str,
+        registry: Any,
+    ) -> None:
+        """Retry or quarantine every run of a failed chunk.
+
+        Retried runs go back as *singleton* chunks: a run sharing a
+        chunk with a poison run must not inherit its blame, and after
+        one isolation round the killer is unambiguous.
+        """
+        policy = self._policy
+        for index in chunk_indices:
+            attempts[index] += 1
+            if attempts[index] > policy.max_run_retries:
+                outcomes.append((
+                    index,
+                    None,
+                    quarantine_failure(index, attempts[index], reason),
+                ))
+                registry.inc(_names.POOL_RUNS_QUARANTINED)
+            else:
+                pending.append([index])
+                registry.inc(_names.POOL_RUNS_RETRIED)
+
+    def _backoff(self, consecutive_deaths: int) -> None:
+        delay = self._policy.retry_delay(consecutive_deaths)
+        if delay > 0:
+            time.sleep(delay)
 
     def _fail_pending(self, error: BaseException) -> None:
         """Resolve every queued-but-unstarted handle after a break."""

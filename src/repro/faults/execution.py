@@ -1,0 +1,177 @@
+"""Execution-plane fault injectors for the worker-pool supervisor.
+
+The channel-plane injectors (:mod:`repro.faults.injectors`) made the
+protocol stack deterministically testable under jamming and loss; this
+module does the same for the *compute* plane.  An
+:class:`ExecutionFaultPlan` is handed to a
+:class:`~repro.experiments.pool.WorkerPool` (test-only hook) and rides
+into every worker process; immediately before a worker executes run
+``index`` on attempt ``attempt`` it calls
+``plan.before_run(index, attempt)``, giving the injectors a precise,
+seeded place to kill, hang, or slow the worker:
+
+- :class:`WorkerKiller` — SIGKILLs the worker from inside (the closest
+  deterministic stand-in for the OOM killer), either from an explicit
+  ``{run_index: kills}`` map or a seeded per-run draw;
+- :class:`RunHang` — wedges the worker in a long sleep so per-run soft
+  timeouts can classify and reap it; optionally ignores ``SIGTERM`` to
+  exercise the ``close()`` terminate→kill escalation;
+- :class:`SlowWorker` — adds a fixed per-run delay, for supervision
+  overhead and backoff measurements.
+
+Determinism contract: kills are gated on *attempt* (an injector that
+kills ``k`` times lets attempt ``k`` through), and the seeded variant
+draws from :func:`repro.utils.rng.derive_rng` keyed by run index alone
+— so a respawned worker makes exactly the same decisions as its
+predecessor, and the supervisor's retry path is reproducible bit for
+bit.  Runs themselves are seed-pure, so a retried run is identical to
+an uninjected one; the plan perturbs *scheduling*, never results.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "ExecutionFault",
+    "ExecutionFaultPlan",
+    "RunHang",
+    "SlowWorker",
+    "WorkerKiller",
+]
+
+
+class ExecutionFault:
+    """Base class for execution-plane injectors.
+
+    Subclasses are frozen dataclasses (picklable — they cross the
+    process boundary at worker spawn) and implement
+    :meth:`before_run`, called in the *worker* process immediately
+    before each run attempt.
+    """
+
+    def before_run(self, run_index: int, attempt: int) -> None:
+        """Hook invoked in the worker before executing a run attempt."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class WorkerKiller(ExecutionFault):
+    """SIGKILL the worker from inside, before selected run attempts.
+
+    With an explicit ``kills`` map, run ``i`` kills its worker on
+    attempts ``0 .. kills[i]-1`` and executes normally from attempt
+    ``kills[i]`` on.  Without one, each run index draws once from a
+    seeded stream: with probability ``rate`` it kills its first
+    ``max_kills`` attempts.  Keeping ``max_kills`` at or below the
+    pool's ``max_run_retries`` therefore guarantees every run
+    eventually succeeds — the configuration the chaos CI job uses to
+    assert that zero quarantined runs leak into results.
+    """
+
+    kills: Optional[Mapping[int, int]] = None
+    seed: int = 0
+    rate: float = 0.0
+    max_kills: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"WorkerKiller rate must be in [0, 1], got {self.rate}"
+            )
+        if self.max_kills < 0:
+            raise ConfigurationError(
+                f"WorkerKiller max_kills must be >= 0, got {self.max_kills}"
+            )
+
+    def kills_for(self, run_index: int) -> int:
+        """How many attempts of ``run_index`` this injector will kill."""
+        if self.kills is not None:
+            return int(self.kills.get(run_index, 0))
+        if self.rate <= 0.0 or self.max_kills == 0:
+            return 0
+        rng = derive_rng(self.seed, f"worker-killer.{run_index}")
+        return self.max_kills if float(rng.random()) < self.rate else 0
+
+    def before_run(self, run_index: int, attempt: int) -> None:
+        if attempt < self.kills_for(run_index):
+            # Suicide by SIGKILL: no cleanup, no exit handlers — the
+            # parent sees exactly what an OOM kill looks like.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
+class RunHang(ExecutionFault):
+    """Wedge the worker in a long sleep before selected run attempts.
+
+    ``hangs`` maps run index → number of attempts to hang (attempt
+    ``hangs[i]`` proceeds normally).  With ``ignore_sigterm`` the
+    worker first disarms ``SIGTERM``, modelling a process stuck in
+    uninterruptible state — only ``SIGKILL`` can reap it, which is
+    what the ``close()`` escalation regression test needs.
+    """
+
+    hangs: Mapping[int, int]
+    duration: float = 60.0
+    ignore_sigterm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0.0:
+            raise ConfigurationError(
+                f"RunHang duration must be > 0, got {self.duration}"
+            )
+
+    def before_run(self, run_index: int, attempt: int) -> None:
+        if attempt < int(self.hangs.get(run_index, 0)):
+            if self.ignore_sigterm:
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            deadline = time.monotonic() + self.duration
+            while time.monotonic() < deadline:
+                time.sleep(min(0.05, self.duration))
+
+
+@dataclass(frozen=True)
+class SlowWorker(ExecutionFault):
+    """Delay every run attempt by a fixed amount (overhead probes)."""
+
+    delay: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.delay < 0.0:
+            raise ConfigurationError(
+                f"SlowWorker delay must be >= 0, got {self.delay}"
+            )
+
+    def before_run(self, run_index: int, attempt: int) -> None:
+        if self.delay > 0.0:
+            time.sleep(self.delay)
+
+
+@dataclass(frozen=True)
+class ExecutionFaultPlan:
+    """A composable, picklable bundle of execution-plane injectors.
+
+    An empty plan is inert (``enabled`` is False) and the pool treats
+    it exactly like no plan at all, mirroring the
+    :class:`~repro.faults.plan.NullFaultPlan` contract on the channel
+    plane.
+    """
+
+    injectors: Tuple[ExecutionFault, ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        """True if the plan carries at least one injector."""
+        return bool(self.injectors)
+
+    def before_run(self, run_index: int, attempt: int) -> None:
+        """Run every injector's hook, in declaration order."""
+        for injector in self.injectors:
+            injector.before_run(run_index, attempt)

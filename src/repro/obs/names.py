@@ -146,6 +146,10 @@ CAMPAIGNS_RUNS_EXECUTED = "campaigns.runs_executed"
 CAMPAIGNS_SHARD_SECONDS = "campaigns.shard_seconds"
 CAMPAIGNS_STORE_COMMITS = "campaigns.store_commits"
 CAMPAIGNS_RESUMED = "campaigns.resumed"
+CAMPAIGNS_SHARDS_RETRIED = "campaigns.shards_retried"
+CAMPAIGNS_SHARDS_QUARANTINED = "campaigns.shards_quarantined"
+CAMPAIGNS_RUNS_QUARANTINED = "campaigns.runs_quarantined"
+CAMPAIGNS_STORE_SALVAGED = "campaigns.store_salvaged"
 
 # -- persistent worker pool (warm campaign engine) ---------------------
 
@@ -154,6 +158,15 @@ POOL_RECONFIGURES = "pool.reconfigures"
 POOL_WARM_HITS = "pool.warm_hits"
 POOL_WARM_MISSES = "pool.warm_misses"
 POOL_TASKS_DISPATCHED = "pool.tasks_dispatched"
+
+# -- pool supervision (respawn / retry / quarantine / degradation) -----
+
+POOL_WORKERS_RESPAWNED = "pool.workers_respawned"
+POOL_WORKERS_TIMED_OUT = "pool.workers_timed_out"
+POOL_WORKERS_FORCE_KILLED = "pool.workers_force_killed"
+POOL_RUNS_RETRIED = "pool.runs_retried"
+POOL_RUNS_QUARANTINED = "pool.runs_quarantined"
+POOL_DEGRADED = "pool.degraded"
 
 
 # -- dynamic-name helpers ----------------------------------------------

@@ -19,6 +19,7 @@ from repro.errors import (
 from repro.experiments.parallel import run_parallel
 from repro.experiments.pool import (
     ExperimentSpec,
+    SupervisionPolicy,
     WorkerPool,
     adaptive_chunksize,
     available_cpu_count,
@@ -256,16 +257,34 @@ class TestFailureSemantics:
         with pytest.raises(ConfigurationError):
             pool.submit(ExperimentSpec(config=TINY, seed=7), [])
 
-    def test_dead_worker_breaks_the_pool(self, pool):
-        """Infrastructure failure (a worker killed mid-job) surfaces
-        as WorkerPoolError and poisons later submissions."""
+    def test_dead_workers_are_respawned(self, pool):
+        """Supervision absorbs worker deaths between jobs: every
+        worker is respawned and the job still produces serial bits."""
         for process in pool._processes:
             process.terminate()
             process.join(timeout=10.0)
-        with pytest.raises(WorkerPoolError):
-            pool.run(ExperimentSpec(config=TINY, seed=7), [0, 1])
-        with pytest.raises(WorkerPoolError):
-            pool.submit(ExperimentSpec(config=TINY, seed=7), [0])
+        serial = NetworkExperiment(TINY, seed=7).run(2)
+        outcomes = pool.run(ExperimentSpec(config=TINY, seed=7), [0, 1])
+        outcomes.sort(key=lambda outcome: outcome[0])
+        assert [result for _, result, _ in outcomes] == list(serial.runs)
+        assert not pool.broken
+
+    def test_exhausted_respawn_budget_breaks_the_pool(self):
+        """Infrastructure failure (more deaths than the respawn budget
+        allows) surfaces as WorkerPoolError and poisons later
+        submissions."""
+        policy = SupervisionPolicy(
+            max_respawns=0, backoff_base=0.0, close_grace=5.0
+        )
+        with WorkerPool(processes=2, policy=policy) as pool:
+            for process in pool._processes:
+                process.terminate()
+                process.join(timeout=10.0)
+            with pytest.raises(WorkerPoolError):
+                pool.run(ExperimentSpec(config=TINY, seed=7), [0, 1])
+            with pytest.raises(WorkerPoolError):
+                pool.submit(ExperimentSpec(config=TINY, seed=7), [0])
+            assert pool.broken
 
 
 class TestInlinePathLeak:

@@ -1,0 +1,307 @@
+"""Supervision tests: respawn, retry, quarantine, timeouts, shutdown.
+
+Driven end to end through the seeded execution-plane injectors
+(:mod:`repro.faults.execution`), the way ``BurstJammer`` drives the
+channel tests: every scenario is deterministic, and the load-bearing
+assertion everywhere is that supervision never changes result bits —
+a retried run is identical to an undisturbed one because runs are
+seed-pure.
+"""
+
+import time
+
+import pytest
+
+from repro.core.config import JRSNDConfig
+from repro.errors import (
+    ConfigurationError,
+    ParallelExecutionError,
+    WorkerPoolError,
+    is_quarantined_failure,
+)
+from repro.experiments.parallel import run_parallel
+from repro.experiments.pool import (
+    ExperimentSpec,
+    SupervisionPolicy,
+    WorkerPool,
+)
+from repro.experiments.runner import NetworkExperiment
+from repro.faults import (
+    ExecutionFaultPlan,
+    RunHang,
+    SlowWorker,
+    WorkerKiller,
+)
+from repro.obs import installed
+from repro.obs import names as _names
+from repro.obs.registry import MetricsRegistry
+
+TINY = JRSNDConfig(
+    n_nodes=120,
+    codes_per_node=12,
+    share_count=10,
+    n_compromised=5,
+    field_width=1200.0,
+    field_height=1200.0,
+    tx_range=260.0,
+)
+
+FAST = SupervisionPolicy(
+    backoff_base=0.01, backoff_max=0.05, close_grace=5.0
+)
+
+
+def plan(*injectors):
+    return ExecutionFaultPlan(tuple(injectors))
+
+
+class TestSupervisionPolicy:
+    def test_backoff_is_bounded_exponential(self):
+        policy = SupervisionPolicy(
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=0.5
+        )
+        assert policy.retry_delay(0) == 0.0
+        assert policy.retry_delay(1) == pytest.approx(0.1)
+        assert policy.retry_delay(2) == pytest.approx(0.2)
+        assert policy.retry_delay(3) == pytest.approx(0.4)
+        assert policy.retry_delay(4) == pytest.approx(0.5)  # capped
+        assert policy.retry_delay(10) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"max_run_retries": -1},
+            {"max_respawns": -1},
+            {"backoff_factor": 0.5},
+            {"run_timeout": 0.0},
+            {"close_grace": 0.0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ConfigurationError):
+            SupervisionPolicy(**bad)
+
+
+class TestRespawnRetry:
+    def test_killed_worker_respawns_and_retried_run_is_bit_identical(
+        self,
+    ):
+        """The headline supervision gate: a run that SIGKILLs its
+        worker once is retried on a respawned worker and the final
+        result is byte-for-byte the serial result."""
+        serial = run_parallel(
+            TINY, seed=11, runs=4, processes=1, collect_metrics=True
+        )
+        registry = MetricsRegistry()
+        with installed(registry):
+            with WorkerPool(
+                processes=2,
+                policy=FAST,
+                execution_faults=plan(WorkerKiller(kills={1: 1})),
+            ) as pool:
+                survived = run_parallel(
+                    TINY, seed=11, runs=4,
+                    collect_metrics=True, pool=pool,
+                )
+            counters = registry.snapshot().counters
+        assert survived.runs == serial.runs
+        assert (
+            survived.merged_metrics().counters
+            == serial.merged_metrics().counters
+        )
+        assert counters[_names.POOL_WORKERS_RESPAWNED] >= 1
+        assert counters[_names.POOL_RUNS_RETRIED] >= 1
+        assert _names.POOL_RUNS_QUARANTINED not in counters
+
+    def test_repeat_kills_force_repeat_respawns(self):
+        """A run that kills its worker twice consumes two respawns
+        and still lands bit-identically on its third attempt."""
+        serial = NetworkExperiment(TINY, seed=3).run(4)
+        registry = MetricsRegistry()
+        with installed(registry):
+            with WorkerPool(
+                processes=2,
+                policy=FAST,
+                execution_faults=plan(WorkerKiller(kills={2: 2})),
+            ) as pool:
+                result = run_parallel(TINY, seed=3, runs=4, pool=pool)
+            counters = registry.snapshot().counters
+        assert result.runs == serial.runs
+        assert counters[_names.POOL_WORKERS_RESPAWNED] >= 2
+
+    def test_fresh_pool_path_survives_worker_kills(self):
+        """The pool-less (``--no-pool``) path rides the same
+        supervisor: an individual worker SIGKILLed mid-map respawns
+        instead of wedging the whole call."""
+        serial = run_parallel(TINY, seed=11, runs=4, processes=1)
+        survived = run_parallel(
+            TINY, seed=11, runs=4, processes=2,
+            supervision=FAST,
+            execution_faults=plan(WorkerKiller(kills={0: 1})),
+        )
+        assert survived.runs == serial.runs
+
+    def test_inert_fault_plan_is_no_plan(self):
+        serial = run_parallel(TINY, seed=5, runs=2, processes=1)
+        result = run_parallel(
+            TINY, seed=5, runs=2, processes=2,
+            execution_faults=ExecutionFaultPlan(),
+        )
+        assert result.runs == serial.runs
+
+
+class TestQuarantine:
+    def test_poison_run_is_quarantined_not_pool_sinking(self):
+        """A run that kills its worker on every attempt is benched as
+        a tagged failure; the other runs complete and the pool stays
+        usable."""
+        registry = MetricsRegistry()
+        with installed(registry):
+            with WorkerPool(
+                processes=2,
+                policy=SupervisionPolicy(
+                    max_run_retries=1,
+                    backoff_base=0.01,
+                    close_grace=5.0,
+                ),
+                execution_faults=plan(WorkerKiller(kills={2: 99})),
+            ) as pool:
+                with pytest.raises(ParallelExecutionError) as excinfo:
+                    run_parallel(TINY, seed=11, runs=4, pool=pool)
+                error = excinfo.value
+                assert [index for index, _ in error.failures] == [2]
+                assert all(
+                    is_quarantined_failure(tb)
+                    for _, tb in error.failures
+                )
+                assert len(error.completed.runs) == 3
+                assert not pool.broken
+                # The pool still accepts and executes work.
+                again = run_parallel(
+                    TINY, seed=11, runs=1, run_indices=[0], pool=pool
+                )
+                assert len(again.runs) == 1
+            counters = registry.snapshot().counters
+        assert counters[_names.POOL_RUNS_QUARANTINED] == 1
+
+    def test_innocent_chunk_mates_are_not_quarantined(self):
+        """Runs sharing a chunk with a poison run are retried as
+        singletons, so only the killer itself is quarantined."""
+        serial = run_parallel(TINY, seed=9, runs=4, processes=1)
+        with WorkerPool(
+            processes=1,  # one worker => all runs share its chunks
+            policy=SupervisionPolicy(
+                max_run_retries=1, backoff_base=0.01, close_grace=5.0
+            ),
+            execution_faults=plan(WorkerKiller(kills={3: 99})),
+        ) as pool:
+            with pytest.raises(ParallelExecutionError) as excinfo:
+                run_parallel(
+                    TINY, seed=9, runs=4, pool=pool, chunksize=4
+                )
+        error = excinfo.value
+        assert [index for index, _ in error.failures] == [3]
+        # collect_outcomes orders by run index before aggregation.
+        assert error.completed.runs == serial.runs[:3]
+
+
+class TestSoftTimeout:
+    def test_hung_worker_is_killed_and_run_retried(self):
+        """A wedged worker trips the per-run soft timeout, is killed
+        and respawned, and its runs land bit-identically."""
+        serial = NetworkExperiment(TINY, seed=7).run(3)
+        registry = MetricsRegistry()
+        with installed(registry):
+            with WorkerPool(
+                processes=2,
+                policy=SupervisionPolicy(
+                    run_timeout=1.0,
+                    backoff_base=0.01,
+                    close_grace=2.0,
+                ),
+                execution_faults=plan(
+                    RunHang(hangs={1: 1}, duration=60.0)
+                ),
+            ) as pool:
+                result = run_parallel(TINY, seed=7, runs=3, pool=pool)
+            counters = registry.snapshot().counters
+        assert result.runs == serial.runs
+        assert counters[_names.POOL_WORKERS_TIMED_OUT] >= 1
+        assert counters[_names.POOL_WORKERS_RESPAWNED] >= 1
+
+
+class TestCloseEscalation:
+    def test_close_force_kills_uninterruptible_worker(self):
+        """Satellite regression: ``close()`` used to leak a worker
+        that ignored the stop sentinel.  The join → terminate → kill
+        ladder must reap even a SIGTERM-ignoring hang, boundedly."""
+        registry = MetricsRegistry()
+        with installed(registry):
+            pool = WorkerPool(
+                processes=2,
+                policy=SupervisionPolicy(close_grace=0.3),
+                execution_faults=plan(
+                    RunHang(
+                        hangs={0: 1},
+                        duration=120.0,
+                        ignore_sigterm=True,
+                    )
+                ),
+            )
+            handle = pool.submit(
+                ExperimentSpec(config=TINY, seed=7), [0, 1]
+            )
+            # Let the hung chunk reach the worker before closing.
+            time.sleep(0.5)
+            start = time.monotonic()
+            pool.close()
+            elapsed = time.monotonic() - start
+            counters = registry.snapshot().counters
+        assert elapsed < 30.0
+        for process in pool._processes:
+            assert not process.is_alive()
+        assert counters[_names.POOL_WORKERS_FORCE_KILLED] >= 1
+        with pytest.raises(WorkerPoolError):
+            handle.wait(timeout=5.0)
+
+
+class TestWaitTimeoutCancellation:
+    def test_timed_out_wait_cancels_queued_job(self):
+        """Satellite regression: a timed-out ``wait`` used to leave
+        the job registered with the dispatcher (slot leak + late
+        delivery race).  Now it cancels: the dispatcher skips the job
+        and the pool is immediately reusable."""
+        serial = NetworkExperiment(TINY, seed=7).run(1)
+        with WorkerPool(
+            processes=1,
+            policy=FAST,
+            execution_faults=plan(
+                RunHang(hangs={5: 1}, duration=1.5)
+            ),
+        ) as pool:
+            spec = ExperimentSpec(config=TINY, seed=7)
+            slow = pool.submit(spec, [5])
+            queued = pool.submit(spec, [0])
+            with pytest.raises(WorkerPoolError, match="cancelled"):
+                queued.wait(timeout=0.2)
+            assert queued.cancelled
+            # The hung job finishes; the cancelled one is skipped with
+            # an error instead of occupying the worker.
+            slow.wait(timeout=30.0)
+            with pytest.raises(WorkerPoolError, match="cancelled"):
+                queued.wait(timeout=30.0)
+            # No late delivery into the caller's next job: fresh
+            # submissions resolve normally with the right bits.
+            outcomes = pool.run(spec, [0])
+            assert outcomes[0][1] == serial.runs[0]
+            assert not pool.broken
+
+
+class TestSlowWorker:
+    def test_slow_worker_changes_timing_not_bits(self):
+        serial = run_parallel(TINY, seed=4, runs=2, processes=1)
+        result = run_parallel(
+            TINY, seed=4, runs=2, processes=2,
+            execution_faults=plan(SlowWorker(delay=0.01)),
+        )
+        assert result.runs == serial.runs

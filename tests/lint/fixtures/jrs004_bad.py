@@ -11,3 +11,5 @@ def report(kind: str) -> None:
     registry.inc("campaigns.shards_comlpeted")
     registry.inc("phy.pairs_sweept")
     registry.inc("pool.warm_hitz")
+    registry.inc("pool.workers_respwaned")
+    registry.inc("campaigns.store_salvagd")

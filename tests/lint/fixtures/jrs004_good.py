@@ -11,6 +11,9 @@ def report(kind: str, name: str) -> None:
     registry.inc(_names.CAMPAIGNS_SHARDS_COMPLETED)
     registry.inc(_names.PHY_PAIRS_SWEPT)
     registry.inc(_names.POOL_WARM_HITS)
+    registry.inc(_names.POOL_WORKERS_RESPAWNED)
+    registry.inc(_names.POOL_RUNS_QUARANTINED)
+    registry.inc(_names.CAMPAIGNS_STORE_SALVAGED)
     registry.inc(_names.cache_hits(kind))
     registry.inc(name)  # forwarder: literal checked at its call site
     ["a", "b"].count("a")

@@ -26,7 +26,7 @@ EXPECTED_MIN = {
     "JRS001": 7,
     "JRS002": 6,
     "JRS003": 4,
-    "JRS004": 5,
+    "JRS004": 7,
     "JRS005": 2,
     "JRS006": 5,
     "JRS007": 5,
