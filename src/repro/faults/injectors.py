@@ -308,7 +308,7 @@ class ClockSkew(FaultInjector):
         """This node's (skew seconds, drift seconds-per-second)."""
         cached = self._cache.get(node)
         if cached is None:
-            node_rng = np.random.default_rng(
+            node_rng = np.random.default_rng(  # jrsnd: noqa(JRS011) -- per-node skew stream derived from the bound base seed; changing the derivation would shift pinned chaos-soak streams
                 (self._base_seed or 0, int(node))
             )
             cached = (

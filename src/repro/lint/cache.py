@@ -1,0 +1,184 @@
+"""Incremental result cache for the two-phase lint engine.
+
+One JSON file (``<cache-dir>/cache.json``) holds, per linted file:
+
+- the source content hash the entry was computed from,
+- the phase-1 (per-file) violations and the :class:`ModuleSummary`,
+- the *project digest* the phase-2 findings for that file were
+  computed under, plus those findings.
+
+The cache is keyed globally by ``RULE_PACK_VERSION`` and the engine
+configuration signature — results computed under different rules or
+config are never served.  Phase-1 entries invalidate on content hash
+alone; phase-2 entries invalidate whenever the file's *project
+digest* changes, which folds in the content hashes of its transitive
+import closure (see :meth:`ProjectIndex.project_digest`).  That is
+exactly the soundness boundary: a cross-module finding in ``A`` can
+only change when ``A`` or something ``A`` transitively imports
+changes.
+
+Writes are atomic (temp file + ``os.replace``); a corrupt or
+version-mismatched cache file degrades to a cold run, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.lint.engine import Violation
+from repro.lint.graph import ModuleSummary
+
+__all__ = ["CacheEntry", "LintCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_CACHE_SCHEMA = "repro.lint-cache/1"
+
+
+class CacheEntry:
+    """Cached results for one file."""
+
+    def __init__(
+        self,
+        source_hash: str,
+        violations: List[Violation],
+        summary: ModuleSummary,
+        project_digest: Optional[str] = None,
+        project_violations: Optional[List[Violation]] = None,
+    ) -> None:
+        self.source_hash = source_hash
+        self.violations = violations
+        self.summary = summary
+        self.project_digest = project_digest
+        self.project_violations = project_violations or []
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "source_hash": self.source_hash,
+            "violations": [v.to_cache_json() for v in self.violations],
+            "summary": self.summary.to_json(),
+            "project_digest": self.project_digest,
+            "project_violations": [
+                v.to_cache_json() for v in self.project_violations
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "CacheEntry":
+        return cls(
+            source_hash=str(data["source_hash"]),
+            violations=[
+                Violation.from_cache_json(v)
+                for v in data["violations"]  # type: ignore[union-attr]
+            ],
+            summary=ModuleSummary.from_json(
+                data["summary"]  # type: ignore[arg-type]
+            ),
+            project_digest=(
+                None
+                if data["project_digest"] is None
+                else str(data["project_digest"])
+            ),
+            project_violations=[
+                Violation.from_cache_json(v)
+                for v in data[
+                    "project_violations"
+                ]  # type: ignore[union-attr]
+            ],
+        )
+
+
+class LintCache:
+    """Load-mutate-save wrapper around the single cache file.
+
+    ``pack_key`` is ``RULE_PACK_VERSION`` + the config signature; a
+    mismatch on load discards everything, so a rule-pack bump or a
+    ``--select`` change can never replay stale findings.
+    """
+
+    def __init__(self, cache_dir: Path, pack_key: str) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.pack_key = pack_key
+        self.entries: Dict[str, CacheEntry] = {}
+        self._loaded_valid = False
+
+    @property
+    def path(self) -> Path:
+        return self.cache_dir / "cache.json"
+
+    def load(self) -> None:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+            data = json.loads(raw)
+        except (OSError, ValueError):
+            self.entries = {}
+            return
+        if not isinstance(data, dict):
+            self.entries = {}
+            return
+        if data.get("schema") != _CACHE_SCHEMA:
+            self.entries = {}
+            return
+        if data.get("pack_key") != self.pack_key:
+            self.entries = {}
+            return
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            self.entries = {}
+            return
+        loaded: Dict[str, CacheEntry] = {}
+        try:
+            for path, entry in entries.items():
+                loaded[str(path)] = CacheEntry.from_json(entry)
+        except (KeyError, TypeError, ValueError):
+            self.entries = {}
+            return
+        self.entries = loaded
+        self._loaded_valid = True
+
+    def get(self, path: str, source_hash: str) -> Optional[CacheEntry]:
+        """The entry for ``path`` iff its content hash still matches."""
+        entry = self.entries.get(path)
+        if entry is None or entry.source_hash != source_hash:
+            return None
+        return entry
+
+    def put(self, path: str, entry: CacheEntry) -> None:
+        self.entries[path] = entry
+
+    def prune(self, live_paths: Tuple[str, ...]) -> None:
+        """Drop entries for files no longer in the analyzed set."""
+        live = set(live_paths)
+        for path in list(self.entries):
+            if path not in live:
+                del self.entries[path]
+
+    def save(self) -> None:
+        payload = {
+            "schema": _CACHE_SCHEMA,
+            "pack_key": self.pack_key,
+            "entries": {
+                path: entry.to_json()
+                for path, entry in sorted(self.entries.items())
+            },
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.cache_dir), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+                os.replace(tmp_name, self.path)
+            except BaseException:  # jrsnd: noqa(JRS003) -- must not leak the temp file on any failure, including KeyboardInterrupt; re-raised below
+                os.unlink(tmp_name)
+                raise
+        except OSError:
+            # A read-only checkout (CI artifact stages) degrades to
+            # uncached runs; caching is an optimization, not a result.
+            return

@@ -4,29 +4,38 @@ Examples::
 
     python -m repro.lint src/                 # human report, exit 1 on errors
     python -m repro.lint src/ --format json   # machine-readable report
+    python -m repro.lint src/ --format sarif  # SARIF 2.1.0 for code scanning
+    python -m repro.lint src/ --jobs 4        # parallel phase-1 parsing
+    python -m repro.lint src/ --no-cache      # ignore .repro-lint-cache/
     python -m repro.lint src/ --fix           # apply mechanical rewrites
     python -m repro.lint --list-rules         # the JRS rule pack
 
 Exit codes: 0 clean (warnings allowed unless ``--fail-on-warnings``),
 1 findings at failing severity, 2 usage error.
+
+Runs are two-phase (per-file rules, then the cross-module JRS008–
+JRS011 pack over the project index) and incremental by default: cached
+results live under ``.repro-lint-cache/`` keyed by content hash and
+rule-pack version.  A stats/timing line goes to stderr so report
+output on stdout stays machine-parseable.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence, Set
+from typing import Optional, Sequence, Set
 
-from repro.lint.engine import (
-    LintConfig,
-    Severity,
-    lint_paths,
-    strip_fixed,
-)
+from repro.lint.engine import LintConfig, Severity, strip_fixed
 from repro.lint.fixes import apply_fixes
+from repro.lint.project import ProjectLintResult, lint_project
 from repro.lint.report import render_human, render_json
-from repro.lint.rules import RULES_BY_CODE, default_rules
+from repro.lint.rules import RULES_BY_CODE
+from repro.lint.sarif import render_sarif
+from repro.obs import current as _obs_current
+from repro.obs import names as _names
 
 __all__ = ["main", "build_parser"]
 
@@ -35,9 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description=(
-            "JR-SND determinism lints: AST rules guarding seeded "
-            "randomness, simulated time, narrow excepts, registered "
-            "metric names, and pickle-safe pool boundaries."
+            "JR-SND determinism lints: per-file AST rules guarding "
+            "seeded randomness, simulated time, narrow excepts, "
+            "registered metric names, and pickle-safe pool "
+            "boundaries, plus cross-module rules for thread-shared "
+            "state, transitive picklability, architecture layering, "
+            "and RNG provenance."
         ),
     )
     parser.add_argument(
@@ -48,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="report format (default: human)",
     )
@@ -56,6 +68,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         metavar="FILE",
         help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse/analyze files across N worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-lint-cache",
+        metavar="DIR",
+        help="incremental cache location (default: .repro-lint-cache)",
     )
     parser.add_argument(
         "--fix",
@@ -116,6 +151,14 @@ def _list_rules() -> str:
     return "\n".join(lines)
 
 
+def _report_obs(result: ProjectLintResult) -> None:
+    registry = _obs_current()
+    stats = result.stats
+    registry.inc(_names.LINT_FILES_ANALYZED, stats.files_analyzed)
+    registry.inc(_names.LINT_CACHE_HITS, stats.cache_hits)
+    registry.inc(_names.LINT_PROJECT_REANALYZED, stats.project_reanalyzed)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -125,38 +168,72 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for raw in args.paths:
         if not Path(raw).exists():
             parser.error(f"path does not exist: {raw}")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     config = LintConfig(
         select=_parse_codes(args.select, parser),
         ignore=_parse_codes(args.ignore, parser) or set(),
     )
-    rules = default_rules(config)
-    violations, files_checked = lint_paths(args.paths, rules, config)
 
-    fixed_paths: List[str] = []
+    started = time.perf_counter()
+    result = lint_project(
+        args.paths,
+        config,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=Path(args.cache_dir),
+    )
+    violations = result.violations
+
+    fixed_paths: Sequence[str] = []
     if args.fix:
         applied, fixed_paths = apply_fixes(violations)
         if applied:
             # Re-lint: the report must describe the tree on disk.
-            violations, files_checked = lint_paths(
-                args.paths, rules, config
+            result = lint_project(
+                args.paths,
+                config,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                cache_dir=Path(args.cache_dir),
             )
+            violations = result.violations
         violations = strip_fixed(violations)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    _report_obs(result)
 
-    report = (
-        render_json(violations, files_checked)
-        if args.format == "json"
-        else render_human(violations, files_checked)
-    )
+    stats = result.stats
+    if args.format == "sarif":
+        report = render_sarif(violations).rstrip("\n")
+    elif args.format == "json":
+        report = render_json(
+            violations, stats.files_checked, stats.to_json()
+        )
+    else:
+        report = render_human(violations, stats.files_checked)
     if args.output:
         Path(args.output).write_text(report + "\n", encoding="utf-8")
     else:
         print(report)
+    if args.sarif:
+        Path(args.sarif).write_text(
+            render_sarif(violations), encoding="utf-8"
+        )
     if args.fix and fixed_paths and args.format == "human":
         print(
             f"fixed {len(fixed_paths)} file(s): "
             + ", ".join(fixed_paths),
             file=sys.stderr,
         )
+    print(
+        f"[repro.lint] {stats.files_checked} file(s), "
+        f"{stats.files_analyzed} analyzed, "
+        f"{stats.cache_hits} cache hit(s), "
+        f"project phase {'ran' if stats.project_phase_ran else 'cached'} "
+        f"({stats.project_reanalyzed} reanalyzed), "
+        f"{elapsed_ms:.0f} ms",
+        file=sys.stderr,
+    )
 
     failing = [
         v

@@ -29,16 +29,21 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
     Tuple,
     Type,
 )
+
+if TYPE_CHECKING:
+    from repro.lint.graph import ProjectIndex
 
 __all__ = [
     "Severity",
@@ -47,12 +52,15 @@ __all__ = [
     "LintConfig",
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "Suppression",
     "SUPPRESSION_CODE",
     "parse_suppressions",
     "lint_source",
+    "lint_module_context",
     "lint_paths",
     "iter_python_files",
+    "syntax_error_violation",
 ]
 
 #: Reserved code for suppression-hygiene findings (never a real rule).
@@ -92,6 +100,31 @@ class Fix:
     replacement: str
     new_import: Optional[str] = None
 
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "replacement": self.replacement,
+            "new_import": self.new_import,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "Fix":
+        return cls(
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            end_line=int(data["end_line"]),  # type: ignore[call-overload]
+            end_col=int(data["end_col"]),  # type: ignore[call-overload]
+            replacement=str(data["replacement"]),
+            new_import=(
+                None
+                if data["new_import"] is None
+                else str(data["new_import"])
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -121,6 +154,30 @@ class Violation:
         }
         return payload
 
+    def to_cache_json(self) -> Dict[str, object]:
+        """Full round-trip payload (the incremental cache needs the
+        fix spans back, not just the ``fixable`` flag)."""
+        payload = self.to_json()
+        payload["fix"] = None if self.fix is None else self.fix.to_json()
+        return payload
+
+    @classmethod
+    def from_cache_json(cls, data: Mapping[str, object]) -> "Violation":
+        fix_data = data.get("fix")
+        return cls(
+            rule=str(data["rule"]),
+            severity=Severity(str(data["severity"])),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            message=str(data["message"]),
+            fix=(
+                None
+                if fix_data is None
+                else Fix.from_json(fix_data)  # type: ignore[arg-type]
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class Suppression:
@@ -146,6 +203,20 @@ class LintConfig:
         if code in self.ignore:
             return False
         return self.select is None or code in self.select
+
+    def signature(self) -> str:
+        """Stable text form folded into cache keys: results computed
+        under one configuration must never be served under another."""
+        select = (
+            "*" if self.select is None else ",".join(sorted(self.select))
+        )
+        return "|".join(
+            (
+                f"select={select}",
+                f"ignore={','.join(sorted(self.ignore))}",
+                "allow=" + ",".join(self.broad_except_allowlist),
+            )
+        )
 
 
 class ModuleContext:
@@ -277,6 +348,47 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base class for one cross-module (phase-2) rule.
+
+    Unlike :class:`Rule`, a project rule sees the whole
+    :class:`~repro.lint.graph.ProjectIndex` at once and emits findings
+    for any file in it.  Project rules must be pure functions of the
+    index: the incremental cache replays their findings from cached
+    summaries, so consulting anything else (the filesystem, the clock)
+    would make warm runs diverge from cold ones.
+    """
+
+    code: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def __init__(self, config: LintConfig) -> None:
+        self.config = config
+
+    def check_project(
+        self, index: "ProjectIndex"
+    ) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation_at(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            severity=severity or self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
 def _comment_tokens(source: str) -> Iterator[Tuple[int, int, str]]:
     """Yield ``(line, col, text)`` for every real comment token.
 
@@ -365,6 +477,17 @@ def parse_suppressions(
     return suppressions, hygiene
 
 
+def syntax_error_violation(path: str, exc: SyntaxError) -> Violation:
+    return Violation(
+        rule=SUPPRESSION_CODE,
+        severity=Severity.ERROR,
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
 def lint_source(
     source: str,
     path: str,
@@ -376,19 +499,26 @@ def lint_source(
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Violation(
-                rule=SUPPRESSION_CODE,
-                severity=Severity.ERROR,
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return [syntax_error_violation(path, exc)]
     ctx = ModuleContext(path, source, tree)
-    suppressions, findings = parse_suppressions(source, path)
+    suppressions, hygiene = parse_suppressions(source, path)
+    return lint_module_context(ctx, rules, config, suppressions, hygiene)
 
+
+def lint_module_context(
+    ctx: ModuleContext,
+    rules: Sequence[Rule],
+    config: LintConfig,
+    suppressions: Dict[int, Suppression],
+    hygiene: Sequence[Violation],
+) -> List[Violation]:
+    """Run per-file rules over an already-parsed module.
+
+    Split out of :func:`lint_source` so the project analyzer can parse
+    once and feed the same tree to both the per-file rules and the
+    phase-1 summarizer.
+    """
+    findings: List[Violation] = list(hygiene)
     active = [
         rule
         for rule in rules
@@ -399,7 +529,7 @@ def lint_source(
         for node_type in rule.node_types:
             dispatch.setdefault(node_type, []).append(rule)
 
-    for node in ast.walk(tree):
+    for node in ast.walk(ctx.tree):
         for rule in dispatch.get(type(node), ()):
             findings.extend(rule.check(node, ctx))
 

@@ -1,0 +1,266 @@
+"""Flow analyses over the :class:`~repro.lint.graph.ProjectIndex`.
+
+These are the interprocedural halves of the JRS008–JRS011 rules:
+thread-target reachability inside a class (JRS008), fixpoint
+propagation of pool-boundary parameters through helper functions
+(JRS009), import-cycle detection via Tarjan's SCC algorithm (JRS010),
+and taint of fresh-generator producers (JRS011).  Each analysis is a
+pure function over the summaries — no AST access — so results are
+reproducible from cached phase-1 data alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.lint.graph import (
+    POOL_BOUNDARY_FUNCTIONS,
+    POOL_BOUNDARY_KEYWORDS,
+    POOL_BOUNDARY_METHODS,
+    ClassSummary,
+    FunctionSummary,
+    ProjectIndex,
+    RNG_CONSTRUCTORS,
+)
+
+__all__ = [
+    "find_import_cycles",
+    "reachable_methods",
+    "tainted_boundary_params",
+    "tainted_rng_producers",
+]
+
+
+def reachable_methods(
+    cls: ClassSummary, roots: Sequence[str]
+) -> FrozenSet[str]:
+    """Methods of ``cls`` reachable from ``roots`` via self-calls.
+
+    Used by JRS008 with the ``threading.Thread`` target methods as
+    roots: everything in the returned set may execute on the spawned
+    thread.  Roots that don't name a method of ``cls`` are ignored.
+    """
+    reachable: Set[str] = set()
+    stack = [name for name in roots if cls.method(name) is not None]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        method = cls.method(name)
+        if method is None:
+            continue
+        for callee in method.self_calls:
+            if callee not in reachable and cls.method(callee) is not None:
+                stack.append(callee)
+    return frozenset(reachable)
+
+
+def tainted_boundary_params(
+    index: ProjectIndex,
+) -> Dict[str, FrozenSet[int]]:
+    """Parameter positions that flow into pool boundaries, per function.
+
+    Seeds: a function passes one of its own parameters directly at a
+    pool boundary (positional 0 of a pool method such as ``submit`` /
+    ``imap_unordered``, a boundary keyword like ``initializer=``, or
+    any argument of ``run_parallel``).  Propagation: if helper ``h``'s
+    parameter *i* is boundary-tainted and ``f`` passes its own
+    parameter *j* at position *i* of a call to ``h``, then ``f``'s
+    parameter *j* is boundary-tainted too.  The fixpoint over the
+    project call graph is what lets JRS009 catch a lambda handed to a
+    wrapper that only reaches ``pool.submit`` two hops later.
+    """
+    tainted: Dict[str, Set[int]] = {}
+
+    def param_index(fn: FunctionSummary, name: str) -> int:
+        try:
+            return fn.params.index(name)
+        except ValueError:
+            return -1
+
+    # Seed pass: direct boundary crossings of own parameters.
+    for qualname, fn in index.functions.items():
+        for call in fn.calls:
+            for arg in call.args:
+                if arg.kind != "param" or arg.name is None:
+                    continue
+                if not _is_boundary_position(call, arg):
+                    continue
+                position = param_index(fn, arg.name)
+                if position >= 0:
+                    tainted.setdefault(qualname, set()).add(position)
+
+    # Fixpoint: propagate through calls to project helpers.
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fn in index.functions.items():
+            for call in fn.calls:
+                callee_taint = tainted.get(call.callee)
+                if not callee_taint:
+                    continue
+                callee = index.functions.get(call.callee)
+                for arg in call.args:
+                    if arg.kind != "param" or arg.name is None:
+                        continue
+                    target = _callee_param_position(callee, arg)
+                    if target is None or target not in callee_taint:
+                        continue
+                    position = param_index(fn, arg.name)
+                    if position < 0:
+                        continue
+                    slots = tainted.setdefault(qualname, set())
+                    if position not in slots:
+                        slots.add(position)
+                        changed = True
+
+    return {name: frozenset(slots) for name, slots in tainted.items()}
+
+
+def _is_boundary_position(call: object, arg: object) -> bool:
+    """Is this (call, arg) pair a pool-boundary crossing?"""
+    # Typed as object above to appease the summary-only import graph;
+    # the real shapes are CallRecord / CallArg.
+    method_attr = getattr(call, "method_attr", None)
+    callee: str = getattr(call, "callee", "")
+    keyword = getattr(arg, "keyword", None)
+    position = getattr(arg, "position", None)
+    if keyword in POOL_BOUNDARY_KEYWORDS:
+        return True
+    if method_attr in POOL_BOUNDARY_METHODS and position == 0:
+        return True
+    base = callee.rsplit(".", 1)[-1]
+    if base in POOL_BOUNDARY_FUNCTIONS and (
+        position is not None or keyword is not None
+    ):
+        return True
+    return False
+
+
+def _callee_param_position(
+    callee: object, arg: object
+) -> "int | None":
+    """Map a call argument onto the callee's parameter position."""
+    position = getattr(arg, "position", None)
+    keyword = getattr(arg, "keyword", None)
+    if position is not None:
+        return int(position)
+    if keyword is not None and callee is not None:
+        params: Tuple[str, ...] = getattr(callee, "params", ())
+        try:
+            return params.index(keyword)
+        except ValueError:
+            return None
+    return None
+
+
+def tainted_rng_producers(index: ProjectIndex) -> FrozenSet[str]:
+    """Project functions that (transitively) return fresh generators.
+
+    Seeds: functions whose ``returns_refs`` include a
+    ``numpy.random`` constructor.  Propagation: functions returning a
+    tainted producer's result are tainted themselves.  Functions
+    defined in ``utils/rng.py`` are the blessed laundering point and
+    never enter the set — everything must flow *through* them.
+    """
+    blessed_module = "repro.utils.rng"
+    tainted: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for qualname, fn in index.functions.items():
+            if qualname in tainted:
+                continue
+            # Index keys are module + qualname; methods carry an extra
+            # Class component before the name.
+            parts_to_strip = 2 if fn.is_method else 1
+            module = qualname.rsplit(".", parts_to_strip)[0]
+            if module == blessed_module:
+                continue
+            for ref in fn.returns_refs:
+                if ref in RNG_CONSTRUCTORS or ref in tainted:
+                    tainted.add(qualname)
+                    changed = True
+                    break
+    return frozenset(tainted)
+
+
+def find_import_cycles(index: ProjectIndex) -> List[Tuple[str, ...]]:
+    """Import-time cycles among project modules (Tarjan SCCs).
+
+    Only module-level runtime edges participate: ``TYPE_CHECKING``
+    and function-scope imports cannot create an import-time cycle and
+    are the sanctioned ways to break one.  Each returned cycle is the
+    SCC's modules sorted, deterministically ordered across runs.
+    """
+    edges: Dict[str, List[str]] = {}
+    for module in index.by_module:
+        edges[module] = sorted(
+            {
+                target
+                for target, _ in index.import_edges(
+                    module, include_lazy=False
+                )
+            }
+        )
+
+    counter = [0]
+    index_of: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    cycles: List[Tuple[str, ...]] = []
+
+    def strongconnect(module: str) -> None:
+        # Iterative Tarjan: recursion would overflow on deep chains.
+        work: List[Tuple[str, int]] = [(module, 0)]
+        while work:
+            node, edge_index = work[-1]
+            if edge_index == 0:
+                index_of[node] = counter[0]
+                lowlink[node] = counter[0]
+                counter[0] += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbors = edges.get(node, [])
+            while edge_index < len(neighbors):
+                successor = neighbors[edge_index]
+                edge_index += 1
+                if successor not in index_of:
+                    work[-1] = (node, edge_index)
+                    work.append((successor, 0))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(
+                        lowlink[node], index_of[successor]
+                    )
+            if advanced:
+                continue
+            work[-1] = (node, edge_index)
+            if edge_index >= len(neighbors):
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(
+                        lowlink[parent], lowlink[node]
+                    )
+                if lowlink[node] == index_of[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1:
+                        cycles.append(tuple(sorted(component)))
+                    elif node in edges.get(node, []):
+                        cycles.append((node,))
+
+    for module in sorted(edges):
+        if module not in index_of:
+            strongconnect(module)
+    return sorted(cycles)

@@ -1,0 +1,1069 @@
+"""Phase-1 project indexing for the cross-module lint rules.
+
+The per-file rule pack (JRS001–JRS007) sees one ``ast.Module`` at a
+time, which is exactly the blind spot PRs 8–9 exploited: a dispatcher
+thread sharing mutable pool state, run specs crossing pickle
+boundaries through helper-call chains, and a growing package DAG none
+of which is visible inside a single file.  This module builds the
+whole-project view those checks need:
+
+- a :class:`ModuleSummary` per file — import records (with their
+  ``TYPE_CHECKING`` / function-scope flags), per-class attribute-access
+  summaries with lock context, a lightweight call graph over module
+  functions and methods, and RNG-construction sites;
+- a :class:`ProjectIndex` over all summaries — module name resolution,
+  the runtime import graph, transitive import closures, and a global
+  function table.
+
+Summaries are deliberately *plain data* (frozen dataclasses of
+strings/ints with JSON round-trips) for two reasons: they are cached
+per file under ``.repro-lint-cache/`` by content hash, and they cross
+process boundaries when ``--jobs N`` parses files in parallel.  The
+flow analyses that interpret them live in :mod:`repro.lint.flow`; the
+JRS008–JRS011 rules that consume both live in
+:mod:`repro.lint.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.engine import ModuleContext
+
+__all__ = [
+    "AttrAccess",
+    "CallArg",
+    "CallRecord",
+    "ClassSummary",
+    "FactoryRef",
+    "FunctionSummary",
+    "ImportRecord",
+    "MethodSummary",
+    "ModuleSummary",
+    "ProjectIndex",
+    "RngSite",
+    "content_hash",
+    "module_name_for_path",
+    "summarize_module",
+]
+
+#: numpy.random entry points that mint a fresh generator.  Seeding one
+#: directly is JRS001-legal but breaks JRS011's provenance contract
+#: outside ``utils/rng.py``.
+RNG_CONSTRUCTORS: FrozenSet[str] = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+#: Pool-boundary method names, mirrored from JRS007 so the transitive
+#: JRS009 analysis agrees with the literal per-file rule.
+POOL_BOUNDARY_METHODS: FrozenSet[str] = frozenset(
+    {
+        "map",
+        "map_async",
+        "imap",
+        "imap_unordered",
+        "starmap",
+        "starmap_async",
+        "apply",
+        "apply_async",
+        "submit",
+    }
+)
+
+POOL_BOUNDARY_FUNCTIONS: FrozenSet[str] = frozenset({"run_parallel"})
+POOL_BOUNDARY_KEYWORDS: FrozenSet[str] = frozenset(
+    {"initializer", "func", "callback"}
+)
+
+
+def content_hash(source: str) -> str:
+    """Stable identity of one file's text (cache key component)."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for ``path``.
+
+    Paths are anchored at the last ``repro`` component so both real
+    trees (``src/repro/dsss/phy.py`` → ``repro.dsss.phy``) and the
+    virtual fixture paths tests use resolve identically.  Files outside
+    a ``repro`` tree fall back to their stem, which keeps scratch files
+    indexable without pretending they belong to a package.
+    """
+    parts = list(Path(path).parts)
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else Path(path).stem
+
+
+@dataclass(frozen=True)
+class ImportRecord:
+    """One import statement, with the flags JRS010 keys off."""
+
+    target: str
+    line: int
+    col: int
+    #: Inside ``if TYPE_CHECKING:`` — not a runtime edge.
+    type_checking: bool
+    #: Inside a function body — a sanctioned lazy back edge.
+    function_scope: bool
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "target": self.target,
+            "line": self.line,
+            "col": self.col,
+            "type_checking": self.type_checking,
+            "function_scope": self.function_scope,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "ImportRecord":
+        return cls(
+            target=str(data["target"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            type_checking=bool(data["type_checking"]),
+            function_scope=bool(data["function_scope"]),
+        )
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One ``self.<attr>`` touch inside a method body."""
+
+    attr: str
+    line: int
+    col: int
+    write: bool
+    #: Lexically inside a ``with self.<lock-ish>:`` block.
+    locked: bool
+
+    def to_json(self) -> List[object]:
+        return [self.attr, self.line, self.col, self.write, self.locked]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "AttrAccess":
+        return cls(
+            attr=str(data[0]),
+            line=int(data[1]),  # type: ignore[call-overload]
+            col=int(data[2]),  # type: ignore[call-overload]
+            write=bool(data[3]),
+            locked=bool(data[4]),
+        )
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Attribute accesses and self-calls of one method."""
+
+    name: str
+    line: int
+    accesses: Tuple[AttrAccess, ...]
+    self_calls: Tuple[str, ...]
+    #: Methods handed to ``threading.Thread(target=self.X)`` here.
+    thread_targets: Tuple[str, ...]
+
+    @property
+    def public(self) -> bool:
+        return not self.name.startswith("_")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "accesses": [a.to_json() for a in self.accesses],
+            "self_calls": list(self.self_calls),
+            "thread_targets": list(self.thread_targets),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "MethodSummary":
+        return cls(
+            name=str(data["name"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            accesses=tuple(
+                AttrAccess.from_json(a)
+                for a in data["accesses"]  # type: ignore[union-attr]
+            ),
+            self_calls=tuple(data["self_calls"]),  # type: ignore[arg-type]
+            thread_targets=tuple(
+                data["thread_targets"]  # type: ignore[arg-type]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Per-class view JRS008's thread-shared-state analysis consumes."""
+
+    name: str
+    line: int
+    methods: Tuple[MethodSummary, ...]
+
+    def method(self, name: str) -> Optional[MethodSummary]:
+        for candidate in self.methods:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    @property
+    def thread_targets(self) -> Tuple[str, ...]:
+        targets: List[str] = []
+        for method in self.methods:
+            targets.extend(method.thread_targets)
+        return tuple(targets)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "methods": [m.to_json() for m in self.methods],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "ClassSummary":
+        return cls(
+            name=str(data["name"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            methods=tuple(
+                MethodSummary.from_json(m)
+                for m in data["methods"]  # type: ignore[union-attr]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CallArg:
+    """One argument at a call site, classified for pickle analysis.
+
+    ``kind`` is one of ``lambda``, ``local_def`` (a nested function or
+    class), ``param`` (a parameter of the enclosing function, carrying
+    taint), ``ref`` (a module-level or imported callable, resolved in
+    ``name``), or ``other``.
+    """
+
+    position: Optional[int]
+    keyword: Optional[str]
+    kind: str
+    name: Optional[str]
+    line: int
+    col: int
+
+    def to_json(self) -> List[object]:
+        return [
+            self.position, self.keyword, self.kind,
+            self.name, self.line, self.col,
+        ]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "CallArg":
+        return cls(
+            position=None if data[0] is None else int(data[0]),  # type: ignore[call-overload]
+            keyword=None if data[1] is None else str(data[1]),
+            kind=str(data[2]),
+            name=None if data[3] is None else str(data[3]),
+            line=int(data[4]),  # type: ignore[call-overload]
+            col=int(data[5]),  # type: ignore[call-overload]
+        )
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One call made by a function body.
+
+    ``callee`` is the best-effort reference: a fully resolved dotted
+    path for imported names (``repro.experiments.parallel.run_parallel``),
+    ``<module>.<name>`` for module-level functions of the same file,
+    ``self.<attr>`` for method self-calls, or the bare name when
+    unresolvable.  ``method_attr`` carries the trailing attribute for
+    ``obj.method(...)`` shapes so pool-boundary methods are matched the
+    way JRS007 matches them — by name, on any receiver.
+    """
+
+    callee: str
+    method_attr: Optional[str]
+    line: int
+    col: int
+    args: Tuple[CallArg, ...]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "callee": self.callee,
+            "method_attr": self.method_attr,
+            "line": self.line,
+            "col": self.col,
+            "args": [a.to_json() for a in self.args],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "CallRecord":
+        return cls(
+            callee=str(data["callee"]),
+            method_attr=(
+                None
+                if data["method_attr"] is None
+                else str(data["method_attr"])
+            ),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            args=tuple(
+                CallArg.from_json(a)
+                for a in data["args"]  # type: ignore[union-attr]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Signature + calls of one function (or method)."""
+
+    qualname: str
+    line: int
+    params: Tuple[str, ...]
+    calls: Tuple[CallRecord, ...]
+    #: Callee refs whose results this function returns (directly or
+    #: through one local assignment) — the JRS011 producer signal.
+    returns_refs: Tuple[str, ...]
+
+    @property
+    def is_method(self) -> bool:
+        return "." in self.qualname
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "line": self.line,
+            "params": list(self.params),
+            "calls": [c.to_json() for c in self.calls],
+            "returns_refs": list(self.returns_refs),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "FunctionSummary":
+        return cls(
+            qualname=str(data["qualname"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            params=tuple(data["params"]),  # type: ignore[arg-type]
+            calls=tuple(
+                CallRecord.from_json(c)
+                for c in data["calls"]  # type: ignore[union-attr]
+            ),
+            returns_refs=tuple(
+                data["returns_refs"]  # type: ignore[arg-type]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RngSite:
+    """A ``numpy.random`` generator constructed outside utils.rng."""
+
+    line: int
+    col: int
+    #: The resolved constructor chain, or the alias it was called via.
+    via: str
+
+    def to_json(self) -> List[object]:
+        return [self.line, self.col, self.via]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "RngSite":
+        return cls(
+            line=int(data[0]),  # type: ignore[call-overload]
+            col=int(data[1]),  # type: ignore[call-overload]
+            via=str(data[2]),
+        )
+
+
+@dataclass(frozen=True)
+class FactoryRef:
+    """A ``field(default_factory=<ref>)`` callable reference."""
+
+    line: int
+    col: int
+    ref: str
+
+    def to_json(self) -> List[object]:
+        return [self.line, self.col, self.ref]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "FactoryRef":
+        return cls(
+            line=int(data[0]),  # type: ignore[call-overload]
+            col=int(data[1]),  # type: ignore[call-overload]
+            ref=str(data[2]),
+        )
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything phase 2 needs to know about one file."""
+
+    path: str
+    module: str
+    source_hash: str
+    imports: Tuple[ImportRecord, ...]
+    classes: Tuple[ClassSummary, ...]
+    functions: Tuple[FunctionSummary, ...]
+    rng_sites: Tuple[RngSite, ...]
+    factory_refs: Tuple[FactoryRef, ...]
+    #: Justified-noqa lines: line → suppressed rule codes.
+    suppressed: Tuple[Tuple[int, Tuple[str, ...]], ...] = ()
+
+    def suppressed_codes(self, line: int) -> Tuple[str, ...]:
+        for lineno, codes in self.suppressed:
+            if lineno == line:
+                return codes
+        return ()
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "source_hash": self.source_hash,
+            "imports": [i.to_json() for i in self.imports],
+            "classes": [c.to_json() for c in self.classes],
+            "functions": [f.to_json() for f in self.functions],
+            "rng_sites": [s.to_json() for s in self.rng_sites],
+            "factory_refs": [r.to_json() for r in self.factory_refs],
+            "suppressed": [
+                [line, list(codes)] for line, codes in self.suppressed
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "ModuleSummary":
+        return cls(
+            path=str(data["path"]),
+            module=str(data["module"]),
+            source_hash=str(data["source_hash"]),
+            imports=tuple(
+                ImportRecord.from_json(i)
+                for i in data["imports"]  # type: ignore[union-attr]
+            ),
+            classes=tuple(
+                ClassSummary.from_json(c)
+                for c in data["classes"]  # type: ignore[union-attr]
+            ),
+            functions=tuple(
+                FunctionSummary.from_json(f)
+                for f in data["functions"]  # type: ignore[union-attr]
+            ),
+            rng_sites=tuple(
+                RngSite.from_json(s)
+                for s in data["rng_sites"]  # type: ignore[union-attr]
+            ),
+            factory_refs=tuple(
+                FactoryRef.from_json(r)
+                for r in data["factory_refs"]  # type: ignore[union-attr]
+            ),
+            suppressed=tuple(
+                (int(line), tuple(str(code) for code in codes))
+                for line, codes in data["suppressed"]  # type: ignore[union-attr, misc]
+            ),
+        )
+
+
+# ---------------------------------------------------------------------
+# Summary construction
+# ---------------------------------------------------------------------
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _self_attr(node: ast.expr) -> Optional[str]:
+    """``self.<attr>`` → attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_lockish(attr: str) -> bool:
+    return "lock" in attr.lower()
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Collect attribute accesses / self-calls of one method body."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self._ctx = ctx
+        self.accesses: List[AttrAccess] = []
+        self.self_calls: List[str] = []
+        self.thread_targets: List[str] = []
+        self._lock_depth = 0
+        self._write_attrs: Set[int] = set()  # id()s of store targets
+
+    # -- write classification ------------------------------------------
+
+    def _mark_write_targets(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._mark_write_targets(element)
+        elif isinstance(target, ast.Attribute):
+            self._write_attrs.add(id(target))
+        elif isinstance(target, ast.Starred):
+            self._mark_write_targets(target.value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._mark_write_targets(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._mark_write_targets(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._mark_write_targets(node.target)
+        self.generic_visit(node)
+
+    # -- interesting nodes ---------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        lockish = any(
+            (attr := _self_attr(item.context_expr)) is not None
+            and _is_lockish(attr)
+            for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if lockish:
+            self._lock_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        if lockish:
+            self._lock_depth -= 1
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr(node)
+        if attr is not None and not _is_lockish(attr):
+            self.accesses.append(
+                AttrAccess(
+                    attr=attr,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    write=id(node) in self._write_attrs
+                    or isinstance(node.ctx, (ast.Store, ast.Del)),
+                    locked=self._lock_depth > 0,
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            attr = _self_attr(func)
+            if attr is not None:
+                self.self_calls.append(attr)
+        target = self._ctx.resolve_call_chain(func)
+        if target == "threading.Thread":
+            for keyword in node.keywords:
+                if keyword.arg != "target":
+                    continue
+                thread_target = _self_attr(keyword.value)
+                if thread_target is not None:
+                    self.thread_targets.append(thread_target)
+        self.generic_visit(node)
+
+
+def _summarize_method(
+    node: ast.FunctionDef, ctx: ModuleContext
+) -> MethodSummary:
+    walker = _MethodWalker(ctx)
+    for statement in node.body:
+        walker.visit(statement)
+    return MethodSummary(
+        name=node.name,
+        line=node.lineno,
+        accesses=tuple(walker.accesses),
+        self_calls=tuple(sorted(set(walker.self_calls))),
+        thread_targets=tuple(sorted(set(walker.thread_targets))),
+    )
+
+
+def _summarize_class(
+    node: ast.ClassDef, ctx: ModuleContext
+) -> ClassSummary:
+    methods = tuple(
+        _summarize_method(child, ctx)
+        for child in node.body
+        if isinstance(child, ast.FunctionDef)
+    )
+    return ClassSummary(name=node.name, line=node.lineno, methods=methods)
+
+
+def _resolve_ref(
+    name: str, ctx: ModuleContext, module: str, module_defs: Set[str]
+) -> Optional[str]:
+    """Resolve a bare name to a global callable reference."""
+    resolved = ctx.aliases.get(name)
+    if resolved is not None:
+        return resolved
+    if name in module_defs:
+        return f"{module}.{name}"
+    return None
+
+
+def _classify_arg(
+    value: ast.expr,
+    position: Optional[int],
+    keyword: Optional[str],
+    ctx: ModuleContext,
+    module: str,
+    module_defs: Set[str],
+    params: Set[str],
+) -> CallArg:
+    kind = "other"
+    name: Optional[str] = None
+    if isinstance(value, ast.Lambda):
+        kind = "lambda"
+    elif isinstance(value, ast.Name):
+        if value.id in params:
+            kind, name = "param", value.id
+        elif (
+            value.id in ctx.nested_defs
+            and value.id not in ctx.module_scope_defs
+        ):
+            kind, name = "local_def", value.id
+        else:
+            ref = _resolve_ref(value.id, ctx, module, module_defs)
+            if ref is not None:
+                kind, name = "ref", ref
+    elif isinstance(value, ast.Attribute):
+        chain = ctx.resolve_call_chain(value)
+        if chain is not None:
+            kind, name = "ref", chain
+    return CallArg(
+        position=position,
+        keyword=keyword,
+        kind=kind,
+        name=name,
+        line=value.lineno,
+        col=value.col_offset,
+    )
+
+
+def _summarize_function(
+    node: ast.FunctionDef,
+    qualname: str,
+    ctx: ModuleContext,
+    module: str,
+    module_defs: Set[str],
+) -> FunctionSummary:
+    arguments = node.args
+    params = [
+        arg.arg
+        for arg in (
+            *arguments.posonlyargs,
+            *arguments.args,
+            *arguments.kwonlyargs,
+        )
+    ]
+    param_set = set(params)
+    calls: List[CallRecord] = []
+    assigned_from: Dict[str, str] = {}
+    returns_refs: List[str] = []
+
+    def callee_ref(func: ast.expr) -> Tuple[str, Optional[str]]:
+        if isinstance(func, ast.Name):
+            ref = _resolve_ref(func.id, ctx, module, module_defs)
+            return ref or func.id, None
+        if isinstance(func, ast.Attribute):
+            attr = _self_attr(func)
+            if attr is not None:
+                return f"self.{attr}", func.attr
+            chain = ctx.resolve_call_chain(func)
+            return chain or func.attr, func.attr
+        return "<dynamic>", None
+
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            ref, method_attr = callee_ref(child.func)
+            args = tuple(
+                _classify_arg(
+                    value, index, None, ctx, module, module_defs,
+                    param_set,
+                )
+                for index, value in enumerate(child.args)
+            ) + tuple(
+                _classify_arg(
+                    kw.value, None, kw.arg, ctx, module, module_defs,
+                    param_set,
+                )
+                for kw in child.keywords
+                if kw.arg is not None
+            )
+            calls.append(
+                CallRecord(
+                    callee=ref,
+                    method_attr=method_attr,
+                    line=child.lineno,
+                    col=child.col_offset,
+                    args=args,
+                )
+            )
+        elif isinstance(child, ast.Assign) and isinstance(
+            child.value, ast.Call
+        ):
+            ref, _ = callee_ref(child.value.func)
+            for target in child.targets:
+                if isinstance(target, ast.Name):
+                    assigned_from[target.id] = ref
+        elif isinstance(child, ast.Return) and child.value is not None:
+            if isinstance(child.value, ast.Call):
+                ref, _ = callee_ref(child.value.func)
+                returns_refs.append(ref)
+            elif isinstance(child.value, ast.Name):
+                ref_opt = assigned_from.get(child.value.id)
+                if ref_opt is not None:
+                    returns_refs.append(ref_opt)
+    return FunctionSummary(
+        qualname=qualname,
+        line=node.lineno,
+        params=tuple(params),
+        calls=tuple(calls),
+        returns_refs=tuple(sorted(set(returns_refs))),
+    )
+
+
+def summarize_module(
+    ctx: ModuleContext,
+    suppressions: Optional[Mapping[int, Sequence[str]]] = None,
+) -> ModuleSummary:
+    """Build the phase-2 summary for one parsed module."""
+    module = module_name_for_path(ctx.path)
+    tree = ctx.tree
+
+    # -- imports, with their scoping flags -----------------------------
+    imports: List[ImportRecord] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        type_checking = False
+        function_scope = False
+        current = ctx.parents.get(node)
+        while current is not None:
+            if isinstance(current, ast.If) and _is_type_checking_test(
+                current.test
+            ):
+                type_checking = True
+            if isinstance(
+                current, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                function_scope = True
+            current = ctx.parents.get(current)
+        if isinstance(node, ast.Import):
+            targets = [name.name for name in node.names]
+        else:
+            if node.module is None or node.level:
+                continue  # relative imports stay module-local
+            targets = [node.module]
+            if node.module == "repro" or node.module.startswith("repro."):
+                # `from repro.x import y` may bind the submodule x.y.
+                targets.extend(
+                    f"{node.module}.{name.name}" for name in node.names
+                )
+        for target in targets:
+            imports.append(
+                ImportRecord(
+                    target=target,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    type_checking=type_checking,
+                    function_scope=function_scope,
+                )
+            )
+
+    # -- classes and functions -----------------------------------------
+    classes = tuple(
+        _summarize_class(node, ctx)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    )
+    module_defs = set(ctx.module_scope_defs)
+    functions: List[FunctionSummary] = []
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            functions.append(
+                _summarize_function(
+                    node, node.name, ctx, module, module_defs
+                )
+            )
+        elif isinstance(node, ast.ClassDef):
+            for child in node.body:
+                if isinstance(child, ast.FunctionDef):
+                    functions.append(
+                        _summarize_function(
+                            child,
+                            f"{node.name}.{child.name}",
+                            ctx,
+                            module,
+                            module_defs,
+                        )
+                    )
+
+    # -- RNG construction sites ----------------------------------------
+    rng_sites: List[RngSite] = []
+    constructor_aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and not isinstance(
+            node.value, ast.Call
+        ):
+            chain = ctx.resolve_call_chain(node.value)
+            if chain in RNG_CONSTRUCTORS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        constructor_aliases.add(target.id)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = ctx.resolve_call_chain(node.func)
+        if chain in RNG_CONSTRUCTORS:
+            rng_sites.append(
+                RngSite(
+                    line=node.lineno, col=node.col_offset, via=chain or ""
+                )
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id in constructor_aliases
+        ):
+            rng_sites.append(
+                RngSite(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    via=f"alias '{node.func.id}'",
+                )
+            )
+
+    # -- dataclass default factories -----------------------------------
+    factory_refs: List[FactoryRef] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_field = (
+            isinstance(func, ast.Name) and func.id == "field"
+        ) or (
+            isinstance(func, ast.Attribute) and func.attr == "field"
+        )
+        if not is_field:
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "default_factory":
+                continue
+            value = keyword.value
+            ref: Optional[str] = None
+            if isinstance(value, ast.Name):
+                ref = _resolve_ref(value.id, ctx, module, module_defs)
+            elif isinstance(value, ast.Attribute):
+                ref = ctx.resolve_call_chain(value)
+            if ref is not None:
+                factory_refs.append(
+                    FactoryRef(
+                        line=value.lineno,
+                        col=value.col_offset,
+                        ref=ref,
+                    )
+                )
+
+    suppressed: Tuple[Tuple[int, Tuple[str, ...]], ...] = ()
+    if suppressions:
+        suppressed = tuple(
+            (line, tuple(suppressions[line]))
+            for line in sorted(suppressions)
+        )
+
+    return ModuleSummary(
+        path=ctx.path,
+        module=module,
+        source_hash=content_hash(ctx.source),
+        imports=imports_tuple(imports),
+        classes=classes,
+        functions=tuple(functions),
+        rng_sites=tuple(rng_sites),
+        factory_refs=tuple(factory_refs),
+        suppressed=suppressed,
+    )
+
+
+def imports_tuple(
+    imports: Sequence[ImportRecord],
+) -> Tuple[ImportRecord, ...]:
+    """Deterministic import ordering (line, col, target)."""
+    return tuple(
+        sorted(imports, key=lambda i: (i.line, i.col, i.target))
+    )
+
+
+# ---------------------------------------------------------------------
+# The project index
+# ---------------------------------------------------------------------
+
+
+class ProjectIndex:
+    """Whole-project view assembled from per-file summaries.
+
+    Construction is cheap relative to parsing (the summaries carry all
+    the AST-derived facts), which is what makes the incremental cache
+    effective: a warm run re-parses only changed files, then rebuilds
+    this index from mostly cached summaries.
+    """
+
+    def __init__(self, summaries: Sequence[ModuleSummary]) -> None:
+        self.summaries: Tuple[ModuleSummary, ...] = tuple(
+            sorted(summaries, key=lambda s: s.path)
+        )
+        self.by_module: Dict[str, ModuleSummary] = {}
+        for summary in self.summaries:
+            # Last writer wins deterministically (sorted by path); real
+            # trees never collide, virtual fixture trees may.
+            self.by_module[summary.module] = summary
+        self.functions: Dict[str, FunctionSummary] = {}
+        for summary in self.summaries:
+            for function in summary.functions:
+                self.functions[
+                    f"{summary.module}.{function.qualname}"
+                ] = function
+        self._closures: Dict[str, FrozenSet[str]] = {}
+
+    # -- module / package resolution -----------------------------------
+
+    def resolve_module(self, target: str) -> Optional[str]:
+        """Resolve a dotted import target to an indexed module.
+
+        ``repro.obs`` resolves to the package module (its
+        ``__init__``); ``repro.obs.names`` to the submodule; targets
+        outside the project resolve to ``None``.
+        """
+        if target in self.by_module:
+            return target
+        return None
+
+    @staticmethod
+    def package_of(module: str) -> str:
+        """Layering package of a module (``repro.dsss.phy`` → ``dsss``).
+
+        The ``repro`` root facade itself maps to ``""`` and is exempt
+        from layering (it exists to re-export the public API).
+        """
+        parts = module.split(".")
+        if parts[0] != "repro" or len(parts) == 1:
+            return "" if parts[0] == "repro" else parts[0]
+        return parts[1]
+
+    # -- import graph ---------------------------------------------------
+
+    def runtime_imports(
+        self, module: str, include_lazy: bool = True
+    ) -> List[ImportRecord]:
+        """Non-``TYPE_CHECKING`` imports of ``module``.
+
+        ``include_lazy=False`` drops function-scope imports as well —
+        the edge set used for import-cycle detection, since a deferred
+        import cannot participate in an import-time cycle.
+        """
+        summary = self.by_module.get(module)
+        if summary is None:
+            return []
+        records = [
+            record
+            for record in summary.imports
+            if not record.type_checking
+        ]
+        if not include_lazy:
+            records = [r for r in records if not r.function_scope]
+        return records
+
+    def import_edges(
+        self, module: str, include_lazy: bool = True
+    ) -> List[Tuple[str, ImportRecord]]:
+        """(resolved project module, record) pairs for ``module``."""
+        edges: List[Tuple[str, ImportRecord]] = []
+        seen: Set[Tuple[str, int]] = set()
+        for record in self.runtime_imports(module, include_lazy):
+            resolved = self.resolve_module(record.target)
+            if resolved is None or resolved == module:
+                continue
+            key = (resolved, record.line)
+            if key in seen:
+                continue
+            seen.add(key)
+            edges.append((resolved, record))
+        return edges
+
+    def import_closure(self, module: str) -> FrozenSet[str]:
+        """Transitive runtime import closure of ``module`` (exclusive).
+
+        This is the invalidation relation of the incremental cache: a
+        module's cross-module findings can only change when the module
+        itself or something in this closure changes.
+        """
+        cached = self._closures.get(module)
+        if cached is not None:
+            return cached
+        closure: Set[str] = set()
+        stack = [module]
+        while stack:
+            current = stack.pop()
+            for target, _ in self.import_edges(current):
+                if target not in closure and target != module:
+                    closure.add(target)
+                    stack.append(target)
+        result = frozenset(closure)
+        self._closures[module] = result
+        return result
+
+    def project_digest(self, module: str, salt: str) -> str:
+        """Content digest of ``module`` + its import closure.
+
+        Equal digests between runs mean the cross-module findings for
+        ``module`` are still valid; ``salt`` folds in the rule-pack
+        version and engine configuration.
+        """
+        summary = self.by_module[module]
+        material = [salt, module, summary.source_hash]
+        for name in sorted(self.import_closure(module)):
+            dependency = self.by_module.get(name)
+            if dependency is not None:
+                material.append(f"{name}={dependency.source_hash}")
+        return hashlib.sha256(
+            "\n".join(material).encode("utf-8")
+        ).hexdigest()

@@ -1,21 +1,23 @@
 """Human and JSON reporters for lint findings.
 
-The JSON document is versioned (``schema: repro.lint/1``) because CI
+The JSON document is versioned (``schema: repro.lint/2``) because CI
 uploads it as an artifact and downstream tooling diffs reports across
-commits — the same contract discipline as ``MetricsSnapshot``.
+commits — the same contract discipline as ``MetricsSnapshot``.  v2
+added the optional ``stats`` block (incremental-cache and phase-2
+accounting from :class:`~repro.lint.project.ProjectLintStats`).
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.lint.engine import Severity, Violation
 
 __all__ = ["render_human", "render_json", "JSON_SCHEMA"]
 
-JSON_SCHEMA = "repro.lint/1"
+JSON_SCHEMA = "repro.lint/2"
 
 
 def render_human(
@@ -49,13 +51,15 @@ def render_human(
 
 
 def render_json(
-    violations: Sequence[Violation], files_checked: int
+    violations: Sequence[Violation],
+    files_checked: int,
+    stats: Optional[Dict[str, object]] = None,
 ) -> str:
     """Stable machine-readable report (sorted, schema-tagged)."""
     by_rule: Dict[str, int] = dict(
         sorted(Counter(v.rule for v in violations).items())
     )
-    document = {
+    document: Dict[str, object] = {
         "schema": JSON_SCHEMA,
         "files_checked": files_checked,
         "counts": {
@@ -71,4 +75,6 @@ def render_json(
         },
         "violations": [v.to_json() for v in violations],
     }
+    if stats is not None:
+        document["stats"] = stats
     return json.dumps(document, indent=2, sort_keys=False)

@@ -1,26 +1,54 @@
-"""The JR-SND determinism rule pack (JRS001–JRS007).
+"""The JR-SND determinism rule pack.
 
-Each rule guards one invariant the reproduction's headline claims rest
-on — seeded randomness only, no wall-clock inside the simulated world,
-narrow excepts, registered metric names, no float equality in the
-signal-processing layers, no mutable defaults, and pickle-safe pool
-boundaries.  See ``docs/architecture.md`` ("Static analysis &
-determinism lints") for the rationale table and the policy for adding
-a rule.
+Per-file rules (JRS001–JRS007) each guard one invariant the
+reproduction's headline claims rest on — seeded randomness only, no
+wall-clock inside the simulated world, narrow excepts, registered
+metric names, no float equality in the signal-processing layers, no
+mutable defaults, and pickle-safe pool boundaries.  Cross-module rules
+(JRS008–JRS011) run in phase 2 against the
+:class:`~repro.lint.graph.ProjectIndex`: thread-shared-state lock
+discipline, transitive pool-boundary picklability, architecture
+layering with cycle detection, and RNG provenance.  See
+``docs/architecture.md`` ("Static analysis & determinism lints") for
+the rationale table and the policy for adding a rule.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.lint.engine import (
     Fix,
     LintConfig,
     ModuleContext,
+    ProjectRule,
     Rule,
     Severity,
     Violation,
+)
+from repro.lint.flow import (
+    _callee_param_position,
+    find_import_cycles,
+    reachable_methods,
+    tainted_boundary_params,
+    tainted_rng_producers,
+)
+from repro.lint.graph import (
+    RNG_CONSTRUCTORS,
+    ClassSummary,
+    ModuleSummary,
+    ProjectIndex,
 )
 from repro.obs import names as _metric_names
 
@@ -32,9 +60,20 @@ __all__ = [
     "JRS005FloatEquality",
     "JRS006MutableDefault",
     "JRS007PoolBoundaryPickle",
+    "JRS008ThreadSharedState",
+    "JRS009TransitivePoolPickle",
+    "JRS010ArchitectureLayering",
+    "JRS011RngProvenance",
     "ALL_RULES",
+    "PROJECT_RULES",
+    "RULE_PACK_VERSION",
     "default_rules",
+    "default_project_rules",
 ]
+
+#: Bumped on any change to rule semantics; invalidates every cached
+#: result (phase 1 and phase 2) in ``.repro-lint-cache/``.
+RULE_PACK_VERSION = "2"
 
 
 class JRS001UnseededRandomness(Rule):
@@ -57,7 +96,18 @@ class JRS001UnseededRandomness(Rule):
     #: numpy.random attributes that are seeded-construction APIs, not
     #: hidden-global draws.
     _NUMPY_OK = frozenset(
-        {"default_rng", "SeedSequence", "Generator", "BitGenerator"}
+        {
+            "default_rng",
+            "SeedSequence",
+            "Generator",
+            "BitGenerator",
+            # Seeded bit-generator constructors: explicit-state APIs,
+            # not hidden-global draws (JRS011 owns their *provenance*).
+            "PCG64",
+            "MT19937",
+            "Philox",
+            "SFC64",
+        }
     )
 
     def applies_to(self, ctx: ModuleContext) -> bool:
@@ -467,6 +517,336 @@ class JRS007PoolBoundaryPickle(Rule):
                 )
 
 
+class JRS008ThreadSharedState(ProjectRule):
+    """State shared with a ``threading.Thread`` needs lock discipline.
+
+    For every class that spawns a thread on one of its own methods
+    (``threading.Thread(target=self.x)``): an attribute that is
+    plain-written outside ``__init__`` and touched both by the thread
+    target's reachable methods and by the public API is *shared*, and
+    every access to it outside ``__init__`` must sit inside a
+    ``with self._lock:`` (any lock-named attribute) block.  Container
+    mutations through a stable reference (``self._jobs.append``,
+    ``self._workers[k] = v``) don't make the *attribute* shared — the
+    reference never changes — which keeps single-owner dispatcher
+    state such as per-job bookkeeping out of scope.
+    """
+
+    code = "JRS008"
+    severity = Severity.ERROR
+    description = (
+        "attributes shared between a threading.Thread target and "
+        "public methods must be accessed under 'with self._lock'"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        for summary in index.summaries:
+            for cls in summary.classes:
+                yield from self._check_class(summary, cls)
+
+    def _check_class(
+        self, summary: ModuleSummary, cls: ClassSummary
+    ) -> Iterable[Violation]:
+        targets = cls.thread_targets
+        if not targets:
+            return
+        thread_set = reachable_methods(cls, targets)
+        if not thread_set:
+            return
+        written_outside_init: Set[str] = set()
+        thread_touched: Set[str] = set()
+        public_touched: Set[str] = set()
+        for method in cls.methods:
+            if method.name == "__init__":
+                continue
+            for access in method.accesses:
+                if access.write:
+                    written_outside_init.add(access.attr)
+                if method.name in thread_set:
+                    thread_touched.add(access.attr)
+                if method.public:
+                    public_touched.add(access.attr)
+        shared = written_outside_init & thread_touched & public_touched
+        if not shared:
+            return
+        target_list = ", ".join(sorted(set(targets)))
+        for method in cls.methods:
+            if method.name == "__init__":
+                continue
+            for access in method.accesses:
+                if access.attr not in shared or access.locked:
+                    continue
+                yield self.violation_at(
+                    summary.path,
+                    access.line,
+                    access.col,
+                    f"'self.{access.attr}' is shared between thread "
+                    f"target '{target_list}' and public methods of "
+                    f"'{cls.name}' but accessed here "
+                    f"(in '{method.name}') outside 'with self._lock'",
+                )
+
+
+class JRS009TransitivePoolPickle(ProjectRule):
+    """Pickle-safety must hold through helper-call chains.
+
+    JRS007 checks the literal call site; this rule follows the project
+    call graph.  If helper ``h(fn)`` forwards ``fn`` to
+    ``pool.submit``/``run_parallel`` (possibly through further
+    helpers), then passing a lambda or nested function *to h* is the
+    same bug, one hop removed — it still dies un-picklable at fan-out
+    time.
+    """
+
+    code = "JRS009"
+    severity = Severity.ERROR
+    description = (
+        "no lambdas/closures reaching a process-pool boundary through "
+        "helper functions (transitive JRS007)"
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        tainted = tainted_boundary_params(index)
+        for summary in index.summaries:
+            for fn in summary.functions:
+                for call in fn.calls:
+                    slots = tainted.get(call.callee)
+                    if not slots:
+                        continue
+                    callee = index.functions.get(call.callee)
+                    if callee is None:
+                        continue  # builtin boundaries are JRS007's
+                    for arg in call.args:
+                        if arg.kind not in ("lambda", "local_def"):
+                            continue
+                        position = _callee_param_position(callee, arg)
+                        if position is None or position not in slots:
+                            continue
+                        what = (
+                            "a lambda"
+                            if arg.kind == "lambda"
+                            else f"locally defined '{arg.name}'"
+                        )
+                        short = call.callee.rsplit(".", 1)[-1]
+                        yield self.violation_at(
+                            summary.path,
+                            arg.line,
+                            arg.col,
+                            f"{what} passed to '{short}' reaches a "
+                            "process-pool boundary (parameter "
+                            f"'{callee.params[position]}' of "
+                            f"{call.callee}) and cannot be pickled; "
+                            "move it to module scope",
+                        )
+
+
+#: Leaf packages any layer may import.
+_LAYER_LEAVES: FrozenSet[str] = frozenset({"errors", "version"})
+
+#: The docs/architecture.md dependency DAG: package -> packages it may
+#: import at module scope.  ``TYPE_CHECKING`` and function-scope
+#: imports are exempt (they cannot create import-time coupling and are
+#: the sanctioned escape hatches for back references).
+_LAYER_ALLOWED: Dict[str, FrozenSet[str]] = {
+    "errors": frozenset(),
+    "version": frozenset(),
+    "obs": frozenset(),
+    "utils": frozenset({"obs"}),
+    "ecc": frozenset({"obs", "utils"}),
+    "sim": frozenset({"obs", "utils", "ecc"}),
+    "predistribution": frozenset({"obs", "utils"}),
+    "adversary": frozenset(
+        {"obs", "utils", "sim", "predistribution"}
+    ),
+    "dsss": frozenset({"obs", "utils", "ecc", "adversary"}),
+    "crypto": frozenset({"obs", "utils", "dsss"}),
+    "core": frozenset(
+        {
+            "obs", "utils", "ecc", "sim", "dsss", "crypto",
+            "adversary", "predistribution",
+        }
+    ),
+    "analysis": frozenset(
+        {"obs", "utils", "core", "sim", "predistribution"}
+    ),
+    "faults": frozenset({"obs", "utils", "core", "sim"}),
+    "experiments": frozenset(
+        {
+            "obs", "utils", "ecc", "sim", "dsss", "crypto", "core",
+            "adversary", "predistribution", "analysis", "faults",
+        }
+    ),
+    "campaigns": frozenset(
+        {
+            "obs", "utils", "ecc", "sim", "dsss", "crypto", "core",
+            "adversary", "predistribution", "analysis", "faults",
+            "experiments",
+        }
+    ),
+    "lint": frozenset({"obs", "utils"}),
+    "cli": frozenset(
+        {
+            "obs", "utils", "ecc", "sim", "dsss", "crypto", "core",
+            "adversary", "predistribution", "analysis", "faults",
+            "experiments", "campaigns",
+        }
+    ),
+    "__main__": frozenset({"cli"}),
+}
+
+
+class JRS010ArchitectureLayering(ProjectRule):
+    """The package DAG in docs/architecture.md is load-bearing.
+
+    ``utils``/``obs`` are leaves; ``sim``/``dsss``/``ecc`` must never
+    import ``experiments``/``campaigns``/``cli``; and module-level
+    import cycles are forbidden outright.  Violations here are how
+    "the PHY layer quietly grew a dependency on the campaign runner"
+    happens.
+    """
+
+    code = "JRS010"
+    severity = Severity.ERROR
+    description = (
+        "imports must respect the docs/architecture.md package DAG; "
+        "no module-level import cycles"
+    )
+
+    @staticmethod
+    def _target_package(target: str) -> Optional[str]:
+        parts = target.split(".")
+        if parts[0] != "repro" or len(parts) < 2:
+            return None  # stdlib/third-party, or the root facade
+        return parts[1]
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        for summary in index.summaries:
+            source_package = ProjectIndex.package_of(summary.module)
+            allowed = _LAYER_ALLOWED.get(source_package)
+            if allowed is None:
+                continue  # root facade or a package outside the DAG
+            reported: Set[Tuple[int, str]] = set()
+            for record in summary.imports:
+                if record.type_checking or record.function_scope:
+                    continue
+                target_package = self._target_package(record.target)
+                if target_package is None:
+                    continue
+                if target_package == source_package:
+                    continue
+                if target_package in _LAYER_LEAVES:
+                    continue
+                if target_package not in _LAYER_ALLOWED:
+                    continue
+                if target_package in allowed:
+                    continue
+                key = (record.line, target_package)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield self.violation_at(
+                    summary.path,
+                    record.line,
+                    record.col,
+                    f"layering violation: '{source_package}' must not "
+                    f"import '{target_package}' "
+                    f"(via '{record.target}'); see the package DAG in "
+                    "docs/architecture.md — use a TYPE_CHECKING or "
+                    "function-scope import if a back reference is "
+                    "unavoidable",
+                )
+        for cycle in find_import_cycles(index):
+            anchor = index.by_module.get(cycle[0])
+            line, col = 1, 0
+            if anchor is not None:
+                members = set(cycle)
+                for target, record in index.import_edges(
+                    cycle[0], include_lazy=False
+                ):
+                    if target in members:
+                        line, col = record.line, record.col
+                        break
+            yield self.violation_at(
+                anchor.path if anchor is not None else cycle[0],
+                line,
+                col,
+                "module-level import cycle: "
+                + " -> ".join(cycle)
+                + " -> ... ; break it with a TYPE_CHECKING or "
+                "function-scope import",
+            )
+
+
+class JRS011RngProvenance(ProjectRule):
+    """Generators in sim/dsss/faults must flow from ``utils.rng``.
+
+    Seeded construction satisfies JRS001, but two call sites seeding
+    ``default_rng(42)`` independently still decouple their streams
+    from the experiment's ``SeedSequencer`` tree — kill/resume
+    bit-identity and the per-run seed audit both break.  Inside the
+    simulated world (``sim/``, ``dsss/``, ``faults/``), every
+    ``numpy.random.Generator`` must be minted by ``repro.utils.rng``
+    (``derive_rng`` / ``SeedSequencer`` children) — constructing one
+    directly, via an alias, via a helper that transitively returns a
+    fresh generator, or as a dataclass ``default_factory`` is flagged.
+    """
+
+    code = "JRS011"
+    severity = Severity.ERROR
+    description = (
+        "numpy Generators in sim/, dsss/, faults/ must be derived via "
+        "repro.utils.rng, not constructed in place"
+    )
+
+    _SCOPE = ("/sim/", "/dsss/", "/faults/")
+
+    def _in_scope(self, path: str) -> bool:
+        posix = Path(path).as_posix()
+        return any(fragment in posix for fragment in self._SCOPE)
+
+    def check_project(self, index: ProjectIndex) -> Iterable[Violation]:
+        producers = tainted_rng_producers(index)
+        for summary in index.summaries:
+            if not self._in_scope(summary.path):
+                continue
+            for site in summary.rng_sites:
+                yield self.violation_at(
+                    summary.path,
+                    site.line,
+                    site.col,
+                    f"fresh numpy Generator constructed via {site.via} "
+                    "inside the simulated world; derive it from "
+                    "repro.utils.rng (derive_rng / SeedSequencer) so "
+                    "it hangs off the experiment seed tree",
+                )
+            for fn in summary.functions:
+                for call in fn.calls:
+                    if call.callee not in producers:
+                        continue
+                    yield self.violation_at(
+                        summary.path,
+                        call.line,
+                        call.col,
+                        f"'{call.callee}' transitively returns a "
+                        "fresh numpy Generator; inside sim/dsss/faults "
+                        "generators must be derived via repro.utils.rng",
+                    )
+            for ref in summary.factory_refs:
+                if (
+                    ref.ref not in producers
+                    and ref.ref not in RNG_CONSTRUCTORS
+                ):
+                    continue
+                yield self.violation_at(
+                    summary.path,
+                    ref.line,
+                    ref.col,
+                    f"dataclass default_factory '{ref.ref}' mints a "
+                    "fresh numpy Generator per instance; inject a "
+                    "Generator derived via repro.utils.rng instead",
+                )
+
+
 ALL_RULES: Tuple[type, ...] = (
     JRS001UnseededRandomness,
     JRS002WallClock,
@@ -477,12 +857,29 @@ ALL_RULES: Tuple[type, ...] = (
     JRS007PoolBoundaryPickle,
 )
 
+#: Cross-module rules, run in phase 2 over the ProjectIndex.
+PROJECT_RULES: Tuple[type, ...] = (
+    JRS008ThreadSharedState,
+    JRS009TransitivePoolPickle,
+    JRS010ArchitectureLayering,
+    JRS011RngProvenance,
+)
+
 #: code -> rule class, for --select/--ignore validation and docs.
 RULES_BY_CODE: Dict[str, type] = {
-    rule.code: rule for rule in ALL_RULES
+    rule.code: rule for rule in (*ALL_RULES, *PROJECT_RULES)
 }
 
 
 def default_rules(config: LintConfig) -> List[Rule]:
-    """Instantiate the full rule pack against ``config``."""
+    """Instantiate the per-file rule pack against ``config``."""
     return [rule_cls(config) for rule_cls in ALL_RULES]
+
+
+def default_project_rules(config: LintConfig) -> List[ProjectRule]:
+    """Instantiate the cross-module rule pack against ``config``."""
+    return [
+        rule_cls(config)
+        for rule_cls in PROJECT_RULES
+        if config.enabled(rule_cls.code)
+    ]

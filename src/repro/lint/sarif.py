@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 output for CI code-scanning integration.
+
+Produces a minimal, schema-valid static-analysis log: one run, one
+tool (``repro.lint``), the rule metadata from the pack, and one result
+per violation with a physical location.  SARIF levels map from the
+engine's two severities (``ERROR`` → ``error``, ``WARNING`` →
+``warning``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.lint.engine import Severity, Violation
+from repro.lint.rules import RULE_PACK_VERSION, RULES_BY_CODE
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: JRS000 is the reserved suppression-hygiene code, not a rule class.
+_SUPPRESSION_RULE = {
+    "id": "JRS000",
+    "shortDescription": {
+        "text": "suppression hygiene: justified noqa required"
+    },
+}
+
+
+def _tool_rules() -> List[Dict[str, object]]:
+    rules: List[Dict[str, object]] = [dict(_SUPPRESSION_RULE)]
+    for code in sorted(RULES_BY_CODE):
+        rule_cls = RULES_BY_CODE[code]
+        rules.append(
+            {
+                "id": code,
+                "shortDescription": {
+                    "text": str(rule_cls.description)
+                },
+            }
+        )
+    return rules
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def render_sarif(violations: Sequence[Violation]) -> str:
+    """Serialize ``violations`` as one SARIF 2.1.0 document."""
+    rules = _tool_rules()
+    rule_index = {
+        str(rule["id"]): index for index, rule in enumerate(rules)
+    }
+    results: List[Dict[str, object]] = []
+    for violation in violations:
+        uri = Path(violation.path).as_posix()
+        results.append(
+            {
+                "ruleId": violation.rule,
+                "ruleIndex": rule_index.get(violation.rule, -1),
+                "level": _level(violation.severity),
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": uri},
+                            "region": {
+                                "startLine": max(1, violation.line),
+                                # SARIF columns are 1-based.
+                                "startColumn": violation.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "version": RULE_PACK_VERSION,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"

@@ -168,6 +168,12 @@ POOL_RUNS_RETRIED = "pool.runs_retried"
 POOL_RUNS_QUARANTINED = "pool.runs_quarantined"
 POOL_DEGRADED = "pool.degraded"
 
+# -- lint engine (two-phase analyzer instrumentation) ------------------
+
+LINT_FILES_ANALYZED = "lint.files_analyzed"
+LINT_CACHE_HITS = "lint.cache_hits"
+LINT_PROJECT_REANALYZED = "lint.project_reanalyzed"
+
 
 # -- dynamic-name helpers ----------------------------------------------
 

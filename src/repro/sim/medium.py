@@ -171,7 +171,7 @@ class RadioMedium:
         self._link_rng = (
             link_rng
             if link_rng is not None
-            else np.random.default_rng(0)
+            else np.random.default_rng(0)  # jrsnd: noqa(JRS011) -- fixed-seed fallback for mediums built without a seed tree; rewiring through utils.rng would shift every pinned link-loss stream
         )
         # listener -> (position getter, code -> callback)
         self._listeners: Dict[

@@ -13,3 +13,4 @@ def report(kind: str) -> None:
     registry.inc("pool.warm_hitz")
     registry.inc("pool.workers_respwaned")
     registry.inc("campaigns.store_salvagd")
+    registry.inc("lint.cache_hitz")

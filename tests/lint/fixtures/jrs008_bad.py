@@ -1,0 +1,33 @@
+"""Bad: state shared with a dispatcher thread touched outside the lock."""
+
+import threading
+
+
+class Pump:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._open = False
+        self._count = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self) -> None:
+        while True:
+            if self._open:
+                self._count += 1
+            self._step()
+
+    def _step(self) -> None:
+        self._count += 1
+
+    def open(self) -> None:
+        self._open = True
+
+    def close(self) -> None:
+        with self._lock:
+            self._open = False
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count

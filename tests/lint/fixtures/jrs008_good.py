@@ -1,0 +1,40 @@
+"""Good: every shared access under the lock; thread-owned state free."""
+
+import threading
+
+
+class Pump:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._open = False
+        self._count = 0
+        self._ticks = 0
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._open:
+                    self._count += 1
+            # Dispatcher-owned: never touched by public methods, so no
+            # lock is required.
+            self._ticks = self._ticks + 1
+            self._step()
+
+    def _step(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def open(self) -> None:
+        with self._lock:
+            self._open = True
+
+    def close(self) -> None:
+        with self._lock:
+            self._open = False
+            self._count = 0
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count

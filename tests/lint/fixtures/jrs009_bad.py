@@ -1,0 +1,25 @@
+"""Bad: unpicklables reaching the pool boundary through helpers."""
+
+
+def fan_out(pool, fn, items):
+    return list(pool.imap_unordered(fn, items))
+
+
+def fan_out_twice(pool, worker, items):
+    first = fan_out(pool, worker, items)
+    return first + fan_out(pool, worker, items)
+
+
+def launch(pool, items):
+    return fan_out(pool, lambda x: x + 1, items)
+
+
+def launch_nested(pool, items):
+    def helper(x):
+        return x * 2
+
+    return fan_out(pool, helper, items)
+
+
+def launch_deep(pool, items):
+    return fan_out_twice(pool, lambda x: x - 1, items)

@@ -1,0 +1,22 @@
+"""Good: only module-scope callables cross the boundary, however deep."""
+
+
+def _double(x):
+    return x * 2
+
+
+def fan_out(pool, fn, items):
+    return list(pool.imap_unordered(fn, items))
+
+
+def fan_out_twice(pool, worker, items):
+    first = fan_out(pool, worker, items)
+    return first + fan_out(pool, worker, items)
+
+
+def launch(pool, items):
+    return fan_out(pool, _double, items)
+
+
+def launch_deep(pool, items):
+    return fan_out_twice(pool, _double, items)

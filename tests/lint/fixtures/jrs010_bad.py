@@ -1,0 +1,7 @@
+"""Bad: a dsss module reaching up the architecture DAG."""
+
+import repro.experiments
+from repro.analysis import aggregate
+from repro.campaigns import spec
+from repro.cli import main
+from repro.core import jrsnd

@@ -1,0 +1,35 @@
+"""Bad: fresh generators minted inside the simulated world."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _fresh_rng():
+    return np.random.default_rng(1234)
+
+
+def jitter(n):
+    rng = np.random.Generator(np.random.PCG64(7))
+    return rng.normal(size=n)
+
+
+maker = np.random.default_rng
+
+
+def alias_draw(n):
+    rng = maker(99)
+    return rng.normal(size=n)
+
+
+def consume(rng, n):
+    return rng.normal(size=n)
+
+
+def sample(n):
+    return consume(np.random.default_rng(5), n)
+
+
+@dataclass
+class NoisyChannel:
+    rng: np.random.Generator = field(default_factory=_fresh_rng)

@@ -1,0 +1,25 @@
+"""Good: generators derived from the experiment seed tree."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedSequencer, derive_rng
+
+
+def jitter(seq, n):
+    rng = seq.child("jitter")
+    return rng.normal(size=n)
+
+
+def sample(seed, n):
+    rng = derive_rng(seed, "sample")
+    return rng.normal(size=n)
+
+
+@dataclass
+class NoisyChannel:
+    rng: np.random.Generator
+
+    def draw(self, n):
+        return self.rng.normal(size=n)

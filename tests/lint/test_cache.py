@@ -1,0 +1,150 @@
+"""Incremental-cache tests.
+
+The invalidation contract is the acceptance criterion of the two-phase
+engine: a warm run re-analyzes *only* files whose content changed, and
+re-runs the project phase over exactly the files whose transitive
+import closure reaches a changed file.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_project
+
+#: a -> b -> c, with d independent.  Editing c must dirty {a, b, c}
+#: but leave d's cross-module findings replayable from cache.
+TREE = {
+    "src/repro/sim/a.py": "from repro.sim import b\n\nX = b.Y\n",
+    "src/repro/sim/b.py": "from repro.sim import c\n\nY = c.Z\n",
+    "src/repro/sim/c.py": "Z = 1\n",
+    "src/repro/sim/d.py": "W = 2\n",
+}
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    for rel, source in TREE.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+def run(tree: Path, config: LintConfig = None, **kwargs):
+    return lint_project(
+        [str(tree / "src")],
+        config or LintConfig(),
+        cache_dir=tree / "cache",
+        **kwargs,
+    )
+
+
+class TestWarmAndCold:
+    def test_cold_then_warm(self, tree):
+        cold = run(tree)
+        assert cold.stats.files_checked == 4
+        assert cold.stats.files_analyzed == 4
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.project_phase_ran
+
+        warm = run(tree)
+        assert warm.stats.files_checked == 4
+        assert warm.stats.files_analyzed == 0
+        assert warm.stats.cache_hits == 4
+        assert not warm.stats.project_phase_ran
+        assert warm.stats.project_reanalyzed == 0
+        assert warm.violations == cold.violations
+
+    def test_warm_run_replays_cached_violations(self, tree):
+        bad = tree / "src/repro/sim/e.py"
+        bad.write_text(
+            "import numpy as np\n\nrng = np.random.default_rng()\n"
+        )
+        cold = run(tree)
+        assert cold.violations, "seed violation expected"
+        warm = run(tree)
+        assert warm.stats.files_analyzed == 0
+        assert warm.violations == cold.violations
+
+    def test_use_cache_false_never_touches_disk(self, tree):
+        result = run(tree, use_cache=False)
+        assert result.stats.files_analyzed == 4
+        assert result.stats.cache_hits == 0
+        assert not (tree / "cache").exists()
+
+
+class TestInvalidation:
+    def test_edit_invalidates_import_reachable_set(self, tree):
+        run(tree)
+        (tree / "src/repro/sim/c.py").write_text("Z = 2\n")
+        result = run(tree)
+        # Only c was re-parsed...
+        assert result.stats.files_analyzed == 1
+        assert result.stats.cache_hits == 3
+        # ...but the project phase re-covered everything that can
+        # reach c through imports: a, b, and c itself — never d.
+        assert result.stats.project_phase_ran
+        assert result.stats.project_reanalyzed == 3
+
+    def test_edit_of_leaf_dirties_only_itself(self, tree):
+        run(tree)
+        (tree / "src/repro/sim/d.py").write_text("W = 3\n")
+        result = run(tree)
+        assert result.stats.files_analyzed == 1
+        assert result.stats.project_reanalyzed == 1
+
+    def test_new_file_runs_project_phase(self, tree):
+        run(tree)
+        (tree / "src/repro/sim/e.py").write_text("V = 4\n")
+        result = run(tree)
+        assert result.stats.files_checked == 5
+        assert result.stats.files_analyzed == 1
+        assert result.stats.project_phase_ran
+
+    def test_config_change_discards_cache(self, tree):
+        run(tree)
+        result = run(tree, config=LintConfig(select={"JRS010"}))
+        assert result.stats.files_analyzed == 4
+        assert result.stats.cache_hits == 0
+
+    def test_touch_without_change_stays_warm(self, tree):
+        run(tree)
+        path = tree / "src/repro/sim/c.py"
+        path.write_text(path.read_text())  # mtime moves, hash doesn't
+        result = run(tree)
+        assert result.stats.files_analyzed == 0
+        assert result.stats.cache_hits == 4
+
+
+class TestCacheFile:
+    def test_corrupt_cache_degrades_to_cold(self, tree):
+        run(tree)
+        (tree / "cache" / "cache.json").write_text("{not json")
+        result = run(tree)
+        assert result.stats.files_analyzed == 4
+        assert result.stats.cache_hits == 0
+        # ...and the cold run repaired the file for the next run.
+        assert run(tree).stats.cache_hits == 4
+
+    def test_pack_key_mismatch_discards_entries(self, tree):
+        run(tree)
+        cache_file = tree / "cache" / "cache.json"
+        payload = json.loads(cache_file.read_text())
+        payload["pack_key"] = "stale-pack"
+        cache_file.write_text(json.dumps(payload))
+        result = run(tree)
+        assert result.stats.cache_hits == 0
+
+    def test_deleted_files_are_pruned(self, tree):
+        run(tree)
+        (tree / "src/repro/sim/d.py").unlink()
+        run(tree)
+        payload = json.loads(
+            (tree / "cache" / "cache.json").read_text()
+        )
+        assert not any(
+            path.endswith("d.py") for path in payload["entries"]
+        )
+        assert len(payload["entries"]) == 3

@@ -76,15 +76,88 @@ class TestFormats:
         assert capsys.readouterr().out == ""
         assert json.loads(report.read_text())["schema"] == JSON_SCHEMA
 
+    def test_sarif_format(self, tmp_path, capsys):
+        code = run_cli(
+            str(FIXTURES / "jrs006_bad.py"),
+            "--format", "sarif",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        results = document["runs"][0]["results"]
+        assert all(r["ruleId"] == "JRS006" for r in results)
+
+    def test_sarif_sidecar_with_json_output(self, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        sarif = tmp_path / "report.sarif"
+        code = run_cli(
+            str(FIXTURES / "jrs006_bad.py"),
+            "--format", "json", "--output", str(report),
+            "--sarif", str(sarif),
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        assert json.loads(report.read_text())["schema"] == JSON_SCHEMA
+        assert json.loads(sarif.read_text())["version"] == "2.1.0"
+
     def test_list_rules(self, capsys):
         assert run_cli("--list-rules") == 0
         out = capsys.readouterr().out
         for code in (
             "JRS001", "JRS002", "JRS003", "JRS004",
             "JRS005", "JRS006", "JRS007",
+            "JRS008", "JRS009", "JRS010", "JRS011",
         ):
             assert code in out
         assert "justification" in out
+
+
+class TestEngineFlags:
+    def test_jobs_parallel_matches_serial(self, tmp_path, capsys):
+        serial = run_cli(
+            str(FIXTURES / "jrs006_bad.py"),
+            "--no-cache", "--format", "json",
+        )
+        out_serial = capsys.readouterr().out
+        parallel = run_cli(
+            str(FIXTURES / "jrs006_bad.py"),
+            "--no-cache", "--format", "json", "--jobs", "2",
+        )
+        out_parallel = capsys.readouterr().out
+        assert serial == parallel == 1
+        assert (
+            json.loads(out_serial)["violations"]
+            == json.loads(out_parallel)["violations"]
+        )
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit) as excinfo:
+            run_cli(str(FIXTURES / "jrs006_bad.py"), "--jobs", "0")
+        assert excinfo.value.code == 2
+
+    def test_no_cache_leaves_no_cache_dir(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        cache_dir = tmp_path / "cache"
+        assert run_cli(
+            str(target), "--no-cache", "--cache-dir", str(cache_dir)
+        ) == 0
+        assert not cache_dir.exists()
+        capsys.readouterr()
+
+    def test_stats_line_reports_cache_hits(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        cache_dir = tmp_path / "cache"
+        run_cli(str(target), "--cache-dir", str(cache_dir))
+        capsys.readouterr()
+        run_cli(str(target), "--cache-dir", str(cache_dir))
+        captured = capsys.readouterr()
+        assert "[repro.lint]" in captured.err
+        assert "1 cache hit(s)" in captured.err
+        assert "project phase cached" in captured.err
 
 
 class TestFix:

@@ -5,7 +5,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import LintConfig, default_rules, lint_source
+from repro.lint import LintConfig, default_rules, lint_project, lint_source
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
@@ -26,10 +26,27 @@ EXPECTED_MIN = {
     "JRS001": 7,
     "JRS002": 6,
     "JRS003": 4,
-    "JRS004": 7,
+    "JRS004": 8,
     "JRS005": 2,
     "JRS006": 5,
     "JRS007": 5,
+}
+
+#: Cross-module rules: fixtures are linted as a one-file project tree
+#: rooted at the virtual path (both phases run, so a bad fixture must
+#: also be free of per-file findings).
+PROJECT_IN_SCOPE = {
+    "JRS008": "src/repro/experiments/fixture.py",
+    "JRS009": "src/repro/experiments/fixture.py",
+    "JRS010": "src/repro/dsss/fixture.py",
+    "JRS011": "src/repro/sim/fixture.py",
+}
+
+PROJECT_EXPECTED_MIN = {
+    "JRS008": 5,
+    "JRS009": 3,
+    "JRS010": 5,
+    "JRS011": 5,
 }
 
 
@@ -39,6 +56,29 @@ def run_fixture(name: str, virtual_path: str):
     return lint_source(
         source, virtual_path, default_rules(config), config
     )
+
+
+def run_project_fixture(name: str, virtual_path: str, tmp_path: Path):
+    """Lint one fixture as a project tree at its virtual location."""
+    target = tmp_path / virtual_path
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text((FIXTURES / name).read_text())
+    result = lint_project(
+        [str(tmp_path)], LintConfig(), use_cache=False
+    )
+    return result.violations
+
+
+def run_project_tree(tmp_path: Path, files: dict):
+    """Lint a dict of {virtual_path: source} as one project tree."""
+    for virtual_path, source in files.items():
+        target = tmp_path / virtual_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    result = lint_project(
+        [str(tmp_path)], LintConfig(), use_cache=False
+    )
+    return result.violations
 
 
 @pytest.mark.parametrize("code", sorted(IN_SCOPE))
@@ -55,6 +95,135 @@ class TestRulePack:
     def test_silent_on_good_fixture(self, code):
         violations = run_fixture(
             f"{code.lower()}_good.py", IN_SCOPE[code]
+        )
+        assert violations == []
+
+
+@pytest.mark.parametrize("code", sorted(PROJECT_IN_SCOPE))
+class TestProjectRulePack:
+    def test_fires_on_bad_fixture(self, code, tmp_path):
+        violations = run_project_fixture(
+            f"{code.lower()}_bad.py", PROJECT_IN_SCOPE[code], tmp_path
+        )
+        own = [v for v in violations if v.rule == code]
+        assert len(own) >= PROJECT_EXPECTED_MIN[code]
+        others = {v.rule for v in violations} - {code}
+        assert not others, f"unexpected cross-rule noise: {others}"
+
+    def test_silent_on_good_fixture(self, code, tmp_path):
+        violations = run_project_fixture(
+            f"{code.lower()}_good.py", PROJECT_IN_SCOPE[code], tmp_path
+        )
+        assert violations == []
+
+
+class TestProjectRuleDetails:
+    def test_jrs008_container_mutation_is_not_shared(self, tmp_path):
+        """Mutating a container through a stable self reference is
+        single-owner state, not a shared-attribute rebind."""
+        source = (
+            "import threading\n"
+            "\n"
+            "\n"
+            "class Queue:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._jobs = []\n"
+            "        self._t = threading.Thread(target=self._loop)\n"
+            "\n"
+            "    def _loop(self):\n"
+            "        self._jobs.append(1)\n"
+            "\n"
+            "    def push(self, job):\n"
+            "        self._jobs.append(job)\n"
+            "\n"
+            "    def pop(self):\n"
+            "        return self._jobs.pop()\n"
+        )
+        violations = run_project_tree(
+            tmp_path, {"src/repro/experiments/fixture.py": source}
+        )
+        assert violations == []
+
+    def test_jrs010_import_cycle_detected(self, tmp_path):
+        violations = run_project_tree(
+            tmp_path,
+            {
+                "src/repro/sim/alpha.py": "from repro.sim import beta\n",
+                "src/repro/sim/beta.py": "from repro.sim import alpha\n",
+            },
+        )
+        cycles = [
+            v for v in violations if "import cycle" in v.message
+        ]
+        assert len(cycles) == 1
+        assert cycles[0].rule == "JRS010"
+        assert "repro.sim.alpha" in cycles[0].message
+        assert "repro.sim.beta" in cycles[0].message
+
+    def test_jrs010_lazy_import_breaks_cycle(self, tmp_path):
+        violations = run_project_tree(
+            tmp_path,
+            {
+                "src/repro/sim/alpha.py": "from repro.sim import beta\n",
+                "src/repro/sim/beta.py": (
+                    "def late():\n"
+                    "    from repro.sim import alpha\n"
+                    "    return alpha\n"
+                ),
+            },
+        )
+        assert violations == []
+
+    def test_jrs011_cross_module_producer(self, tmp_path):
+        """A helper in another module that returns a fresh generator
+        taints its callers inside the simulated world."""
+        violations = run_project_tree(
+            tmp_path,
+            {
+                "src/repro/utils/mkrng.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "\n"
+                    "def make_rng(seed):\n"
+                    "    return np.random.default_rng(seed)\n"
+                ),
+                "src/repro/sim/noise.py": (
+                    "from repro.utils.mkrng import make_rng\n"
+                    "\n"
+                    "\n"
+                    "def sample(n):\n"
+                    "    rng = make_rng(7)\n"
+                    "    return rng.normal(size=n)\n"
+                ),
+            },
+        )
+        assert [v.rule for v in violations] == ["JRS011"]
+        assert violations[0].path.endswith("noise.py")
+        assert "make_rng" in violations[0].message
+
+    def test_jrs011_utils_rng_is_blessed(self, tmp_path):
+        """utils/rng.py itself may mint generators; callers that go
+        through it are clean."""
+        violations = run_project_tree(
+            tmp_path,
+            {
+                "src/repro/utils/rng.py": (
+                    "import numpy as np\n"
+                    "\n"
+                    "\n"
+                    "def derive_rng(seed, label):\n"
+                    "    return np.random.default_rng((seed, hash(label)))\n"
+                ),
+                "src/repro/sim/noise.py": (
+                    "from repro.utils.rng import derive_rng\n"
+                    "\n"
+                    "\n"
+                    "def sample(n):\n"
+                    "    rng = derive_rng(7, 'noise')\n"
+                    "    return rng.normal(size=n)\n"
+                ),
+            },
         )
         assert violations == []
 

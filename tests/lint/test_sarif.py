@@ -1,0 +1,103 @@
+"""SARIF reporter tests.
+
+``jsonschema`` is not a dependency, so validation is structural: every
+constraint asserted here is one the 2.1.0 schema enforces (required
+properties, 1-based regions, valid ruleIndex back-references).
+"""
+
+import json
+from pathlib import Path
+
+from repro.lint import LintConfig, default_rules, lint_source
+from repro.lint.rules import RULE_PACK_VERSION
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    render_sarif,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def sample_violations():
+    source = (FIXTURES / "jrs001_bad.py").read_text()
+    config = LintConfig()
+    violations = lint_source(
+        source, "src/repro/core/fixture.py",
+        default_rules(config), config,
+    )
+    assert violations, "fixture must produce findings"
+    return violations
+
+
+def render(violations) -> dict:
+    return json.loads(render_sarif(violations))
+
+
+class TestDocumentShape:
+    def test_envelope(self):
+        document = render(sample_violations())
+        assert document["$schema"] == SARIF_SCHEMA_URI
+        assert document["version"] == SARIF_VERSION == "2.1.0"
+        assert len(document["runs"]) == 1
+
+    def test_driver_metadata(self):
+        driver = render([])["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro.lint"
+        assert driver["version"] == RULE_PACK_VERSION
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert len(rule_ids) == len(set(rule_ids)), "duplicate rule ids"
+        assert "JRS000" in rule_ids  # suppression hygiene is reportable
+        for code in ("JRS001", "JRS008", "JRS009", "JRS010", "JRS011"):
+            assert code in rule_ids
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+
+    def test_empty_run_has_empty_results(self):
+        document = render([])
+        assert document["runs"][0]["results"] == []
+
+
+class TestResults:
+    def test_every_result_is_well_formed(self):
+        document = render(sample_violations())
+        run = document["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            index = result["ruleIndex"]
+            assert 0 <= index < len(rules)
+            assert rules[index]["id"] == result["ruleId"]
+            assert result["level"] in ("error", "warning")
+            assert result["message"]["text"]
+            region = result["locations"][0]["physicalLocation"][
+                "region"
+            ]
+            assert region["startLine"] >= 1
+            assert region["startColumn"] >= 1
+            location = result["locations"][0]["physicalLocation"][
+                "artifactLocation"
+            ]
+            assert "\\" not in location["uri"], "URIs use forward slashes"
+
+    def test_severity_mapping(self):
+        source = (
+            "from repro.obs import current\n"
+            'current().inc("dsss.scans")\n'  # registered → warning
+            "import random\n"
+            "x = random.random()\n"  # unseeded → error
+        )
+        config = LintConfig()
+        violations = lint_source(
+            source, "src/repro/core/fixture.py",
+            default_rules(config), config,
+        )
+        levels = {
+            result["ruleId"]: result["level"]
+            for result in render(violations)["runs"][0]["results"]
+        }
+        assert levels["JRS001"] == "error"
+        assert levels["JRS004"] == "warning"
+
+    def test_output_is_stable(self):
+        violations = sample_violations()
+        assert render_sarif(violations) == render_sarif(violations)

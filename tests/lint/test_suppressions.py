@@ -1,0 +1,202 @@
+"""Suppression edge cases for the two-phase engine.
+
+Suppressions are per-physical-line: a ``# jrsnd: noqa(CODE) --
+justification`` comment silences findings anchored on *that* line
+only, for per-file and cross-module rules alike, and an unjustified
+noqa both fails to suppress and is itself a JRS000 finding.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, default_rules, lint_project, lint_source
+
+JUSTIFIED = "# jrsnd: noqa({code}) -- pinned for the suppression suite"
+UNJUSTIFIED = "# jrsnd: noqa({code})"
+
+
+def lint(source: str, path: str = "src/repro/core/x.py"):
+    config = LintConfig()
+    return lint_source(source, path, default_rules(config), config)
+
+
+def lint_tree(tmp_path: Path, files: dict, cache: bool = False):
+    for rel, source in files.items():
+        target = tmp_path / "tree" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return lint_project(
+        [str(tmp_path / "tree")],
+        LintConfig(),
+        use_cache=cache,
+        cache_dir=tmp_path / "cache",
+    )
+
+
+class TestMultilineStatements:
+    SOURCE = (
+        "import random\n"
+        "value = random.randint({comment}\n"
+        "    0,\n"
+        "    10,\n"
+        ")\n"
+    )
+
+    def test_noqa_on_first_physical_line_suppresses(self):
+        source = self.SOURCE.format(
+            comment="  " + JUSTIFIED.format(code="JRS001")
+        )
+        assert lint(source) == []
+
+    def test_noqa_on_continuation_line_does_not(self):
+        # The finding anchors on the call's first line; a comment on
+        # the closing paren is on a different physical line.
+        source = (
+            "import random\n"
+            "value = random.randint(\n"
+            "    0,\n"
+            "    10,\n"
+            ")  " + JUSTIFIED.format(code="JRS001") + "\n"
+        )
+        violations = lint(source)
+        assert [v.rule for v in violations] == ["JRS001"]
+        assert violations[0].line == 2
+
+
+class TestDecoratedDefs:
+    def test_noqa_on_def_line_suppresses(self):
+        source = (
+            "import functools\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def f(xs=[]):  "
+            + JUSTIFIED.format(code="JRS006")
+            + "\n"
+            "    return xs\n"
+        )
+        assert lint(source) == []
+
+    def test_noqa_on_decorator_line_does_not(self):
+        source = (
+            "import functools\n"
+            "@functools.lru_cache(maxsize=None)  "
+            + JUSTIFIED.format(code="JRS006")
+            + "\n"
+            "def f(xs=[]):\n"
+            "    return xs\n"
+        )
+        violations = lint(source)
+        assert [v.rule for v in violations] == ["JRS006"]
+        assert violations[0].line == 3
+
+
+def project_cases(comment_for):
+    """One minimal single-finding tree per cross-module rule, with
+    ``comment_for(code)`` appended to the flagged line."""
+    return {
+        "JRS008": {
+            "src/repro/experiments/box.py": (
+                "import threading\n"
+                "\n"
+                "\n"
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._open = True\n"
+                "        self._t = threading.Thread(target=self._run)\n"
+                "\n"
+                "    def _run(self):\n"
+                "        self._open = False  "
+                + comment_for("JRS008")
+                + "\n"
+                "\n"
+                "    def is_open(self):\n"
+                "        with self._lock:\n"
+                "            return self._open\n"
+            )
+        },
+        "JRS009": {
+            "src/repro/experiments/fan.py": (
+                "def helper(pool, fn, items):\n"
+                "    return pool.map(fn, items)\n"
+                "\n"
+                "\n"
+                "def go(pool, items):\n"
+                "    return helper(pool, lambda x: x, items)  "
+                + comment_for("JRS009")
+                + "\n"
+            )
+        },
+        "JRS010": {
+            "src/repro/dsss/leak.py": (
+                "from repro.experiments import runner  "
+                + comment_for("JRS010")
+                + "\n"
+                "\n"
+                "USES = runner\n"
+            )
+        },
+        "JRS011": {
+            "src/repro/sim/draw.py": (
+                "import numpy as np\n"
+                "\n"
+                "\n"
+                "def draw(n):\n"
+                "    rng = np.random.default_rng(7)  "
+                + comment_for("JRS011")
+                + "\n"
+                "    return rng.normal(size=n)\n"
+            )
+        },
+    }
+
+
+PROJECT_CODES = sorted(project_cases(lambda code: "").keys())
+
+
+@pytest.mark.parametrize("code", PROJECT_CODES)
+class TestProjectRuleSuppression:
+    def test_fires_without_noqa(self, code, tmp_path):
+        files = project_cases(lambda c: "")[code]
+        result = lint_tree(tmp_path, files)
+        assert [v.rule for v in result.violations] == [code]
+
+    def test_justified_noqa_suppresses(self, code, tmp_path):
+        files = project_cases(
+            lambda c: JUSTIFIED.format(code=c)
+        )[code]
+        result = lint_tree(tmp_path, files)
+        assert result.violations == []
+
+    def test_unjustified_noqa_keeps_finding_and_flags_jrs000(
+        self, code, tmp_path
+    ):
+        files = project_cases(
+            lambda c: UNJUSTIFIED.format(code=c)
+        )[code]
+        result = lint_tree(tmp_path, files)
+        rules = sorted(v.rule for v in result.violations)
+        assert rules == ["JRS000", code]
+
+
+class TestSuppressionThroughCache:
+    def test_jrs008_noqa_survives_warm_replay(self, tmp_path):
+        """The suppression travels with the cached summary: a warm run
+        replaying phase-2 findings must not resurrect it."""
+        files = project_cases(
+            lambda c: JUSTIFIED.format(code=c)
+        )["JRS008"]
+        cold = lint_tree(tmp_path, files, cache=True)
+        assert cold.violations == []
+        warm = lint_tree(tmp_path, files, cache=True)
+        assert warm.stats.cache_hits == 1
+        assert warm.stats.files_analyzed == 0
+        assert warm.violations == []
+
+    def test_unsuppressed_finding_survives_warm_replay(self, tmp_path):
+        files = project_cases(lambda c: "")["JRS008"]
+        cold = lint_tree(tmp_path, files, cache=True)
+        warm = lint_tree(tmp_path, files, cache=True)
+        assert warm.stats.files_analyzed == 0
+        assert warm.violations == cold.violations
+        assert [v.rule for v in warm.violations] == ["JRS008"]
